@@ -1,0 +1,1 @@
+bin/interactive.ml: List Printf String Xl_core Xl_xml Xl_xqtree

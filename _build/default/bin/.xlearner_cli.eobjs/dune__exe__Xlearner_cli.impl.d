@@ -1,0 +1,1 @@
+bin/xlearner_cli.ml: Arg Cmd Cmdliner Interactive List Printf Term Xl_core Xl_workload Xl_xml Xl_xqtree Xl_xquery

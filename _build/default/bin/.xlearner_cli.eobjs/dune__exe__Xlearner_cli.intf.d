@@ -1,0 +1,1 @@
+bin/xlearner_cli.mli:

@@ -1,0 +1,196 @@
+(* The xlearner command-line tool.
+
+     xlearner list                         -- available learning scenarios
+     xlearner learn xmark Q14 [--show-query] [--no-r1] [--no-r2] [--worst]
+                                           [--interactive]
+     xlearner generate [--scale tiny] [--seed N] [-o out.xml]
+     xlearner template [--suite xmark|xmp] -- show the target-side template
+     xlearner eval -q QUERY [-f data.xml]  -- run an XQuery on a document *)
+
+open Cmdliner
+
+let suite_scenarios = function
+  | "xmark" -> Xl_workload.Xmark_scenarios.all ()
+  | "xmp" -> Xl_workload.Xmp_scenarios.all ()
+  | s -> failwith (Printf.sprintf "unknown suite %S (expected xmark or xmp)" s)
+
+(* ---- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (suite, scenarios) ->
+        Printf.printf "%s:\n" suite;
+        List.iter
+          (fun (name, sc) ->
+            Printf.printf "  %-5s %s\n" name sc.Xl_core.Scenario.description)
+          scenarios)
+      [ ("xmark", Xl_workload.Xmark_scenarios.all ()); ("xmp", Xl_workload.Xmp_scenarios.all ()) ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available learning scenarios")
+    Term.(const run $ const ())
+
+(* ---- learn ------------------------------------------------------------- *)
+
+let learn_cmd =
+  let suite =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SUITE" ~doc:"xmark or xmp")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"e.g. Q14")
+  in
+  let show_query =
+    Arg.(value & flag & info [ "show-query" ] ~doc:"Print the learned XQuery text")
+  in
+  let show_tree =
+    Arg.(value & flag & info [ "show-tree" ] ~doc:"Print the learned XQ-Tree listing")
+  in
+  let no_r1 = Arg.(value & flag & info [ "no-r1" ] ~doc:"Disable reduction rule R1") in
+  let no_r2 = Arg.(value & flag & info [ "no-r2" ] ~doc:"Disable reduction rule R2") in
+  let worst =
+    Arg.(value & flag & info [ "worst" ] ~doc:"Adversarial counterexample choice")
+  in
+  let interactive =
+    Arg.(value & flag & info [ "interactive"; "i" ] ~doc:"Answer the learner's queries on stdin")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the interaction transcript")
+  in
+  let run suite query show_query show_tree no_r1 no_r2 worst interactive trace =
+    let scenarios = suite_scenarios suite in
+    match List.assoc_opt query scenarios with
+    | None ->
+      Printf.eprintf "no scenario %s in suite %s (try 'xlearner list')\n" query suite;
+      exit 1
+    | Some sc ->
+      let config =
+        {
+          Xl_core.Learn.rules = { Xl_core.Plearner.r1 = not no_r1; r2 = not no_r2 };
+          strategy = (if worst then Xl_core.Oracle.Worst else Xl_core.Oracle.Best);
+          max_rounds = 400;
+        }
+      in
+      let tr = Xl_core.Trace.create () in
+      let wrap_teacher t =
+        let t = if interactive then Interactive.teacher t else t in
+        if trace then Xl_core.Trace.wrap tr t else t
+      in
+      let r = Xl_core.Learn.run ~config ~wrap_teacher sc in
+      if trace then begin
+        print_endline "interaction transcript:";
+        print_endline (Xl_core.Trace.to_string tr);
+        print_newline ()
+      end;
+      Printf.printf "scenario    : %s %s — %s\n" suite query sc.Xl_core.Scenario.description;
+      Printf.printf "interactions: %s\n" (Xl_core.Stats.to_row r.Xl_core.Learn.stats);
+      Printf.printf "              (D&D(#t)  MQ  CE  CB(#t)  OB  Reduced(R1,R2,Both))\n";
+      Printf.printf "verified    : %b\n" r.Xl_core.Learn.verified;
+      if show_tree then begin
+        print_endline "\nlearned XQ-Tree:";
+        print_endline (Xl_xqtree.Xqtree.to_listing r.Xl_core.Learn.learned)
+      end;
+      if show_query then begin
+        print_endline "\nlearned query:";
+        print_endline r.Xl_core.Learn.query_text
+      end
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Run a learning scenario and report the interaction counts")
+    Term.(
+      const run $ suite $ query $ show_query $ show_tree $ no_r1 $ no_r2 $ worst
+      $ interactive $ trace)
+
+(* ---- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let scale =
+    Arg.(value & opt string "default" & info [ "scale" ] ~doc:"tiny or default")
+  in
+  let seed = Arg.(value & opt int 20040301 & info [ "seed" ] ~doc:"PRNG seed") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run scale seed out =
+    let sc =
+      match scale with
+      | "tiny" -> Xl_workload.Xmark_gen.tiny_scale
+      | _ -> Xl_workload.Xmark_gen.default_scale
+    in
+    let doc = Xl_workload.Xmark_gen.generate ~seed sc in
+    let text =
+      Xl_xml.Serialize.frag_to_pretty_string
+        (Xl_xml.Serialize.node_to_frag (Xl_xml.Doc.root doc))
+    in
+    match out with
+    | None -> print_string text
+    | Some f ->
+      let oc = open_out f in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d nodes)\n" f (Xl_xml.Doc.node_count doc)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a deterministic XMark auction document")
+    Term.(const run $ scale $ seed $ out)
+
+(* ---- template ----------------------------------------------------------- *)
+
+let template_cmd =
+  let suite =
+    Arg.(value & pos 0 string "xmark" & info [] ~docv:"SUITE" ~doc:"xmark or xmp")
+  in
+  let run suite =
+    let dtd =
+      match suite with
+      | "xmp" -> Xl_workload.Xmp_data.get_dtd ()
+      | _ -> Xl_workload.Xmark_dtd.get ()
+    in
+    print_endline (Xl_core.Template.to_string (Xl_core.Template.from_dtd ~depth:5 dtd))
+  in
+  Cmd.v
+    (Cmd.info "template"
+       ~doc:"Show the template generated from a schema (1-labeled edges marked)")
+    Term.(const run $ suite)
+
+(* ---- eval ---------------------------------------------------------------- *)
+
+let eval_cmd =
+  let query =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"XQUERY")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"XML input (default: a generated XMark document)")
+  in
+  let run query file =
+    let doc =
+      match file with
+      | Some f ->
+        let ic = open_in_bin f in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        Xl_xml.Xml_parser.parse_doc ~uri:f src
+      | None -> Xl_workload.Xmark_gen.generate Xl_workload.Xmark_gen.default_scale
+    in
+    let ctx = Xl_xquery.Eval.ctx_of_doc doc in
+    let ast = Xl_xquery.Parser.parse query in
+    print_endline (Xl_xquery.Eval.run_to_string ctx ast)
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression against a document")
+    Term.(const run $ query $ file)
+
+(* ---- fig16 shortcut ------------------------------------------------------- *)
+
+let bench_cmd =
+  let run () =
+    print_endline "run the full evaluation with: dune exec bench/main.exe"
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Pointer to the benchmark harness") Term.(const run $ const ())
+
+let () =
+  let doc = "XLearner: learn XQuery mapping queries from examples (ICDE 2004)" in
+  let info = Cmd.info "xlearner" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; learn_cmd; generate_cmd; template_cmd; eval_cmd; bench_cmd ]))

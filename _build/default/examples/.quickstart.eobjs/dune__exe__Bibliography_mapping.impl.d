@@ -1,0 +1,1 @@
+examples/bibliography_mapping.ml: Cond Eval Parser Printf Simple_path String Xl_core Xl_schema Xl_workload Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+examples/bibliography_mapping.mli:

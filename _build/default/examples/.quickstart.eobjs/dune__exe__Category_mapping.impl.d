@@ -1,0 +1,1 @@
+examples/category_mapping.ml: Ast Cond Parser Printf Simple_path Value Xl_core Xl_workload Xl_xml Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+examples/category_mapping.mli:

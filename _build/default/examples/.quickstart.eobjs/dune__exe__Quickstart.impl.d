@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Parser Printf Xl_core Xl_schema Xl_xml Xl_xqtree Xl_xquery Xqtree

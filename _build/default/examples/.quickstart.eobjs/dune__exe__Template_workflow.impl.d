@@ -1,0 +1,1 @@
+examples/template_workflow.ml: Parser Printf Xl_core Xl_schema Xl_workload Xl_xml Xl_xqtree Xl_xquery Xqtree

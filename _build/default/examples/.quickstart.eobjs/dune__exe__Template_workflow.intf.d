@@ -1,0 +1,1 @@
+examples/template_workflow.mli:

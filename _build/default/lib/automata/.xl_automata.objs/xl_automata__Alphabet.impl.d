@@ -1,0 +1,1 @@
+lib/automata/alphabet.ml: Array Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/automata/lstar.ml: Array Dfa Hashtbl List Option

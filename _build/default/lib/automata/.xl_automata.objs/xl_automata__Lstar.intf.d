@@ -1,0 +1,1 @@
+lib/automata/lstar.mli: Dfa

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Dfa Hashtbl Int List Option Queue Set

@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Array Dfa List Nfa

@@ -1,0 +1,62 @@
+(** Interned alphabets.
+
+    Automata work over dense integer symbols; an [Alphabet.t] maps the tag
+    symbols of the XML world (element names, ["@attr"], ["#text"]) to
+    integers and back.  An alphabet is append-only: interning a new symbol
+    grows it, which lets the path learner start from the DTD's element
+    types and absorb any symbol found in the instance. *)
+
+type t = {
+  mutable names : string array;  (** index -> symbol *)
+  table : (string, int) Hashtbl.t;
+  mutable size : int;
+}
+
+let create () = { names = Array.make 16 ""; table = Hashtbl.create 64; size = 0 }
+
+let size t = t.size
+
+let intern t name =
+  match Hashtbl.find_opt t.table name with
+  | Some i -> i
+  | None ->
+    if t.size = Array.length t.names then begin
+      let bigger = Array.make (2 * t.size) "" in
+      Array.blit t.names 0 bigger 0 t.size;
+      t.names <- bigger
+    end;
+    let i = t.size in
+    t.names.(i) <- name;
+    Hashtbl.replace t.table name i;
+    t.size <- t.size + 1;
+    i
+
+let find t name = Hashtbl.find_opt t.table name
+
+let name t i =
+  if i < 0 || i >= t.size then invalid_arg "Alphabet.name: out of range";
+  t.names.(i)
+
+let of_list names =
+  let t = create () in
+  List.iter (fun n -> ignore (intern t n)) names;
+  t
+
+let symbols t = List.init t.size (fun i -> t.names.(i))
+
+(** Encode a word of symbol names, interning unknown symbols. *)
+let encode t word = List.map (intern t) word
+
+(** Encode without interning; [None] if a symbol is unknown. *)
+let encode_opt t word =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> (
+      match find t s with Some i -> go (i :: acc) rest | None -> None)
+  in
+  go [] word
+
+let decode t word = List.map (name t) word
+
+let pp_word t fmt word =
+  Format.fprintf fmt "/%s" (String.concat "/" (decode t word))

@@ -1,0 +1,33 @@
+(** Interned alphabets.
+
+    Automata work over dense integer symbols; an [Alphabet.t] maps the
+    tag symbols of the XML world (element names, ["@attr"], ["#text"])
+    to integers and back.  Alphabets are append-only: interning a new
+    symbol grows them, so the path learner can start from the DTD's
+    element types and absorb anything found in the instance. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val intern : t -> string -> int
+(** Id of the symbol, allocating a fresh one if needed. *)
+
+val find : t -> string -> int option
+(** Id without interning. *)
+
+val name : t -> int -> string
+(** Raises [Invalid_argument] out of range. *)
+
+val of_list : string list -> t
+val symbols : t -> string list
+
+val encode : t -> string list -> int list
+(** Interns unknown symbols. *)
+
+val encode_opt : t -> string list -> int list option
+(** [None] if any symbol is unknown (no interning). *)
+
+val decode : t -> int list -> string list
+val pp_word : t -> Format.formatter -> int list -> unit

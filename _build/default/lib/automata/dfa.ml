@@ -1,0 +1,239 @@
+(** Deterministic finite automata over dense integer alphabets.
+
+    Transition functions are total (a sink state is added where needed), so
+    product constructions and complementation are direct.  States are
+    [0 .. states-1]; words are [int list]. *)
+
+type t = {
+  alphabet_size : int;
+  states : int;
+  start : int;
+  finals : bool array;
+  delta : int array array;  (** [delta.(q).(a)] *)
+}
+
+let alphabet_size t = t.alphabet_size
+let state_count t = t.states
+
+let create ~alphabet_size ~states ~start ~finals ~delta =
+  if Array.length finals <> states then invalid_arg "Dfa.create: finals size";
+  if Array.length delta <> states then invalid_arg "Dfa.create: delta size";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet_size then invalid_arg "Dfa.create: delta row")
+    delta;
+  { alphabet_size; states; start; finals; delta }
+
+let step t q a = t.delta.(q).(a)
+
+let run t word =
+  List.fold_left (fun q a -> if q < 0 then q else step t q a) t.start word
+
+let accepts t word =
+  let q = run t word in
+  q >= 0 && t.finals.(q)
+
+(** DFA accepting the empty language. *)
+let empty ~alphabet_size =
+  {
+    alphabet_size;
+    states = 1;
+    start = 0;
+    finals = [| false |];
+    delta = [| Array.make alphabet_size 0 |];
+  }
+
+(** DFA accepting every word. *)
+let universal ~alphabet_size =
+  {
+    alphabet_size;
+    states = 1;
+    start = 0;
+    finals = [| true |];
+    delta = [| Array.make alphabet_size 0 |];
+  }
+
+let complement t =
+  { t with finals = Array.map not t.finals }
+
+(** Same automaton started from another state (left-quotient by any word
+    reaching [q]). *)
+let with_start t q =
+  if q < 0 || q >= t.states then invalid_arg "Dfa.with_start";
+  { t with start = q }
+
+(** Product construction combining acceptance with [f]. *)
+let product f a b =
+  if a.alphabet_size <> b.alphabet_size then
+    invalid_arg "Dfa.product: alphabet mismatch";
+  let k = a.alphabet_size in
+  let encode qa qb = (qa * b.states) + qb in
+  let n = a.states * b.states in
+  let finals = Array.make n false in
+  let delta = Array.init n (fun _ -> Array.make k 0) in
+  for qa = 0 to a.states - 1 do
+    for qb = 0 to b.states - 1 do
+      let q = encode qa qb in
+      finals.(q) <- f a.finals.(qa) b.finals.(qb);
+      for s = 0 to k - 1 do
+        delta.(q).(s) <- encode a.delta.(qa).(s) b.delta.(qb).(s)
+      done
+    done
+  done;
+  { alphabet_size = k; states = n; start = encode a.start b.start; finals; delta }
+
+let intersection = product ( && )
+let union = product ( || )
+let difference = product (fun x y -> x && not y)
+let symmetric_difference = product (fun x y -> x <> y)
+
+(** Shortest accepted word (BFS), or [None] if the language is empty. *)
+let shortest_accepted t =
+  let parent = Array.make t.states None in
+  let visited = Array.make t.states false in
+  let queue = Queue.create () in
+  visited.(t.start) <- true;
+  Queue.push t.start queue;
+  let found = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let q = Queue.pop queue in
+       if t.finals.(q) then begin
+         found := Some q;
+         raise Exit
+       end;
+       for a = 0 to t.alphabet_size - 1 do
+         let q' = t.delta.(q).(a) in
+         if not visited.(q') then begin
+           visited.(q') <- true;
+           parent.(q') <- Some (q, a);
+           Queue.push q' queue
+         end
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | None -> None
+  | Some q ->
+    let rec build acc q =
+      match parent.(q) with
+      | None -> acc
+      | Some (p, a) -> build (a :: acc) p
+    in
+    Some (build [] q)
+
+let is_empty t = shortest_accepted t = None
+
+(** [equivalent a b] is [Ok ()] when L(a) = L(b), otherwise
+    [Error w] with [w] a shortest word in the symmetric difference. *)
+let equivalent a b =
+  match shortest_accepted (symmetric_difference a b) with
+  | None -> Ok ()
+  | Some w -> Error w
+
+(** Moore partition-refinement minimization; also removes unreachable
+    states.  O(k·n²) — ample for the small automata of path learning. *)
+let minimize t =
+  (* reachable states *)
+  let reach = Array.make t.states false in
+  let rec dfs q =
+    if not reach.(q) then begin
+      reach.(q) <- true;
+      Array.iter dfs t.delta.(q)
+    end
+  in
+  dfs t.start;
+  let reach_states = ref [] in
+  for q = t.states - 1 downto 0 do
+    if reach.(q) then reach_states := q :: !reach_states
+  done;
+  let states = !reach_states in
+  (* partition ids *)
+  let cls = Array.make t.states 0 in
+  List.iter (fun q -> cls.(q) <- (if t.finals.(q) then 1 else 0)) states;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature = (class, classes of successors) *)
+    let sigs = Hashtbl.create 64 in
+    let next_cls = Array.make t.states 0 in
+    let counter = ref 0 in
+    List.iter
+      (fun q ->
+        let s = (cls.(q), Array.to_list (Array.map (fun q' -> cls.(q')) t.delta.(q))) in
+        let c =
+          match Hashtbl.find_opt sigs s with
+          | Some c -> c
+          | None ->
+            let c = !counter in
+            incr counter;
+            Hashtbl.replace sigs s c;
+            c
+        in
+        next_cls.(q) <- c)
+      states;
+    let distinct_before =
+      let seen = Hashtbl.create 16 in
+      List.iter (fun q -> Hashtbl.replace seen cls.(q) ()) states;
+      Hashtbl.length seen
+    in
+    if !counter <> distinct_before then changed := true;
+    List.iter (fun q -> cls.(q) <- next_cls.(q)) states
+  done;
+  let class_count =
+    let seen = Hashtbl.create 16 in
+    List.iter (fun q -> Hashtbl.replace seen cls.(q) ()) states;
+    Hashtbl.length seen
+  in
+  (* renumber classes densely in order of first occurrence *)
+  let renum = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun q ->
+      if not (Hashtbl.mem renum cls.(q)) then begin
+        Hashtbl.replace renum cls.(q) !next;
+        incr next
+      end)
+    states;
+  let cid q = Hashtbl.find renum cls.(q) in
+  let finals = Array.make class_count false in
+  let delta = Array.init class_count (fun _ -> Array.make t.alphabet_size 0) in
+  List.iter
+    (fun q ->
+      finals.(cid q) <- t.finals.(q);
+      for a = 0 to t.alphabet_size - 1 do
+        delta.(cid q).(a) <- cid t.delta.(q).(a)
+      done)
+    states;
+  { alphabet_size = t.alphabet_size; states = class_count; start = cid t.start; finals; delta }
+
+(** Widen the alphabet: new symbols all lead to a fresh sink state. *)
+let extend_alphabet t ~alphabet_size:k =
+  if k < t.alphabet_size then invalid_arg "Dfa.extend_alphabet: shrinking";
+  if k = t.alphabet_size then t
+  else begin
+    let sink = t.states in
+    let states = t.states + 1 in
+    let finals = Array.append t.finals [| false |] in
+    let delta =
+      Array.init states (fun q ->
+          Array.init k (fun a ->
+              if q = sink then sink
+              else if a < t.alphabet_size then t.delta.(q).(a)
+              else sink))
+    in
+    { alphabet_size = k; states; start = t.start; finals; delta }
+  end
+
+(** Enumerate accepted words of length at most [max_len] (tests / demos). *)
+let accepted_up_to t max_len =
+  let out = ref [] in
+  let rec go q word len =
+    if t.finals.(q) then out := List.rev word :: !out;
+    if len < max_len then
+      for a = 0 to t.alphabet_size - 1 do
+        go t.delta.(q).(a) (a :: word) (len + 1)
+      done
+  in
+  go t.start [] 0;
+  List.rev !out

@@ -1,0 +1,62 @@
+(** Deterministic finite automata over dense integer alphabets.
+
+    Transition functions are total, so product constructions and
+    complementation are direct.  States are [0 .. states-1]; words are
+    [int list]. *)
+
+type t = {
+  alphabet_size : int;
+  states : int;
+  start : int;
+  finals : bool array;
+  delta : int array array;  (** [delta.(q).(a)] *)
+}
+
+val alphabet_size : t -> int
+val state_count : t -> int
+
+val create :
+  alphabet_size:int -> states:int -> start:int -> finals:bool array ->
+  delta:int array array -> t
+(** Raises [Invalid_argument] on shape mismatches. *)
+
+val step : t -> int -> int -> int
+val run : t -> int list -> int
+val accepts : t -> int list -> bool
+
+val empty : alphabet_size:int -> t
+(** The empty language. *)
+
+val universal : alphabet_size:int -> t
+(** Every word. *)
+
+val complement : t -> t
+
+val with_start : t -> int -> t
+(** Same automaton started elsewhere — the left quotient by any word
+    reaching that state.  Used to relativize the schema path language to
+    a fragment's base prefix. *)
+
+val product : (bool -> bool -> bool) -> t -> t -> t
+val intersection : t -> t -> t
+val union : t -> t -> t
+val difference : t -> t -> t
+val symmetric_difference : t -> t -> t
+
+val shortest_accepted : t -> int list option
+(** BFS; [None] iff the language is empty. *)
+
+val is_empty : t -> bool
+
+val equivalent : t -> t -> (unit, int list) result
+(** [Error w] carries a shortest word in the symmetric difference — the
+    counterexample for equivalence queries. *)
+
+val minimize : t -> t
+(** Partition refinement; also drops unreachable states. *)
+
+val extend_alphabet : t -> alphabet_size:int -> t
+(** Widen the alphabet; new symbols lead to a fresh sink. *)
+
+val accepted_up_to : t -> int -> int list list
+(** All accepted words of bounded length (tests/demos). *)

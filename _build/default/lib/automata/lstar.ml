@@ -1,0 +1,168 @@
+(** Angluin's L* algorithm (Angluin 1987), the learning core behind
+    LEARN-X0 (paper Section 5).
+
+    The teacher answers membership queries on words and equivalence
+    queries on hypothesis DFAs.  Membership answers are memoized, so a
+    teacher is asked about each distinct word at most once — this is what
+    the paper counts as one (potential) interaction. *)
+
+type teacher = {
+  membership : int list -> bool;
+  equivalence : Dfa.t -> int list option;
+      (** [None] = hypothesis accepted; [Some w] = counterexample word *)
+}
+
+type stats = {
+  mutable membership_queries : int;  (** distinct words asked *)
+  mutable equivalence_queries : int;
+  mutable counterexamples : int;
+  mutable hypotheses : int;
+}
+
+let fresh_stats () =
+  { membership_queries = 0; equivalence_queries = 0; counterexamples = 0; hypotheses = 0 }
+
+type table = {
+  alphabet_size : int;
+  mutable s : int list list;  (** access words, prefix-closed, ε first *)
+  mutable e : int list list;  (** distinguishing suffixes, ε first *)
+  answers : (int list, bool) Hashtbl.t;
+  teacher : teacher;
+  stats : stats;
+}
+
+let member tbl w =
+  match Hashtbl.find_opt tbl.answers w with
+  | Some b -> b
+  | None ->
+    let b = tbl.teacher.membership w in
+    tbl.stats.membership_queries <- tbl.stats.membership_queries + 1;
+    Hashtbl.replace tbl.answers w b;
+    b
+
+let row tbl s = List.map (fun e -> member tbl (s @ e)) tbl.e
+
+let all_extensions tbl =
+  List.concat_map
+    (fun s -> List.init tbl.alphabet_size (fun a -> s @ [ a ]))
+    tbl.s
+
+(* extend S with w and all its prefixes (keeps S prefix-closed) *)
+let add_access tbl w =
+  let rec prefixes acc rev_w =
+    match rev_w with
+    | [] -> acc
+    | _ :: rest -> prefixes (List.rev rev_w :: acc) rest
+  in
+  let ps = [] :: prefixes [] (List.rev w) in
+  List.iter (fun p -> if not (List.mem p tbl.s) then tbl.s <- tbl.s @ [ p ]) ps
+
+let close_and_make_consistent tbl =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* closedness: every one-symbol extension's row appears among S rows *)
+    let s_rows = List.map (fun s -> (row tbl s, s)) tbl.s in
+    (match
+       List.find_opt
+         (fun ext -> not (List.mem_assoc (row tbl ext) s_rows))
+         (all_extensions tbl)
+     with
+    | Some ext ->
+      tbl.s <- tbl.s @ [ ext ];
+      changed := true
+    | None ->
+      (* consistency: equal rows must stay equal under every extension *)
+      let rec pairs = function
+        | [] -> None
+        | s1 :: rest ->
+          let conflict =
+            List.find_map
+              (fun s2 ->
+                if row tbl s1 = row tbl s2 then
+                  let rec find_a a =
+                    if a >= tbl.alphabet_size then None
+                    else
+                      let r1 = row tbl (s1 @ [ a ]) and r2 = row tbl (s2 @ [ a ]) in
+                      if r1 <> r2 then
+                        (* find the separating suffix *)
+                        let e =
+                          List.find_map
+                            (fun (e, (b1, b2)) -> if b1 <> b2 then Some e else None)
+                            (List.combine tbl.e (List.combine r1 r2))
+                        in
+                        Some (a :: Option.get e)
+                      else find_a (a + 1)
+                  in
+                  find_a 0
+                else None)
+              rest
+          in
+          (match conflict with Some _ -> conflict | None -> pairs rest)
+      in
+      (match pairs tbl.s with
+      | Some new_e ->
+        if not (List.mem new_e tbl.e) then tbl.e <- tbl.e @ [ new_e ];
+        changed := true
+      | None -> ()))
+  done
+
+let conjecture tbl : Dfa.t =
+  let s_rows = List.map (fun s -> (row tbl s, s)) tbl.s in
+  (* distinct rows, in first-occurrence order, become states *)
+  let states = ref [] in
+  List.iter
+    (fun (r, s) -> if not (List.mem_assoc r !states) then states := !states @ [ (r, s) ])
+    s_rows;
+  let states = !states in
+  let n = List.length states in
+  let index_of r =
+    let rec go i = function
+      | [] -> invalid_arg "Lstar.conjecture: row not found (table not closed)"
+      | (r', _) :: rest -> if r = r' then i else go (i + 1) rest
+    in
+    go 0 states
+  in
+  let start = index_of (row tbl []) in
+  let finals = Array.make n false in
+  let delta = Array.init n (fun _ -> Array.make tbl.alphabet_size 0) in
+  List.iteri
+    (fun i (_, s) ->
+      finals.(i) <- member tbl s;
+      for a = 0 to tbl.alphabet_size - 1 do
+        delta.(i).(a) <- index_of (row tbl (s @ [ a ]))
+      done)
+    states;
+  Dfa.create ~alphabet_size:tbl.alphabet_size ~states:n ~start ~finals ~delta
+
+(** Run L*.  [init] words are seeded into the access set before the first
+    hypothesis — the paper seeds [path(e)] of the dropped example, which
+    spares the teacher the cold-start round of equivalence queries.
+    [max_rounds] bounds the equivalence-query loop as a safety net. *)
+let learn ?(init = []) ?(max_rounds = 200) ~alphabet_size (teacher : teacher) :
+    Dfa.t * stats =
+  let tbl =
+    {
+      alphabet_size;
+      s = [ [] ];
+      e = [ [] ];
+      answers = Hashtbl.create 256;
+      teacher;
+      stats = fresh_stats ();
+    }
+  in
+  List.iter (add_access tbl) init;
+  let rec loop round =
+    if round > max_rounds then failwith "Lstar.learn: too many rounds";
+    close_and_make_consistent tbl;
+    let hyp = conjecture tbl in
+    tbl.stats.hypotheses <- tbl.stats.hypotheses + 1;
+    tbl.stats.equivalence_queries <- tbl.stats.equivalence_queries + 1;
+    match teacher.equivalence hyp with
+    | None -> (Dfa.minimize hyp, tbl.stats)
+    | Some ce ->
+      tbl.stats.counterexamples <- tbl.stats.counterexamples + 1;
+      add_access tbl ce;
+      loop (round + 1)
+  in
+  loop 1

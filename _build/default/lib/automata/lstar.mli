@@ -1,0 +1,27 @@
+(** Angluin's L* algorithm (Angluin 1987) — the learning core behind
+    LEARN-X0 (paper Section 5).
+
+    The teacher answers membership queries on words and equivalence
+    queries on hypothesis DFAs.  Membership answers are memoized, so the
+    teacher is asked about each distinct word at most once — which is
+    what the paper counts as one (potential) interaction. *)
+
+type teacher = {
+  membership : int list -> bool;
+  equivalence : Dfa.t -> int list option;
+      (** [None] = hypothesis accepted; [Some w] = counterexample word *)
+}
+
+type stats = {
+  mutable membership_queries : int;  (** distinct words asked *)
+  mutable equivalence_queries : int;
+  mutable counterexamples : int;
+  mutable hypotheses : int;
+}
+
+val learn :
+  ?init:int list list -> ?max_rounds:int -> alphabet_size:int -> teacher ->
+  Dfa.t * stats
+(** Run L* to convergence.  [init] seeds words into the access set before
+    the first hypothesis — the paper seeds [path(e)] of the dropped
+    example.  The returned DFA is minimized. *)

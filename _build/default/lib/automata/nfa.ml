@@ -1,0 +1,115 @@
+(** Nondeterministic finite automata with epsilon moves.
+
+    Used as the bridge between regular (path) expressions and DFAs:
+    Thompson construction on one side, subset construction on the other. *)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  alphabet_size : int;
+  states : int;
+  start : int;
+  finals : IntSet.t;
+  delta : (int * int, IntSet.t) Hashtbl.t;  (** (state, symbol) -> states *)
+  epsilon : (int, IntSet.t) Hashtbl.t;
+}
+
+let create ~alphabet_size ~states ~start ~finals =
+  {
+    alphabet_size;
+    states;
+    start;
+    finals = IntSet.of_list finals;
+    delta = Hashtbl.create 64;
+    epsilon = Hashtbl.create 64;
+  }
+
+let add_transition t q a q' =
+  let key = (q, a) in
+  let cur = Option.value ~default:IntSet.empty (Hashtbl.find_opt t.delta key) in
+  Hashtbl.replace t.delta key (IntSet.add q' cur)
+
+let add_epsilon t q q' =
+  let cur = Option.value ~default:IntSet.empty (Hashtbl.find_opt t.epsilon q) in
+  Hashtbl.replace t.epsilon q (IntSet.add q' cur)
+
+let eps_closure t set =
+  let rec go frontier acc =
+    if IntSet.is_empty frontier then acc
+    else
+      let next =
+        IntSet.fold
+          (fun q acc' ->
+            match Hashtbl.find_opt t.epsilon q with
+            | None -> acc'
+            | Some s -> IntSet.union acc' (IntSet.diff s acc))
+          frontier IntSet.empty
+      in
+      go next (IntSet.union acc next)
+  in
+  go set set
+
+let step_set t set a =
+  IntSet.fold
+    (fun q acc ->
+      match Hashtbl.find_opt t.delta (q, a) with
+      | None -> acc
+      | Some s -> IntSet.union acc s)
+    set IntSet.empty
+
+let accepts t word =
+  let cur = ref (eps_closure t (IntSet.singleton t.start)) in
+  List.iter (fun a -> cur := eps_closure t (step_set t !cur a)) word;
+  not (IntSet.is_empty (IntSet.inter !cur t.finals))
+
+(** Subset construction.  The result is total (the empty subset is the
+    sink) and minimized. *)
+let to_dfa t =
+  let k = t.alphabet_size in
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let next_id = ref 0 in
+  let get_id set =
+    let key = IntSet.elements set in
+    match Hashtbl.find_opt index key with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace index key id;
+      states := (id, set) :: !states;
+      id
+  in
+  let start_set = eps_closure t (IntSet.singleton t.start) in
+  let start = get_id start_set in
+  let transitions = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.push (start, start_set) queue;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let id, set = Queue.pop queue in
+    if not (Hashtbl.mem processed id) then begin
+      Hashtbl.replace processed id ();
+      for a = 0 to k - 1 do
+        let dest = eps_closure t (step_set t set a) in
+        let known = Hashtbl.mem index (IntSet.elements dest) in
+        let dest_id = get_id dest in
+        Hashtbl.replace transitions (id, a) dest_id;
+        if not known then Queue.push (dest_id, dest) queue
+      done
+    end
+  done;
+  let n = !next_id in
+  let finals = Array.make n false in
+  List.iter
+    (fun (id, set) ->
+      finals.(id) <- not (IntSet.is_empty (IntSet.inter set t.finals)))
+    !states;
+  let delta =
+    Array.init n (fun q ->
+        Array.init k (fun a ->
+            match Hashtbl.find_opt transitions (q, a) with
+            | Some d -> d
+            | None -> q (* unreachable in practice *)))
+  in
+  Dfa.minimize (Dfa.create ~alphabet_size:k ~states:n ~start ~finals ~delta)

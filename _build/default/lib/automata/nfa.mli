@@ -1,0 +1,18 @@
+(** Nondeterministic finite automata with epsilon moves — the bridge
+    between regular (path) expressions and DFAs. *)
+
+module IntSet : Set.S with type elt = int
+
+type t
+
+val create : alphabet_size:int -> states:int -> start:int -> finals:int list -> t
+val add_transition : t -> int -> int -> int -> unit
+(** [add_transition n q a q']. *)
+
+val add_epsilon : t -> int -> int -> unit
+val eps_closure : t -> IntSet.t -> IntSet.t
+val step_set : t -> IntSet.t -> int -> IntSet.t
+val accepts : t -> int list -> bool
+
+val to_dfa : t -> Dfa.t
+(** Subset construction; the result is total and minimized. *)

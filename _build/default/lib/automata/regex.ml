@@ -1,0 +1,182 @@
+(** Regular expressions over integer symbols.
+
+    [Any] matches any single symbol of the compiling alphabet, which keeps
+    expressions like [//] ("descendant": [Star Any]) independent of the
+    alphabet's eventual size.  [to_string] renders over a name function so
+    the same printer serves both raw automata tests and path expressions. *)
+
+type t =
+  | Empty  (** the empty language *)
+  | Eps  (** the empty word *)
+  | Sym of int
+  | Any
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+let rec seq = function
+  | [] -> Eps
+  | [ r ] -> r
+  | r :: rest -> Seq (r, seq rest)
+
+let alt = function
+  | [] -> Empty
+  | r :: rest -> List.fold_left (fun a b -> Alt (a, b)) r rest
+
+let opt r = Alt (Eps, r)
+let plus r = Seq (r, Star r)
+
+(** Thompson construction. *)
+let to_nfa ~alphabet_size (r : t) : Nfa.t =
+  let state_count = ref 0 in
+  let fresh () =
+    let s = !state_count in
+    incr state_count;
+    s
+  in
+  (* first pass: count states by building structure lazily; simpler to
+     build transitions into growable lists and fix the NFA at the end *)
+  let transitions = ref [] in
+  let epsilons = ref [] in
+  let add_t q a q' = transitions := (q, a, q') :: !transitions in
+  let add_e q q' = epsilons := (q, q') :: !epsilons in
+  let rec build r =
+    match r with
+    | Empty ->
+      let s = fresh () and f = fresh () in
+      (s, f)
+    | Eps ->
+      let s = fresh () and f = fresh () in
+      add_e s f;
+      (s, f)
+    | Sym a ->
+      let s = fresh () and f = fresh () in
+      add_t s a f;
+      (s, f)
+    | Any ->
+      let s = fresh () and f = fresh () in
+      for a = 0 to alphabet_size - 1 do
+        add_t s a f
+      done;
+      (s, f)
+    | Seq (r1, r2) ->
+      let s1, f1 = build r1 in
+      let s2, f2 = build r2 in
+      add_e f1 s2;
+      (s1, f2)
+    | Alt (r1, r2) ->
+      let s = fresh () and f = fresh () in
+      let s1, f1 = build r1 in
+      let s2, f2 = build r2 in
+      add_e s s1;
+      add_e s s2;
+      add_e f1 f;
+      add_e f2 f;
+      (s, f)
+    | Star r1 ->
+      let s = fresh () and f = fresh () in
+      let s1, f1 = build r1 in
+      add_e s s1;
+      add_e s f;
+      add_e f1 s1;
+      add_e f1 f;
+      (s, f)
+  in
+  let start, final = build r in
+  let nfa = Nfa.create ~alphabet_size ~states:!state_count ~start ~finals:[ final ] in
+  List.iter (fun (q, a, q') -> Nfa.add_transition nfa q a q') !transitions;
+  List.iter (fun (q, q') -> Nfa.add_epsilon nfa q q') !epsilons;
+  nfa
+
+let to_dfa ~alphabet_size r = Nfa.to_dfa (to_nfa ~alphabet_size r)
+
+let matches ~alphabet_size r word = Dfa.accepts (to_dfa ~alphabet_size r) word
+
+(** Precedence-aware printing: [Star] > [Seq] > [Alt]. *)
+let to_string ?(sep = "") ~name r =
+  let rec go prec r =
+    match r with
+    | Empty -> "∅"
+    | Eps -> "ε"
+    | Any -> "*"
+    | Sym a -> name a
+    | Star r1 ->
+      let body = go 3 r1 in
+      (* parenthesize non-atomic bodies *)
+      (match r1 with
+      | Sym _ | Any -> body ^ "*"
+      | _ -> "(" ^ body ^ ")*")
+    | Seq (r1, r2) ->
+      let s = go 2 r1 ^ sep ^ go 2 r2 in
+      if prec > 2 then "(" ^ s ^ ")" else s
+    | Alt (r1, r2) ->
+      let s = go 1 r1 ^ "|" ^ go 1 r2 in
+      if prec > 1 then "(" ^ s ^ ")" else s
+  in
+  go 0 r
+
+(** State elimination: a regular expression for the DFA's language.
+    Used to print learned path automata back as path expressions. *)
+let of_dfa (d : Dfa.t) : t =
+  let n = Dfa.state_count d in
+  (* generalized NFA with fresh start [n] and final [n+1] *)
+  let size = n + 2 in
+  let start = n and final = n + 1 in
+  let edge = Array.make_matrix size size Empty in
+  let add i j r =
+    edge.(i).(j) <- (match edge.(i).(j) with Empty -> r | e -> Alt (e, r))
+  in
+  for q = 0 to n - 1 do
+    for a = 0 to Dfa.alphabet_size d - 1 do
+      add q (Dfa.step d q a) (Sym a)
+    done
+  done;
+  (* start and finals; reconstruct via accessors *)
+  add start d.Dfa.start Eps;
+  Array.iteri (fun q f -> if f then add q final Eps) d.Dfa.finals;
+  (* eliminate internal states one by one *)
+  for k = 0 to n - 1 do
+    let loop = edge.(k).(k) in
+    let star = match loop with Empty -> Eps | r -> Star r in
+    for i = 0 to size - 1 do
+      if i <> k then
+        for j = 0 to size - 1 do
+          if j <> k then begin
+            let via =
+              match edge.(i).(k), edge.(k).(j) with
+              | Empty, _ | _, Empty -> Empty
+              | a, b ->
+                let mid = match star with Eps -> Seq (a, b) | s -> Seq (a, Seq (s, b)) in
+                mid
+            in
+            match via with
+            | Empty -> ()
+            | v -> add i j v
+          end
+        done
+    done;
+    (* detach k *)
+    for i = 0 to size - 1 do
+      edge.(i).(k) <- Empty;
+      edge.(k).(i) <- Empty
+    done
+  done;
+  (* simplify the final expression a little *)
+  let rec simp r =
+    match r with
+    | Seq (a, b) -> (
+      match simp a, simp b with
+      | Empty, _ | _, Empty -> Empty
+      | Eps, b' -> b'
+      | a', Eps -> a'
+      | a', b' -> Seq (a', b'))
+    | Alt (a, b) -> (
+      match simp a, simp b with
+      | Empty, b' -> b'
+      | a', Empty -> a'
+      | a', b' -> if a' = b' then a' else Alt (a', b'))
+    | Star r1 -> (
+      match simp r1 with Empty | Eps -> Eps | r' -> Star r')
+    | r -> r
+  in
+  simp edge.(start).(final)

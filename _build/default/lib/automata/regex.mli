@@ -1,0 +1,36 @@
+(** Regular expressions over integer symbols.
+
+    [Any] matches any single symbol of the compiling alphabet, keeping
+    expressions like the descendant axis ([Star Any]) independent of the
+    alphabet's eventual size. *)
+
+type t =
+  | Empty  (** the empty language *)
+  | Eps  (** the empty word *)
+  | Sym of int
+  | Any
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+val seq : t list -> t
+val alt : t list -> t
+(** n-ary alternation; [alt []] is {!Empty}. *)
+
+val opt : t -> t
+val plus : t -> t
+
+val to_nfa : alphabet_size:int -> t -> Nfa.t
+(** Thompson construction. *)
+
+val to_dfa : alphabet_size:int -> t -> Dfa.t
+(** Thompson + subset construction + minimization. *)
+
+val matches : alphabet_size:int -> t -> int list -> bool
+
+val to_string : ?sep:string -> name:(int -> string) -> t -> string
+(** Precedence-aware printing over a symbol-name function. *)
+
+val of_dfa : Dfa.t -> t
+(** State elimination: a regular expression for the DFA's language.
+    Used to print learned path automata as path expressions. *)

@@ -1,0 +1,1 @@
+lib/core/clearner.ml: Cond Cond_enum Data_graph Extent List Teacher Xl_xml Xl_xqtree Xl_xquery

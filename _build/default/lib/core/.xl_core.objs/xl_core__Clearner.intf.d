@@ -1,0 +1,1 @@
+lib/core/clearner.mli: Cond Data_graph Teacher Xl_xml Xl_xqtree Xl_xquery

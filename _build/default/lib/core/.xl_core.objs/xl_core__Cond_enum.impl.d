@@ -1,0 +1,1 @@
+lib/core/cond_enum.ml: Cond Data_graph Extent List Node String Teacher Xl_xml Xl_xqtree Xl_xquery

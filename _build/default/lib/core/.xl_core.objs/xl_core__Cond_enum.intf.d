@@ -1,0 +1,1 @@
+lib/core/cond_enum.mli: Cond Data_graph Node Teacher Xl_xml Xl_xqtree Xl_xquery

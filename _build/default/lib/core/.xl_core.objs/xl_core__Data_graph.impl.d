@@ -1,0 +1,1 @@
+lib/core/data_graph.ml: Doc Hashtbl List Node Option Store String Xl_xml Xl_xquery

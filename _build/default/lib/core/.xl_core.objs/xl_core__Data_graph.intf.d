@@ -1,0 +1,1 @@
+lib/core/data_graph.mli: Hashtbl Node Store Xl_xml Xl_xquery

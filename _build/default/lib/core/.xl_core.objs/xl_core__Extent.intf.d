@@ -1,0 +1,1 @@
+lib/core/extent.mli: Node Teacher Xl_automata Xl_xml Xl_xqtree Xl_xquery

@@ -1,0 +1,1 @@
+lib/core/iht.ml: List Xl_xml

@@ -1,0 +1,1 @@
+lib/core/iht.mli: Xl_xml

@@ -1,0 +1,1 @@
+lib/core/learn.mli: Cond Oracle Plearner Scenario Session Stats Teacher Xl_automata Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Cond Doc Extent Hashtbl List Node Printf Scenario Store String Task Teacher Xl_automata Xl_schema Xl_xml Xl_xqtree Xl_xquery Xqtree

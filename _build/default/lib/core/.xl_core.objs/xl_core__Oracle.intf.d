@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Node Scenario Task Teacher Xl_xml Xl_xquery

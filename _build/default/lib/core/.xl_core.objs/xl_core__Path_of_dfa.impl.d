@@ -1,0 +1,1 @@
+lib/core/path_of_dfa.ml: Alphabet Dfa List Option Regex String Xl_automata Xl_xquery

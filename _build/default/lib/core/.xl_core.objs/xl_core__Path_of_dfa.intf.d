@@ -1,0 +1,1 @@
+lib/core/path_of_dfa.mli: Xl_automata Xl_xquery

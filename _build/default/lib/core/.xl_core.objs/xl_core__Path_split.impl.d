@@ -1,0 +1,1 @@
+lib/core/path_split.ml: Path_expr Xl_xquery

@@ -1,0 +1,1 @@
+lib/core/path_split.mli: Xl_xquery

@@ -1,0 +1,1 @@
+lib/core/plearner.ml: Fun Hashtbl List Stats String Xl_automata Xl_schema

@@ -1,0 +1,1 @@
+lib/core/plearner.mli: Hashtbl Stats Xl_automata Xl_schema

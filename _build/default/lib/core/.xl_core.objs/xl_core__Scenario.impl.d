@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Cond List Option String Xl_schema Xl_xml Xl_xqtree Xl_xquery Xqtree

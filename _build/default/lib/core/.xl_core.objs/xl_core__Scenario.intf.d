@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Cond Xl_schema Xl_xml Xl_xqtree Xqtree

@@ -1,0 +1,1 @@
+lib/core/task.ml: Cond Extent List Option Xl_xml Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+lib/core/task.mli: Cond Xl_xml Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+lib/core/teacher.ml: Node Xl_xml Xl_xqtree Xl_xquery

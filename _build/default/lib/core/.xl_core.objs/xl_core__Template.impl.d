@@ -1,0 +1,1 @@
+lib/core/template.ml: Fun List Printf String Xl_schema Xl_xqtree

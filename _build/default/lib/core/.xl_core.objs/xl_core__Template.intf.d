@@ -1,0 +1,1 @@
+lib/core/template.mli: Xl_schema Xl_xqtree

@@ -1,0 +1,1 @@
+lib/core/trace.ml: List Printf String Teacher Xl_xml Xl_xqtree

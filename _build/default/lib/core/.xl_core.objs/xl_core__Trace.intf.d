@@ -1,0 +1,1 @@
+lib/core/trace.mli: Teacher

@@ -1,0 +1,85 @@
+(** C-Learner (Section 7.2): learns the strongest conjunction of
+    candidate predicates consistent with all positive examples.
+
+    This is the monotone k-term algorithm of Figure 13 with predicates as
+    variables: the first hypothesis is the full candidate set
+    [cond(context(e), (ve, e))]; every positive (counter)example removes
+    the candidates it violates — one intersection can delete many
+    predicates at once.  Equivalence queries are shared with the outer
+    learning loop, so this module only maintains the hypothesis.
+
+    A collapse pair contributes two endpoints — the dropped node bound to
+    the child variable and its split ancestor bound to the parent
+    variable — so candidates are enumerated for every endpoint (the
+    paper's q1 conditions relate the *item* variable [$i] to [$c] even
+    though the drop landed in the iname box). *)
+
+open Xl_xqtree
+
+type t = {
+  context : Teacher.context;
+  mutable hypothesis : Cond.t list;  (** ĉ — interpreted as a conjunction *)
+  mutable initial_size : int;
+  mutable refinements : int;  (** positive examples that shrank ĉ *)
+}
+
+(** Initialize from the dropped example: ĉ₀ = all candidate predicates
+    holding in the assignment a₀ = context(e) ∪ bindings(e).
+    [endpoints] are the variable/node pairs of the dropped example. *)
+let create (dg : Data_graph.t) (context : Teacher.context)
+    ~(endpoints : (string * Xl_xml.Node.t) list) : t =
+  let hypothesis =
+    List.concat_map
+      (fun (ve, e) -> Cond_enum.candidates dg context ~ve e)
+      endpoints
+  in
+  (* dedupe across endpoints *)
+  let hypothesis =
+    List.fold_left
+      (fun acc c -> if List.exists (Cond.equal c) acc then acc else acc @ [ c ])
+      [] hypothesis
+  in
+  { context; hypothesis; initial_size = List.length hypothesis; refinements = 0 }
+
+let hypothesis t = t.hypothesis
+
+(** A new positive example (with its per-candidate [bindings]): keep only
+    the predicates it satisfies. *)
+let observe_positive (t : t) (ctx : Xl_xquery.Eval.ctx)
+    ~(bindings : (string * Xl_xml.Node.t) list) : bool =
+  let before = List.length t.hypothesis in
+  t.hypothesis <-
+    List.filter
+      (fun c -> Extent.satisfies ctx t.context ~bindings [ c ])
+      t.hypothesis;
+  let changed = List.length t.hypothesis <> before in
+  if changed then t.refinements <- t.refinements + 1;
+  changed
+
+(** Would the hypothesis exclude the node with these bindings?  Used to
+    decide whether a negative counterexample can be explained by
+    learnable predicates at all (if not, a Condition Box is needed). *)
+let excludes (t : t) (ctx : Xl_xquery.Eval.ctx)
+    ~(bindings : (string * Xl_xml.Node.t) list) : bool =
+  not (Extent.satisfies ctx t.context ~bindings t.hypothesis)
+
+(* prefer compact output: drop Relay predicates that are implied by a
+   retained Join on the same endpoints *)
+let minimized (t : t) : Cond.t list =
+  let joins =
+    List.filter_map
+      (function Cond.Join (a, b) -> Some (a, b) | _ -> None)
+      t.hypothesis
+  in
+  List.filter
+    (fun c ->
+      match c with
+      | Cond.Relay r ->
+        not
+          (List.exists
+             (fun (a, b) ->
+               List.exists (fun (e, _) -> e = a) r.links
+               && List.exists (fun (e, _) -> e = b) r.links)
+             joins)
+      | _ -> true)
+    t.hypothesis

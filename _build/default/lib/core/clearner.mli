@@ -1,0 +1,34 @@
+(** C-Learner (Section 7.2): the strongest conjunction of candidate
+    predicates consistent with all positive examples — the monotone
+    k-term algorithm of Figure 13 with predicates as variables.
+
+    The first hypothesis is the full candidate set
+    [cond(context(e), (ve, e))]; every positive (counter)example removes
+    the candidates it violates.  Equivalence queries are shared with the
+    outer learning loop.  A collapse pair contributes two endpoints (the
+    dropped node and its split ancestor), so q1's conditions relate [$i]
+    to [$c] even though the drop landed in the iname box. *)
+
+open Xl_xqtree
+
+type t
+
+val create :
+  Data_graph.t -> Teacher.context ->
+  endpoints:(string * Xl_xml.Node.t) list -> t
+(** Enumerate ĉ₀ for the dropped example's endpoints. *)
+
+val hypothesis : t -> Cond.t list
+(** The current conjunction ĉ. *)
+
+val observe_positive :
+  t -> Xl_xquery.Eval.ctx -> bindings:(string * Xl_xml.Node.t) list -> bool
+(** Intersection step; returns whether ĉ shrank. *)
+
+val excludes :
+  t -> Xl_xquery.Eval.ctx -> bindings:(string * Xl_xml.Node.t) list -> bool
+(** Would ĉ exclude this node?  Decides whether a negative
+    counterexample can be explained by learnable predicates at all. *)
+
+val minimized : t -> Cond.t list
+(** ĉ with relay predicates that a retained join implies removed. *)

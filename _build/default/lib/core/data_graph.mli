@@ -1,0 +1,44 @@
+(** The data graph (Section 7.2): the node trees of all documents plus
+    v-equality edges between nodes carrying the same value, kept as a
+    value index (the paper's space heuristic).  Value-bearing nodes are
+    attributes and elements with directly attached text. *)
+
+open Xl_xml
+
+type t = {
+  store : Store.t;
+  by_value : (string, Node.t list) Hashtbl.t;
+  reach_cache : (int, (Xl_xquery.Simple_path.t * string * Node.t) list) Hashtbl.t;
+  max_depth : int;
+}
+
+val node_value : Node.t -> string option
+(** The direct value of a value-bearing node. *)
+
+val build : ?max_depth:int -> Store.t -> t
+(** [max_depth] bounds the join-path length (default 3). *)
+
+val with_value : t -> string -> Node.t list
+(** The v-equality neighbours of a value. *)
+
+val reachable_values :
+  t -> Node.t -> (Xl_xquery.Simple_path.t * string * Node.t) list
+(** Value-bearing nodes reachable by bounded child-axis paths, with the
+    path and the value; includes the node itself when value-bearing.
+    Memoized. *)
+
+val ancestors_within : Node.t -> int -> Node.t list
+(** Element ancestors within k levels, nearest first — relay candidates. *)
+
+val path_between : Node.t -> Node.t -> Xl_xquery.Simple_path.t option
+(** Child-axis path from an ancestor down to a descendant. *)
+
+val generalized_path : Node.t -> Xl_xquery.Path_expr.t
+(** Doc-rooted path selecting every node with this node's tag path — how
+    a concrete relay node becomes a path expression. *)
+
+val doc_uri_of : t -> Node.t -> string option
+
+val density : t -> float
+(** v-equality edges per node — the sparsity the paper's Section 10
+    observations rely on. *)

@@ -1,0 +1,69 @@
+(** The Interaction History Table IHT_e (Section 7.1).
+
+    One table per learned extent.  Each row records a user answer and its
+    attribution: [p] — does the node's path match the intended path
+    expression; [c] — does the node satisfy the intended condition.
+    Defaults are set when the answer arrives ([Ans=N] is attributed to
+    the path by default) and corrected when later interactions reveal an
+    inconsistency, which is also what triggers a Condition Box
+    (Section 9(3)). *)
+
+type attribution = Yes | No | Unknown
+
+type source =
+  | Dropped  (** the dropped example itself *)
+  | Membership  (** answer to a membership query *)
+  | Counterexample  (** from an equivalence query *)
+  | Auto_r1
+  | Auto_r2
+  | Auto_known
+
+type row = {
+  path : string list;  (** relative tag path of the node *)
+  node : Xl_xml.Node.t option;
+  ans : bool;
+  mutable p : attribution;
+  mutable c : attribution;
+  source : source;
+}
+
+type t = { mutable rows : row list }
+
+let create () = { rows = [] }
+
+let add t ?node ~path ~ans ~source () =
+  let p, c =
+    if ans then (Yes, Yes)  (* a Yes answer certifies both path and condition *)
+    else (No, Unknown)  (* default attribution: blame the path *)
+  in
+  let row = { path; node; ans; p; c; source } in
+  t.rows <- row :: t.rows;
+  row
+
+let rows t = List.rev t.rows
+
+let positives t = List.filter (fun r -> r.ans) (rows t)
+
+let positive_nodes t =
+  List.filter_map (fun r -> if r.ans then r.node else None) (rows t)
+
+let positive_paths t = List.map (fun r -> r.path) (positives t)
+
+let mem_positive_path t path = List.exists (fun r -> r.ans && r.path = path) t.rows
+
+let find_by_path t path = List.find_opt (fun r -> r.path = path) t.rows
+
+(** Consistency repair: a No answer on a path that some positive row
+    shares cannot be a path rejection — re-attribute it to the condition.
+    Returns the corrected rows (the Condition-Box trigger). *)
+let repair t =
+  let pos_paths = positive_paths t in
+  List.filter
+    (fun r ->
+      if (not r.ans) && r.p = No && List.mem r.path pos_paths then begin
+        r.p <- Yes;
+        r.c <- No;
+        true
+      end
+      else false)
+    (rows t)

@@ -1,0 +1,49 @@
+(** The Interaction History Table IHT_e (Section 7.1).
+
+    One table per learned extent; each row records a user answer and its
+    attribution: [p] — does the node's path match the intended path
+    expression — and [c] — does it satisfy the intended condition.
+    [Ans=N] is attributed to the path by default and corrected when later
+    interactions reveal an inconsistency, which is also what triggers a
+    Condition Box (Section 9(3)). *)
+
+type attribution = Yes | No | Unknown
+
+type source =
+  | Dropped
+  | Membership
+  | Counterexample
+  | Auto_r1
+  | Auto_r2
+  | Auto_known
+
+type row = {
+  path : string list;
+  node : Xl_xml.Node.t option;
+  ans : bool;
+  mutable p : attribution;
+  mutable c : attribution;
+  source : source;
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> ?node:Xl_xml.Node.t -> path:string list -> ans:bool -> source:source ->
+  unit -> row
+
+val rows : t -> row list
+(** Insertion order. *)
+
+val positives : t -> row list
+val positive_nodes : t -> Xl_xml.Node.t list
+val positive_paths : t -> string list list
+val mem_positive_path : t -> string list -> bool
+val find_by_path : t -> string list -> row option
+
+val repair : t -> row list
+(** Consistency repair: a No on a path some positive shares is
+    re-attributed to the condition.  Returns the corrected rows — the
+    Condition-Box trigger. *)

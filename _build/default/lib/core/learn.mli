@@ -1,0 +1,52 @@
+(** LEARN-X1*+E — the top-level learning driver (Sections 5–7, 9).
+
+    [run] simulates the whole session: the drag-and-drop phase (one drop
+    per learning task, depth-first, with backtracking so no descendant
+    faces an empty extent), then per-task learning — P-Learner for the
+    path automaton, C-Learner for the condition conjunction, equivalence
+    queries routed by IHT consistency, Condition/OrderBy/Function boxes
+    merged in — and finally recomposes the learned XQ-Tree and verifies
+    it against the intended query on the instance. *)
+
+open Xl_xqtree
+
+type config = {
+  rules : Plearner.config;
+  strategy : Oracle.strategy;
+  max_rounds : int;  (** bound on equivalence-query rounds per task *)
+}
+
+val default_config : config
+
+type node_result = {
+  task_label : string;
+  learned_dfa : Xl_automata.Dfa.t;
+  parent_path : Xl_xquery.Path_expr.t option;
+      (** collapse split: the parent fragment's path *)
+  own_path : Xl_xquery.Path_expr.t;
+  learned_conds : Cond.t list;
+  learned_order : (Xl_xquery.Simple_path.t * bool) list;
+  anchored_at_root : bool;
+      (** the fragment was learned absolutely (with join conditions)
+          rather than relative to a context node *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  stats : Stats.t;
+  node_results : node_result list;
+  learned : Xqtree.t;
+  query_text : string;  (** the generated XQuery *)
+  verified : bool;
+      (** learned query ≡ target query on the instance (full evaluation) *)
+}
+
+exception Learning_failed of string
+
+val run :
+  ?config:config -> ?teacher:Teacher.t ->
+  ?wrap_teacher:(Teacher.t -> Teacher.t) -> ?session:Session.t ->
+  Scenario.t -> result
+(** Learn the scenario's query.  [teacher] replaces the simulated
+    oracle; [wrap_teacher] decorates it (the CLI's interactive mode);
+    [session] enables answer reuse across runs (Section 11). *)

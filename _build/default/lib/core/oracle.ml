@@ -1,0 +1,174 @@
+(** The simulated minimally adequate teacher.
+
+    Built from a {!Scenario.t}: every answer is *derived* from the target
+    XQ-Tree by evaluation — membership of a path in the target path
+    language, extent comparison for equivalence queries, and the
+    scenario's explicit conditions for Condition Boxes.  The experiments
+    of Figure 16 measure how many of these answers the user must provide,
+    which depends only on the answers, not on who computes them. *)
+
+open Xl_xml
+open Xl_xqtree
+
+type strategy =
+  | Best  (** the paper's default: pick the most informative counterexample *)
+  | Worst  (** adversarial pick, for the bracketed worst-case cells *)
+
+type t = {
+  scenario : Scenario.t;
+  ctx : Xl_xquery.Eval.ctx;
+  strategy : strategy;
+  path_dfas : (string, Xl_automata.Dfa.t) Hashtbl.t;
+  cb_queues : (string, (Cond.t * int) list ref) Hashtbl.t;
+}
+
+let task_of_label (o : t) (label : string) : Task.t =
+  match
+    List.find_opt
+      (fun t -> String.equal (Task.label t) label)
+      (Task.tasks_of o.scenario.Scenario.target)
+  with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Oracle: no learning task at %s" label)
+
+(** The node the task's composed path starts from, under [context]. *)
+let base_node (o : t) (task : Task.t) (context : Teacher.context) : Node.t =
+  let tree = o.scenario.Scenario.target in
+  let anchor_label =
+    match task.Task.parent with
+    | Some p -> p.Xqtree.label
+    | None -> task.Task.node.Xqtree.label
+  in
+  let anchor_node =
+    match Xqtree.find tree anchor_label with Some n -> n | None -> assert false
+  in
+  match anchor_node.Xqtree.source with
+  | Some (Xqtree.Abs (uri, _)) -> (
+    let doc =
+      match uri with
+      | None -> Store.default o.scenario.Scenario.store
+      | Some u -> Store.find_exn o.scenario.Scenario.store u
+    in
+    doc.Doc.doc_node)
+  | _ -> (
+    match Xqtree.base_var tree anchor_label with
+    | Some v -> (
+      match List.assoc_opt v context with
+      | Some n -> n
+      | None -> invalid_arg (Printf.sprintf "Oracle: context misses $%s" v))
+    | None ->
+      (Store.default o.scenario.Scenario.store).Doc.doc_node)
+
+let path_dfa (o : t) (task : Task.t) : Xl_automata.Dfa.t =
+  let label = Task.label task in
+  match Hashtbl.find_opt o.path_dfas label with
+  | Some d -> d
+  | None ->
+    let p =
+      match Task.composed_source task with
+      | Some (Xqtree.Abs (_, p)) | Some (Xqtree.Rel p) -> p
+      | None -> invalid_arg (Printf.sprintf "Oracle: task %s has no source" label)
+    in
+    let alphabet = o.ctx.Xl_xquery.Eval.alphabet in
+    Xl_xquery.Eval.intern_path_symbols alphabet p;
+    let d =
+      Xl_automata.Regex.to_dfa
+        ~alphabet_size:(Xl_automata.Alphabet.size alphabet)
+        (Xl_xquery.Path_expr.to_regex alphabet p)
+    in
+    Hashtbl.replace o.path_dfas label d;
+    d
+
+(** The intended extent EXT_{e,context} of the task at [label]. *)
+let target_extent (o : t) (label : string) (context : Teacher.context) :
+    Node.t list =
+  let task = task_of_label o label in
+  let base = base_node o task context in
+  let candidates = Extent.select_by_dfa o.ctx (path_dfa o task) base in
+  Extent.filter_conds o.ctx context ~bind:(Task.bindings_of task)
+    (Task.conds task) candidates
+
+let path_membership (o : t) ~label ~context ~rel_path ~witness =
+  ignore context;
+  ignore witness;
+  let alphabet = o.ctx.Xl_xquery.Eval.alphabet in
+  let task = task_of_label o label in
+  match Xl_automata.Alphabet.encode_opt alphabet rel_path with
+  | None -> false
+  | Some w -> Xl_automata.Dfa.accepts (path_dfa o task) w
+
+let equivalence (o : t) ~label ~context ~extent =
+  let target = target_extent o label context in
+  let in_ l n = List.exists (Node.equal n) l in
+  let positives = List.filter (fun n -> not (in_ extent n)) target in
+  let negatives = List.filter (fun n -> not (in_ target n)) extent in
+  match positives, negatives with
+  | [], [] -> Teacher.Equal
+  | _ -> (
+    let last l = List.nth l (List.length l - 1) in
+    (* Best: positives first (they advance both learners), document
+       order.  Worst: negatives first, last in document order. *)
+    match o.strategy, positives, negatives with
+    | Best, p :: _, _ -> Teacher.Counter { node = p; positive = true }
+    | Best, [], n :: _ -> Teacher.Counter { node = n; positive = false }
+    | Worst, _, _ :: _ -> Teacher.Counter { node = last negatives; positive = false }
+    | Worst, _ :: _, [] -> Teacher.Counter { node = last positives; positive = true }
+    | _, [], [] -> assert false)
+
+let cb_queue (o : t) label =
+  match Hashtbl.find_opt o.cb_queues label with
+  | Some q -> q
+  | None ->
+    let task = task_of_label o label in
+    let conds =
+      (match task.Task.parent with
+      | Some p -> Scenario.explicit_conds o.scenario p
+      | None -> [])
+      @ Scenario.explicit_conds o.scenario task.Task.node
+    in
+    let q = ref conds in
+    Hashtbl.replace o.cb_queues label q;
+    q
+
+let condition_box (o : t) ~label ~context ~negative_example =
+  ignore context;
+  ignore negative_example;
+  let q = cb_queue o label in
+  match !q with
+  | [] -> None
+  | (cond, terminals) :: rest ->
+    q := rest;
+    let negative = match cond with Cond.Neg _ -> true | _ -> false in
+    Some { Teacher.cond; terminals; negative }
+
+let order_box (o : t) ~label = Task.order_by (task_of_label o label)
+
+let create ?(strategy = Best) (scenario : Scenario.t) : t * Teacher.t =
+  let ctx = Xl_xquery.Eval.make_ctx scenario.Scenario.store in
+  (* the alphabet must cover the source schema, for R1 and shared DFAs *)
+  List.iter
+    (fun dtd ->
+      List.iter
+        (fun s -> ignore (Xl_automata.Alphabet.intern ctx.Xl_xquery.Eval.alphabet s))
+        (Xl_schema.Dtd.path_symbols dtd))
+    (Scenario.all_dtds scenario);
+  let o =
+    { scenario; ctx; strategy; path_dfas = Hashtbl.create 16; cb_queues = Hashtbl.create 16 }
+  in
+  let teacher =
+    {
+      Teacher.path_membership =
+        (fun ~label ~context ~rel_path ~witness ->
+          path_membership o ~label ~context ~rel_path ~witness);
+      equivalence = (fun ~label ~context ~extent -> equivalence o ~label ~context ~extent);
+      condition_box =
+        (fun ~label ~context ~negative_example ->
+          condition_box o ~label ~context ~negative_example);
+      order_box = (fun ~label -> order_box o ~label);
+    }
+  in
+  (o, teacher)
+
+(** The evaluation context the oracle uses (shared with the learner so
+    path DFAs agree on the alphabet). *)
+let eval_ctx (o : t) = o.ctx

@@ -1,0 +1,27 @@
+(** The simulated minimally adequate teacher.
+
+    Built from a {!Scenario.t}: every answer is derived from the target
+    XQ-Tree by evaluation — path-language membership for membership
+    queries, extent comparison for equivalence queries, the scenario's
+    explicit conditions for Condition Boxes.  The Figure-16 experiments
+    measure how many answers the user must provide, which depends only
+    on the answers, not on who computes them. *)
+
+open Xl_xml
+
+type strategy =
+  | Best  (** the paper's default: the most informative counterexample *)
+  | Worst  (** adversarial, for the bracketed worst-case cells *)
+
+type t
+
+val create : ?strategy:strategy -> Scenario.t -> t * Teacher.t
+
+val target_extent : t -> string -> Teacher.context -> Node.t list
+(** EXT_{e,context} of the task at a label. *)
+
+val base_node : t -> Task.t -> Teacher.context -> Node.t
+(** The node the task's composed path starts from. *)
+
+val eval_ctx : t -> Xl_xquery.Eval.ctx
+(** Shared with the learner so path DFAs agree on the alphabet. *)

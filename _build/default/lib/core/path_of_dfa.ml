@@ -1,0 +1,74 @@
+(** Converting a learned path DFA back into a path expression.
+
+    The DFA over tag symbols is turned into a regular expression by state
+    elimination and then mapped onto {!Xl_xquery.Path_expr}.  A couple of
+    cosmetic rewrites recover the XPath idioms: a [(all elements)* / t]
+    prefix prints as [//t]. *)
+
+open Xl_automata
+
+let is_elem_symbol name =
+  String.length name > 0 && name.[0] <> '@' && name.[0] <> '#'
+
+let test_of_symbol name : Xl_xquery.Path_expr.test =
+  if String.length name > 0 && name.[0] = '@' then
+    Xl_xquery.Path_expr.Attr (String.sub name 1 (String.length name - 1))
+  else if String.equal name "#text" then Xl_xquery.Path_expr.Text_node
+  else Xl_xquery.Path_expr.Tag name
+
+(* does the regex match exactly "any single element symbol"? *)
+let is_any_elem (alphabet : Alphabet.t) (r : Regex.t) : bool =
+  match r with
+  | Regex.Any -> true
+  | Regex.Sym _ -> false
+  | Regex.Alt _ ->
+    let rec syms acc = function
+      | Regex.Alt (a, b) -> Option.bind (syms acc a) (fun acc -> syms acc b)
+      | Regex.Sym s -> Some (s :: acc)
+      | _ -> None
+    in
+    (match syms [] r with
+    | None -> false
+    | Some ss ->
+      let elem_count =
+        List.length (List.filter is_elem_symbol (Alphabet.symbols alphabet))
+      in
+      List.length (List.sort_uniq compare ss) = elem_count
+      && List.for_all (fun s -> is_elem_symbol (Alphabet.name alphabet s)) ss)
+  | _ -> ignore alphabet; false
+
+let rec convert (alphabet : Alphabet.t) (r : Regex.t) : Xl_xquery.Path_expr.t =
+  match r with
+  | Regex.Empty -> invalid_arg "Path_of_dfa.convert: empty language"
+  | Regex.Eps -> Xl_xquery.Path_expr.Eps
+  | Regex.Any -> Xl_xquery.Path_expr.child Xl_xquery.Path_expr.Any_elem
+  | Regex.Sym s ->
+    Xl_xquery.Path_expr.child (test_of_symbol (Alphabet.name alphabet s))
+  | Regex.Seq (a, b) when is_any_elem alphabet (strip_star a) && is_star a -> (
+    (* (elem)* b  =  //(first step of b) ... *)
+    match convert alphabet b with
+    | Xl_xquery.Path_expr.Step (Xl_xquery.Path_expr.Child, test) ->
+      Xl_xquery.Path_expr.desc test
+    | Xl_xquery.Path_expr.Seq (Xl_xquery.Path_expr.Step (Xl_xquery.Path_expr.Child, test), rest) ->
+      Xl_xquery.Path_expr.Seq (Xl_xquery.Path_expr.desc test, rest)
+    | pb -> Xl_xquery.Path_expr.Seq (Xl_xquery.Path_expr.Star (convert alphabet (strip_star a)), pb))
+  | Regex.Seq (a, b) ->
+    Xl_xquery.Path_expr.Seq (convert alphabet a, convert alphabet b)
+  | Regex.Alt (a, b) ->
+    Xl_xquery.Path_expr.Alt (convert alphabet a, convert alphabet b)
+  | Regex.Star a ->
+    if is_any_elem alphabet a then
+      (* a trailing (elem)*: any descendant chain *)
+      Xl_xquery.Path_expr.Star (Xl_xquery.Path_expr.child Xl_xquery.Path_expr.Any_elem)
+    else Xl_xquery.Path_expr.Star (convert alphabet a)
+
+and is_star = function Regex.Star _ -> true | _ -> false
+and strip_star = function Regex.Star r -> r | r -> r
+
+(** Path expression of the DFA's language. *)
+let path_expr (alphabet : Alphabet.t) (dfa : Dfa.t) : Xl_xquery.Path_expr.t =
+  convert alphabet (Regex.of_dfa dfa)
+
+(** Human-readable path string of the DFA's language. *)
+let to_string (alphabet : Alphabet.t) (dfa : Dfa.t) : string =
+  Xl_xquery.Path_expr.to_string (path_expr alphabet dfa)

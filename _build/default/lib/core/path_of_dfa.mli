@@ -1,0 +1,10 @@
+(** Converting a learned path DFA back into a path expression: state
+    elimination to a regex, mapped onto {!Xl_xquery.Path_expr}, with the
+    XPath idioms recovered (an any-element star before a step prints as
+    the descendant axis). *)
+
+val path_expr :
+  Xl_automata.Alphabet.t -> Xl_automata.Dfa.t -> Xl_xquery.Path_expr.t
+(** Raises [Invalid_argument] on the empty language. *)
+
+val to_string : Xl_automata.Alphabet.t -> Xl_automata.Dfa.t -> string

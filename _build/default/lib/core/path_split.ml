@@ -1,0 +1,35 @@
+(** Splitting a learned composed path for a collapse pair.
+
+    A 1-labeled template edge comes from a one-to-one content-model
+    relationship between an element and a *direct* child element type, so
+    the natural split of the learned composed path is its single trailing
+    step: [site/categories/category/name] becomes
+    [$c in /site/categories/category] and [$cn in $c/name] (the output of
+    Figure 6).  When every word of the language ends with the same final
+    step this is exact. *)
+
+open Xl_xquery
+
+(** [split_last p] = [Some (prefix, last)] when [p] factors as
+    [prefix / last] with [last] a single child step (possibly an
+    alternation of child steps). *)
+let rec split_last (p : Path_expr.t) : (Path_expr.t * Path_expr.t) option =
+  match p with
+  | Path_expr.Step (Path_expr.Child, _) -> Some (Path_expr.Eps, p)
+  | Path_expr.Step (Path_expr.Desc, test) ->
+    (* //t  =  (any element)* / t *)
+    Some
+      ( Path_expr.Star (Path_expr.child Path_expr.Any_elem),
+        Path_expr.child test )
+  | Path_expr.Seq (a, b) -> (
+    match split_last b with
+    | Some (Path_expr.Eps, s) -> Some (a, s)
+    | Some (pre, s) -> Some (Path_expr.Seq (a, pre), s)
+    | None -> None)
+  | Path_expr.Alt (a, b) -> (
+    (* both branches must end with the same last step *)
+    match split_last a, split_last b with
+    | Some (pa, sa), Some (pb, sb) when Path_expr.equal sa sb ->
+      Some (Path_expr.Alt (pa, pb), sa)
+    | _ -> None)
+  | Path_expr.Star _ | Path_expr.Eps -> None

@@ -1,0 +1,13 @@
+(** Splitting a learned composed path for a collapse pair.
+
+    A 1-labeled template edge comes from a one-to-one content model
+    between an element and a direct child, so the composed path splits at
+    its single trailing step — [site/categories/category/name] becomes
+    [$c in /site/categories/category] plus [$cn in $c/name], the output
+    of Figure 6. *)
+
+val split_last :
+  Xl_xquery.Path_expr.t ->
+  (Xl_xquery.Path_expr.t * Xl_xquery.Path_expr.t) option
+(** [Some (prefix, last)] when the path factors as [prefix / last] with
+    [last] a single child step, identical across alternation branches. *)

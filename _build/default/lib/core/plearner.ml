@@ -1,0 +1,210 @@
+(** P-Learner: learns the fragment's path expression as a DFA over tag
+    paths with Angluin's L*, with the interaction-reduction rules of
+    Section 8 answering membership queries automatically:
+
+    - R1: a query on a path the source schema cannot produce is answered
+      N (Relax-NG filtering in the prototype; the DTD path language here);
+    - R2: after the first positive example ending in tag t1, queries on
+      paths ending in a different tag are answered N.  A positive
+      counterexample ending in t2 ≠ t1 backtracks to the "any last tag"
+      assumption (the last symbol is ignored and answers are keyed by the
+      path prefix); a negative counterexample under that assumption turns
+      R2 off.  Backtracking restarts L* with the genuine answers kept.
+
+    For every auto-answered query the applicability of both rules is
+    recorded independently, giving the Reduced(R1,R2,Both) accounting. *)
+
+type config = {
+  r1 : bool;
+  r2 : bool;
+}
+
+let default_config = { r1 = true; r2 = true }
+
+type r2_state =
+  | Last_tag of string
+  | Any_last
+  | Off
+
+exception Restart
+
+type t = {
+  config : config;
+  stats : Stats.t;
+  schemas : Xl_schema.Schema_source.t list;
+  alphabet : Xl_automata.Alphabet.t;
+  abs_prefix : string list;  (** tag path of the fragment's base node *)
+  ask : string list -> bool;  (** the real teacher *)
+  answers : (string list, bool) Hashtbl.t;
+      (** genuine answers; kept across restarts and, when a session cache
+          is shared, across runs (Section 11 reuse) *)
+  preloaded : (string list, unit) Hashtbl.t;
+      (** answers inherited from an earlier session, for reuse counting *)
+  on_reuse : unit -> unit;
+  counted : (string list, unit) Hashtbl.t;  (** reduction-counted strings *)
+  canonical : (string list, bool) Hashtbl.t;  (** Any_last: prefix -> answer *)
+  mutable known_positive : string list list;
+  mutable r2_state : r2_state;
+}
+
+let last = function [] -> None | l -> Some (List.nth l (List.length l - 1))
+let prefix l = match l with [] -> [] | _ -> List.filteri (fun i _ -> i < List.length l - 1) l
+
+let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ~stats
+    ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask () =
+  let answers = match shared with Some tbl -> tbl | None -> Hashtbl.create 256 in
+  let preloaded = Hashtbl.create (Hashtbl.length answers) in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace preloaded k ()) answers;
+  let t =
+    {
+      config;
+      stats;
+      schemas;
+      alphabet;
+      abs_prefix;
+      ask;
+      answers;
+      preloaded;
+      on_reuse;
+      counted = Hashtbl.create 256;
+      canonical = Hashtbl.create 64;
+      known_positive = [ dropped_path ];
+      r2_state =
+        (if config.r2 then
+           match last dropped_path with Some tag -> Last_tag tag | None -> Off
+         else Off);
+    }
+  in
+  Hashtbl.replace t.answers dropped_path true;
+  t
+
+let r1_applicable t s =
+  match t.schemas with
+  | [] -> false
+  | schemas ->
+    not
+      (List.exists
+         (fun schema -> Xl_schema.Schema_source.admits schema (t.abs_prefix @ s))
+         schemas)
+
+(* (applicable, auto answer if used) *)
+let r2_applicable t s =
+  match t.r2_state with
+  | Off -> (false, false)
+  | Last_tag t1 -> (
+    match last s with
+    | None -> (true, false)  (* the base node itself is never in the extent *)
+    | Some tag -> if String.equal tag t1 then (false, false) else (true, false))
+  | Any_last -> (
+    match Hashtbl.find_opt t.canonical (prefix s) with
+    | Some ans -> (true, ans)
+    | None -> (false, false))
+
+(** The membership oracle handed to L*. *)
+let membership (t : t) (word : int list) : bool =
+  let s = Xl_automata.Alphabet.decode t.alphabet word in
+  match Hashtbl.find_opt t.answers s with
+  | Some ans ->
+    if Hashtbl.mem t.preloaded s then begin
+      (* an answer from an earlier session replaces an interaction *)
+      Hashtbl.remove t.preloaded s;
+      t.stats.Stats.auto_known <- t.stats.Stats.auto_known + 1;
+      t.on_reuse ()
+    end;
+    ans
+  | None ->
+    if List.mem s t.known_positive then begin
+      t.stats.Stats.auto_known <- t.stats.Stats.auto_known + 1;
+      Hashtbl.replace t.answers s true;
+      true
+    end
+    else begin
+      let r1 = t.config.r1 && r1_applicable t s in
+      let r2, r2_ans = r2_applicable t s in
+      let r2 = t.config.r2 && r2 in
+      if r1 || r2 then begin
+        if not (Hashtbl.mem t.counted s) then begin
+          Hashtbl.replace t.counted s ();
+          (* count both rules' applicability independently *)
+          let r1a = r1_applicable t s in
+          let r2a = fst (r2_applicable t s) in
+          if r1a then t.stats.Stats.reduced_r1 <- t.stats.Stats.reduced_r1 + 1;
+          if r2a then t.stats.Stats.reduced_r2 <- t.stats.Stats.reduced_r2 + 1;
+          if r1a && r2a then
+            t.stats.Stats.reduced_both <- t.stats.Stats.reduced_both + 1
+        end;
+        let ans = if r1 then false else r2_ans in
+        (* R1 answers are schema-sound and may be memoized; R2 answers
+           are assumptions and must stay revisable *)
+        if r1 then Hashtbl.replace t.answers s ans;
+        ans
+      end
+      else begin
+        t.stats.Stats.mq <- t.stats.Stats.mq + 1;
+        let ans = t.ask s in
+        Hashtbl.replace t.answers s ans;
+        if ans then t.known_positive <- s :: t.known_positive;
+        if t.r2_state = Any_last then Hashtbl.replace t.canonical (prefix s) ans;
+        ans
+      end
+    end
+
+(** Record a positive counterexample path.  Raises {!Restart} when it
+    invalidates the current R2 assumption (backtracking). *)
+let note_positive (t : t) (s : string list) : unit =
+  let conflict = Hashtbl.find_opt t.answers s = Some false in
+  Hashtbl.replace t.answers s true;
+  if not (List.mem s t.known_positive) then t.known_positive <- s :: t.known_positive;
+  (match t.r2_state with
+  | Last_tag t1 when last s <> Some t1 ->
+    (* the "fixed last tag" heuristic failed: relax to Any_last and seed
+       the canonical table with everything genuinely answered so far *)
+    t.r2_state <- Any_last;
+    Hashtbl.iter (fun key ans -> Hashtbl.replace t.canonical (prefix key) ans) t.answers;
+    t.stats.Stats.restarts <- t.stats.Stats.restarts + 1;
+    raise Restart
+  | _ -> ());
+  if t.r2_state = Any_last then Hashtbl.replace t.canonical (prefix s) true;
+  if conflict then begin
+    (* an earlier N on this path was misattributed; restart with the
+       corrected table *)
+    t.stats.Stats.restarts <- t.stats.Stats.restarts + 1;
+    raise Restart
+  end
+
+(** Record a negative counterexample path.  Raises {!Restart} when it
+    contradicts an Any_last auto-answer (R2 is then switched off). *)
+let note_negative (t : t) (s : string list) : unit =
+  (match t.r2_state with
+  | Any_last when Hashtbl.find_opt t.canonical (prefix s) = Some true ->
+    t.r2_state <- Off;
+    Hashtbl.reset t.canonical;
+    Hashtbl.replace t.answers s false;
+    t.stats.Stats.restarts <- t.stats.Stats.restarts + 1;
+    raise Restart
+  | _ -> ());
+  Hashtbl.replace t.answers s false
+
+let known_positive_paths t = t.known_positive
+
+(** Run L* to convergence, restarting on R2 backtracks.  [equivalence]
+    is the outer equivalence-query loop (extent comparison); it returns a
+    counterexample *word* when the path hypothesis must change. *)
+let learn (t : t) ~(equivalence : Xl_automata.Dfa.t -> int list option) :
+    Xl_automata.Dfa.t =
+  let alphabet_size = Xl_automata.Alphabet.size t.alphabet in
+  let teacher =
+    { Xl_automata.Lstar.membership = membership t; equivalence }
+  in
+  let rec attempt n =
+    if n > 20 then failwith "Plearner.learn: too many restarts";
+    let init =
+      List.filter_map
+        (fun s -> Xl_automata.Alphabet.encode_opt t.alphabet s)
+        t.known_positive
+    in
+    match Xl_automata.Lstar.learn ~init ~alphabet_size teacher with
+    | dfa, _ -> dfa
+    | exception Restart -> attempt (n + 1)
+  in
+  attempt 1

@@ -1,0 +1,123 @@
+(** Learning scenarios.
+
+    A scenario packages everything one Figure-16 experiment needs: the
+    source data, the source schema (for rule R1), and the *target* query
+    as an XQ-Tree — the query the simulated user has in mind.  The
+    oracle derives every teacher answer from it; the learner never sees
+    it. *)
+
+open Xl_xqtree
+
+type t = {
+  name : string;
+  description : string;
+  store : Xl_xml.Store.t;
+  source_dtd : Xl_schema.Dtd.t option;  (** drives rule R1 *)
+  more_dtds : Xl_schema.Dtd.t list;
+      (** schemas of further source documents (multi-document scenarios) *)
+  target : Xqtree.t;
+  picks : (string * int) list;
+      (** label -> index of the extent node to drag-and-drop (default 0) *)
+  cb_terminals : (string * int) list;
+      (** label -> override for the Condition-Box terminal count *)
+  extra_explicit : (string * Cond.t) list;
+      (** learnable-shaped conditions to serve through a Condition Box
+          anyway (models a user who prefers typing the predicate) *)
+}
+
+let make ?(description = "") ?source_dtd ?(more_dtds = []) ?(picks = [])
+    ?(cb_terminals = []) ?(extra_explicit = []) ~store ~target name =
+  {
+    name; description; store; source_dtd; more_dtds; target; picks;
+    cb_terminals; extra_explicit;
+  }
+
+(** Every source schema of the scenario. *)
+let all_dtds t = Option.to_list t.source_dtd @ t.more_dtds
+
+let pick t label = Option.value ~default:0 (List.assoc_opt label t.picks)
+
+(** Conditions the C-Learner cannot reach and that must therefore come
+    from a Condition Box: explicit predicate shapes, and relationships
+    that do not connect the node's variable to a *context* variable
+    (e.g. q1's closed_auction condition, whose links touch only [$i]). *)
+let is_explicit_cond (tree : Xqtree.t) (n : Xqtree.node) (c : Cond.t) : bool =
+  match c with
+  | Cond.Value _ | Cond.Func_cmp _ | Cond.Expr _ | Cond.Neg _ -> true
+  | Cond.Relay r ->
+    r.Cond.relay_conds <> []
+    ||
+    let vars = List.sort_uniq compare (List.map (fun (e, _) -> e.Cond.var) r.Cond.links) in
+    let visible = Xqtree.visible_vars tree n.Xqtree.label in
+    not (List.exists (fun v -> List.mem v visible) vars)
+  | Cond.Join (a, b) ->
+    (* a self-join (both endpoints on ve) cannot relate ve to a context
+       variable and is treated as explicit *)
+    String.equal a.Cond.var b.Cond.var
+
+(** Default terminal count of a Condition-Box specification: what the
+    user enters — dropped parameter nodes, operators and constants (the
+    relay/link structure is derived automatically from the data graph). *)
+let rec cond_terminals (c : Cond.t) : int =
+  match c with
+  | Cond.Value _ -> 3  (* node, operator, constant *)
+  | Cond.Func_cmp _ -> 4  (* function, node, operator, constant *)
+  | Cond.Join _ -> 3  (* node, =, node *)
+  | Cond.Neg c -> cond_terminals c
+  | Cond.Relay r ->
+    (* one triple per typed value predicate; links come from the graph *)
+    let v = 3 * List.length r.Cond.relay_conds in
+    if v = 0 then 3 else v
+  | Cond.Expr e ->
+    let rec count (e : Xl_xquery.Ast.expr) =
+      match e with
+      | Xl_xquery.Ast.Literal _ | Xl_xquery.Ast.Var _ | Xl_xquery.Ast.Doc_root _ -> 1
+      | Xl_xquery.Ast.Path (b, _) | Xl_xquery.Ast.Simple (b, _) -> count b
+      | Xl_xquery.Ast.Cmp (_, a, b) | Xl_xquery.Ast.Arith (_, a, b)
+      | Xl_xquery.Ast.Union (a, b) ->
+        1 + count a + count b
+      | Xl_xquery.Ast.And (a, b) | Xl_xquery.Ast.Or (a, b) -> count a + count b
+      | Xl_xquery.Ast.Not a -> 1 + count a
+      | Xl_xquery.Ast.Call (_, args) ->
+        1 + List.fold_left (fun acc a -> acc + count a) 0 args
+      | Xl_xquery.Ast.Some_ (bs, body) | Xl_xquery.Ast.Every (bs, body) ->
+        List.fold_left (fun acc (_, e) -> acc + count e) (count body) bs
+      | Xl_xquery.Ast.Sequence es | Xl_xquery.Ast.Elem (_, es) ->
+        List.fold_left (fun acc e -> acc + count e) 1 es
+      | Xl_xquery.Ast.Attr_c (_, e) | Xl_xquery.Ast.Text_c e -> 1 + count e
+      | Xl_xquery.Ast.If (c, t, f) -> 1 + count c + count t + count f
+      | Xl_xquery.Ast.Flwor f -> 1 + count f.Xl_xquery.Ast.return
+    in
+    count e
+
+(** The explicit (Condition-Box) conditions of a target node, with
+    terminal counts; the remaining conditions are the C-Learner's job. *)
+let explicit_conds (t : t) (n : Xqtree.node) : (Cond.t * int) list =
+  let extra =
+    List.filter_map
+      (fun (l, c) -> if String.equal l n.Xqtree.label then Some c else None)
+      t.extra_explicit
+  in
+  let explicit =
+    List.filter
+      (fun c -> is_explicit_cond t.target n c || List.exists (Cond.equal c) extra)
+      n.Xqtree.conds
+  in
+  let default_total = List.fold_left (fun a c -> a + cond_terminals c) 0 explicit in
+  let override = List.assoc_opt n.Xqtree.label t.cb_terminals in
+  match explicit, override with
+  | [], _ -> []
+  | [ c ], Some k -> [ (c, k) ]
+  | cs, Some k ->
+    (* distribute an override roughly evenly, first box gets the slack *)
+    let each = k / List.length cs in
+    List.mapi
+      (fun i c -> (c, if i = 0 then k - (each * (List.length cs - 1)) else each))
+      cs
+  | cs, None ->
+    ignore default_total;
+    List.map (fun c -> (c, cond_terminals c)) cs
+
+let learnable_conds (t : t) (n : Xqtree.node) : Cond.t list =
+  let explicit = List.map fst (explicit_conds t n) in
+  List.filter (fun c -> not (List.exists (Cond.equal c) explicit)) n.Xqtree.conds

@@ -1,0 +1,48 @@
+(** Learning scenarios.
+
+    A scenario packages one Figure-16 experiment: the source data, the
+    source schemas (rule R1), and the *target* query as an XQ-Tree — the
+    query the simulated user has in mind.  The oracle derives every
+    teacher answer from it; the learner never sees it. *)
+
+open Xl_xqtree
+
+type t = {
+  name : string;
+  description : string;
+  store : Xl_xml.Store.t;
+  source_dtd : Xl_schema.Dtd.t option;  (** drives rule R1 *)
+  more_dtds : Xl_schema.Dtd.t list;
+      (** schemas of further source documents (multi-document scenarios) *)
+  target : Xqtree.t;
+  picks : (string * int) list;
+      (** label -> index of the extent node to drag-and-drop (default 0) *)
+  cb_terminals : (string * int) list;
+      (** label -> override for the Condition-Box terminal count *)
+  extra_explicit : (string * Cond.t) list;
+      (** learnable-shaped conditions served through a Condition Box
+          anyway (a user who prefers typing the predicate) *)
+}
+
+val make :
+  ?description:string -> ?source_dtd:Xl_schema.Dtd.t ->
+  ?more_dtds:Xl_schema.Dtd.t list -> ?picks:(string * int) list ->
+  ?cb_terminals:(string * int) list -> ?extra_explicit:(string * Cond.t) list ->
+  store:Xl_xml.Store.t -> target:Xqtree.t -> string -> t
+
+val all_dtds : t -> Xl_schema.Dtd.t list
+val pick : t -> string -> int
+
+val is_explicit_cond : Xqtree.t -> Xqtree.node -> Cond.t -> bool
+(** Conditions the C-Learner cannot reach (explicit predicate shapes,
+    and relationships that touch no context variable, like q1's
+    closed_auction condition) — these must come from a Condition Box. *)
+
+val cond_terminals : Cond.t -> int
+(** Default #t of a Condition-Box specification: what the user enters —
+    dropped parameter nodes, operators, constants. *)
+
+val explicit_conds : t -> Xqtree.node -> (Cond.t * int) list
+(** The node's Condition-Box queue, with terminal counts. *)
+
+val learnable_conds : t -> Xqtree.node -> Cond.t list

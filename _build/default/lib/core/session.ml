@@ -1,0 +1,52 @@
+(** Reuse of past interactive operations — the future-work mechanism of
+    Section 11, implemented as a cross-run answer cache.
+
+    A session stores, per (scenario, XQ-Tree label), every membership
+    answer the teacher gave (user answers and counterexample-derived
+    facts alike).  Re-learning the same drop box — after the user tweaks
+    an explicit condition, re-opens yesterday's mapping, or simply wants
+    the query regenerated — replays those answers instead of asking
+    again: the second session of a typical Figure-16 query needs zero
+    membership queries and zero counterexamples.
+
+    Reuse is sound per (scenario, label): the intended path language of a
+    drop box does not change between runs.  If it does (the user changed
+    the *paths*, not just the conditions), the P-Learner's consistency
+    machinery notices the conflict with a fresh counterexample and
+    restarts with the corrected table, so a stale cache degrades to a few
+    extra interactions rather than a wrong query. *)
+
+type key = string * string  (** scenario name, task label *)
+
+type t = {
+  tables : (key, (string list, bool) Hashtbl.t) Hashtbl.t;
+  mutable hits : int;  (** reused answers across all runs *)
+}
+
+let create () = { tables = Hashtbl.create 16; hits = 0 }
+
+(** The (persistent) answer table for one drop box.  The caller hands it
+    to {!Plearner.create}; answers accumulate across runs. *)
+let table (t : t) ~scenario ~label : (string list, bool) Hashtbl.t =
+  let key = (scenario, label) in
+  match Hashtbl.find_opt t.tables key with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.replace t.tables key tbl;
+    tbl
+
+let record_hit t = t.hits <- t.hits + 1
+let hits t = t.hits
+
+(** Number of answers stored for a drop box. *)
+let stored t ~scenario ~label =
+  match Hashtbl.find_opt t.tables (scenario, label) with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+(** Drop the cache for one scenario (the user reworked it). *)
+let invalidate t ~scenario =
+  Hashtbl.iter
+    (fun (s, _ as key) _ -> if String.equal s scenario then Hashtbl.remove t.tables key)
+    (Hashtbl.copy t.tables)

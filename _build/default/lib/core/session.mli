@@ -1,0 +1,26 @@
+(** Reuse of past interactive operations — the future-work mechanism of
+    Section 11 as a cross-run answer cache.
+
+    A session stores, per (scenario, XQ-Tree label), every membership
+    answer the teacher gave.  Re-learning the same drop box replays them
+    instead of asking again: the second run of a Figure-16 query needs
+    zero membership queries.  Reuse is sound per (scenario, label); a
+    stale cache is detected by the P-Learner's consistency machinery and
+    degrades to a few extra interactions, never a wrong query. *)
+
+type t
+
+val create : unit -> t
+
+val table : t -> scenario:string -> label:string -> (string list, bool) Hashtbl.t
+(** The persistent answer table for one drop box, to hand to
+    {!Plearner.create} as [shared]. *)
+
+val record_hit : t -> unit
+val hits : t -> int
+(** Reused answers across all runs. *)
+
+val stored : t -> scenario:string -> label:string -> int
+
+val invalidate : t -> scenario:string -> unit
+(** Drop one scenario's cache (the user reworked its paths). *)

@@ -1,0 +1,68 @@
+(** Interaction accounting — the measurements of Figure 16.
+
+    One record accumulates over a whole learning session (all XQ-Tree
+    nodes of one query).  [reduced_*] counters track membership queries
+    answered automatically by rules R1/R2 instead of the user; for each
+    auto-answered query both rules' applicability is tested independently,
+    so [reduced_total = reduced_r1 + reduced_r2 - reduced_both] exactly as
+    the paper prints "Reduced(R1,R2,Both)". *)
+
+type t = {
+  mutable dd : int;  (** dropped example nodes (D&D) *)
+  mutable dd_terminals : int;  (** #t of drops incl. Drop-Box functions *)
+  mutable mq : int;  (** membership queries answered by the user *)
+  mutable eq : int;  (** equivalence queries *)
+  mutable ce : int;  (** counterexamples given by the user *)
+  mutable cb : int;  (** Condition Boxes *)
+  mutable cb_terminals : int;  (** #t of Condition-Box specifications *)
+  mutable ob : int;  (** OrderBy Boxes *)
+  mutable reduced_r1 : int;
+  mutable reduced_r2 : int;
+  mutable reduced_both : int;
+  mutable auto_known : int;  (** auto-answers derived from earlier answers *)
+  mutable restarts : int;  (** P-Learner backtracks (R2 assumption changes) *)
+}
+
+let create () =
+  {
+    dd = 0;
+    dd_terminals = 0;
+    mq = 0;
+    eq = 0;
+    ce = 0;
+    cb = 0;
+    cb_terminals = 0;
+    ob = 0;
+    reduced_r1 = 0;
+    reduced_r2 = 0;
+    reduced_both = 0;
+    auto_known = 0;
+    restarts = 0;
+  }
+
+let reduced_total t = t.reduced_r1 + t.reduced_r2 - t.reduced_both
+
+(** Total interactions actually required of the user. *)
+let user_interactions t = t.dd + t.mq + t.ce + t.cb + t.ob
+
+let add ~into (s : t) =
+  into.dd <- into.dd + s.dd;
+  into.dd_terminals <- into.dd_terminals + s.dd_terminals;
+  into.mq <- into.mq + s.mq;
+  into.eq <- into.eq + s.eq;
+  into.ce <- into.ce + s.ce;
+  into.cb <- into.cb + s.cb;
+  into.cb_terminals <- into.cb_terminals + s.cb_terminals;
+  into.ob <- into.ob + s.ob;
+  into.reduced_r1 <- into.reduced_r1 + s.reduced_r1;
+  into.reduced_r2 <- into.reduced_r2 + s.reduced_r2;
+  into.reduced_both <- into.reduced_both + s.reduced_both;
+  into.auto_known <- into.auto_known + s.auto_known;
+  into.restarts <- into.restarts + s.restarts
+
+(** One row in the style of Figure 16:
+    [D&D(#t)  MQ  CE  CB(#t)  OB  Reduced(R1,R2,Both)]. *)
+let to_row t =
+  Printf.sprintf "%d(%d)\t%d\t%d\t%d(%d)\t%d\t%d(%d,%d,%d)" t.dd t.dd_terminals
+    t.mq t.ce t.cb t.cb_terminals t.ob (reduced_total t) t.reduced_r1 t.reduced_r2
+    t.reduced_both

@@ -1,0 +1,95 @@
+(** Template generation (Section 4.1).
+
+    A template is a tree with one node per element type of the *target*
+    schema; an edge is labeled "1" when the parent-child relationship is
+    one-to-one in every instance.  Recursive element definitions make the
+    template conceptually infinite; [from_dtd] unfolds them to [depth]
+    (the GUI instantiates lazily on click).
+
+    The XQ-Tree skeleton is the minimal subtree of the template covering
+    all Drop Boxes that received examples, with fresh variables for the
+    nodes that will carry query fragments. *)
+
+type node = {
+  tag : string;
+  one_edge : bool;  (** edge label from the parent *)
+  children : node list;
+}
+
+let rec count_nodes n = 1 + List.fold_left (fun a c -> a + count_nodes c) 0 n.children
+
+let from_dtd ?(depth = 8) (dtd : Xl_schema.Dtd.t) : node =
+  let rec build tag one_edge seen d =
+    let children =
+      if d >= depth || List.length (List.filter (String.equal tag) seen) > 1 then []
+      else
+        List.filter_map
+          (fun child ->
+            match Xl_schema.Dtd.find dtd child with
+            | None -> None
+            | Some _ ->
+              let one = Xl_schema.Dtd.one_to_one dtd ~parent:tag ~child in
+              Some (build child one (tag :: seen) (d + 1)))
+          (Xl_schema.Dtd.children_of dtd tag)
+    in
+    { tag; one_edge; children }
+  in
+  build (Xl_schema.Dtd.root dtd) false [] 0
+
+(** Find the template node at a tag path (root tag first). *)
+let rec at (t : node) (path : string list) : node option =
+  match path with
+  | [] -> None
+  | [ tag ] -> if String.equal t.tag tag then Some t else None
+  | tag :: rest ->
+    if String.equal t.tag tag then
+      List.find_map (fun c -> at c rest) t.children
+    else None
+
+(** Build the XQ-Tree skeleton: the minimal subtree of the template that
+    contains every drop path.  Nodes that received a drop get a fresh
+    variable; labels follow the paper's Dewey convention (N1, N1.1, ...).
+    Sources and conditions are left empty — they are what gets learned. *)
+let skeleton (template : node) (drops : string list list) : Xl_xqtree.Xqtree.t =
+  let next_var = ref 0 in
+  let fresh_var () =
+    incr next_var;
+    Printf.sprintf "v%d" !next_var
+  in
+  let is_prefix p q =
+    let rec go p q =
+      match p, q with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: p', y :: q' -> String.equal x y && go p' q'
+    in
+    go p q
+  in
+  let rec build (t : node) (path : string list) (label : string) :
+      Xl_xqtree.Xqtree.node option =
+    let path = path @ [ t.tag ] in
+    let needed = List.exists (fun d -> is_prefix path d) drops in
+    if not needed then None
+    else begin
+      let kids =
+        List.filteri (fun _ _ -> true) t.children
+        |> List.mapi (fun i c -> build c path (Printf.sprintf "%s.%d" label (i + 1)))
+        |> List.filter_map Fun.id
+      in
+      let is_drop = List.mem path drops in
+      let var = if is_drop then Some (fresh_var ()) else None in
+      Some
+        (Xl_xqtree.Xqtree.make ~tag:t.tag ~one_edge:t.one_edge ?var
+           ~children:kids label)
+    end
+  in
+  match build template [] "N1" with
+  | Some t -> t
+  | None -> invalid_arg "Template.skeleton: no drops"
+
+let rec to_string ?(level = 0) (t : node) : string =
+  let pad = String.make (2 * level) ' ' in
+  let self =
+    Printf.sprintf "%s%s%s\n" pad t.tag (if t.one_edge then " [1]" else "")
+  in
+  self ^ String.concat "" (List.map (to_string ~level:(level + 1)) t.children)

@@ -1,0 +1,26 @@
+(** Template generation (Section 4.1).
+
+    A template has one node per element type of the *target* schema; an
+    edge is labeled "1" when the parent-child relationship is one-to-one
+    in every instance.  Recursive definitions are unfolded to a depth
+    (the paper's GUI instantiates lazily on click). *)
+
+type node = {
+  tag : string;
+  one_edge : bool;  (** edge label from the parent *)
+  children : node list;
+}
+
+val count_nodes : node -> int
+val from_dtd : ?depth:int -> Xl_schema.Dtd.t -> node
+
+val at : node -> string list -> node option
+(** Template node at a tag path (root tag first). *)
+
+val skeleton : node -> string list list -> Xl_xqtree.Xqtree.t
+(** The XQ-Tree skeleton: the minimal subtree of the template covering
+    every drop path, with fresh variables on the Drop Boxes and labels in
+    the paper's Dewey convention.  Raises [Invalid_argument] with no
+    drops. *)
+
+val to_string : ?level:int -> node -> string

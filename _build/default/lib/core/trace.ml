@@ -1,0 +1,84 @@
+(** Session transcripts.
+
+    Wraps a teacher so every interaction is recorded as a human-readable
+    line — the console analogue of the paper's Figure 5 dialogs.  Useful
+    for demos, debugging scenarios, and documenting how few questions a
+    session really asks. *)
+
+type event =
+  | Membership of { label : string; rel_path : string list; answer : bool }
+  | Equivalence of {
+      label : string;
+      extent_size : int;
+      outcome : [ `Accepted | `Positive_ce of string | `Negative_ce of string ];
+    }
+  | Condition_box of { label : string; cond : string; negative : bool }
+  | Order_box of { label : string; keys : int }
+
+type t = { mutable events : event list }
+
+let create () = { events = [] }
+let push t e = t.events <- e :: t.events
+let events t = List.rev t.events
+let length t = List.length t.events
+
+let describe_node (n : Xl_xml.Node.t) =
+  let value = Xl_xml.Node.string_value n in
+  let value = if String.length value > 30 then String.sub value 0 27 ^ "..." else value in
+  Printf.sprintf "/%s %S" (String.concat "/" (Xl_xml.Node.tag_path n)) value
+
+(** Decorate a teacher so its answers are recorded in [t]. *)
+let wrap (t : t) (teacher : Teacher.t) : Teacher.t =
+  {
+    Teacher.path_membership =
+      (fun ~label ~context ~rel_path ~witness ->
+        let answer =
+          teacher.Teacher.path_membership ~label ~context ~rel_path ~witness
+        in
+        push t (Membership { label; rel_path; answer });
+        answer);
+    equivalence =
+      (fun ~label ~context ~extent ->
+        let result = teacher.Teacher.equivalence ~label ~context ~extent in
+        let outcome =
+          match result with
+          | Teacher.Equal -> `Accepted
+          | Teacher.Counter { node; positive = true } -> `Positive_ce (describe_node node)
+          | Teacher.Counter { node; positive = false } -> `Negative_ce (describe_node node)
+        in
+        push t (Equivalence { label; extent_size = List.length extent; outcome });
+        result);
+    condition_box =
+      (fun ~label ~context ~negative_example ->
+        let answer = teacher.Teacher.condition_box ~label ~context ~negative_example in
+        (match answer with
+        | Some { Teacher.cond; negative; _ } ->
+          push t
+            (Condition_box { label; cond = Xl_xqtree.Cond.to_string cond; negative })
+        | None -> ());
+        answer);
+    order_box =
+      (fun ~label ->
+        let keys = teacher.Teacher.order_box ~label in
+        if keys <> [] then push t (Order_box { label; keys = List.length keys });
+        keys);
+  }
+
+let event_to_string = function
+  | Membership { label; rel_path; answer } ->
+    Printf.sprintf "[%s] MQ  .../%s ? %s" label
+      (String.concat "/" rel_path)
+      (if answer then "Yes" else "No")
+  | Equivalence { label; extent_size; outcome } -> (
+    match outcome with
+    | `Accepted -> Printf.sprintf "[%s] EQ  %d nodes highlighted -> OK" label extent_size
+    | `Positive_ce d ->
+      Printf.sprintf "[%s] EQ  %d nodes highlighted -> missing: %s" label extent_size d
+    | `Negative_ce d ->
+      Printf.sprintf "[%s] EQ  %d nodes highlighted -> wrong: %s" label extent_size d)
+  | Condition_box { label; cond; negative } ->
+    Printf.sprintf "[%s] %s  %s" label (if negative then "NCB" else "PCB") cond
+  | Order_box { label; keys } -> Printf.sprintf "[%s] OB  %d sort key(s)" label keys
+
+let to_string (t : t) : string =
+  String.concat "\n" (List.map event_to_string (events t))

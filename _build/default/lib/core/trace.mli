@@ -1,0 +1,24 @@
+(** Session transcripts — the console analogue of the paper's Figure 5
+    dialogs.  Wrap a teacher and every interaction is recorded as a
+    readable line. *)
+
+type event =
+  | Membership of { label : string; rel_path : string list; answer : bool }
+  | Equivalence of {
+      label : string;
+      extent_size : int;
+      outcome : [ `Accepted | `Positive_ce of string | `Negative_ce of string ];
+    }
+  | Condition_box of { label : string; cond : string; negative : bool }
+  | Order_box of { label : string; keys : int }
+
+type t
+
+val create : unit -> t
+val wrap : t -> Teacher.t -> Teacher.t
+val events : t -> event list
+(** Chronological. *)
+
+val length : t -> int
+val event_to_string : event -> string
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/schema/content_model.ml: List String Xl_automata

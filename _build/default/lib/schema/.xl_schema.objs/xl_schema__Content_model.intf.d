@@ -1,0 +1,1 @@
+lib/schema/content_model.mli: Xl_automata

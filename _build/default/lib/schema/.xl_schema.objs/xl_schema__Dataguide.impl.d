@@ -1,0 +1,1 @@
+lib/schema/dataguide.ml: Array Hashtbl List Xl_automata Xl_xml

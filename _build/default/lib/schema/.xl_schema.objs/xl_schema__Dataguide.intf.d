@@ -1,0 +1,1 @@
+lib/schema/dataguide.mli: Xl_automata Xl_xml

@@ -1,0 +1,1 @@
+lib/schema/dtd.ml: Buffer Content_model Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/schema/dtd.mli: Content_model

@@ -1,0 +1,1 @@
+lib/schema/dtd_parser.ml: Content_model Dtd List Printf String

@@ -1,0 +1,1 @@
+lib/schema/dtd_parser.mli: Dtd

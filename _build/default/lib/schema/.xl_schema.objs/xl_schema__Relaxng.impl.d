@@ -1,0 +1,1 @@
+lib/schema/relaxng.ml: Buffer Content_model Dtd List Printf String

@@ -1,0 +1,1 @@
+lib/schema/relaxng.mli: Dtd

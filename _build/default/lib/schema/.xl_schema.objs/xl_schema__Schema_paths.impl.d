@@ -1,0 +1,1 @@
+lib/schema/schema_paths.ml: Alphabet Array Content_model Dfa Dtd Hashtbl List Option String Xl_automata

@@ -1,0 +1,1 @@
+lib/schema/schema_paths.mli: Dtd Xl_automata

@@ -1,0 +1,1 @@
+lib/schema/schema_source.ml: Dataguide Relaxng Schema_paths Xl_automata

@@ -1,0 +1,1 @@
+lib/schema/schema_source.mli: Dataguide Dtd Relaxng Schema_paths Xl_automata

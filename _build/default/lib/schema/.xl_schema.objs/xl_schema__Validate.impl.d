@@ -1,0 +1,1 @@
+lib/schema/validate.ml: Content_model Doc Dtd Hashtbl List Node Printf String Xl_automata Xl_xml

@@ -1,0 +1,1 @@
+lib/schema/validate.mli: Dtd Xl_xml

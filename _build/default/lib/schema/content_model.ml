@@ -1,0 +1,96 @@
+(** DTD content models: regular expressions over child element names.
+
+    [Mixed] covers [(#PCDATA | a | b)*]; plain [#PCDATA] is [Mixed []]. *)
+
+type t =
+  | Empty  (** EMPTY *)
+  | Any  (** ANY *)
+  | Mixed of string list  (** (#PCDATA | e1 | ... )* *)
+  | Children of particle
+
+and particle =
+  | Name of string
+  | Seq of particle list
+  | Choice of particle list
+  | Opt of particle  (** p? *)
+  | Star of particle  (** p* *)
+  | Plus of particle  (** p+ *)
+
+(** Element names that can occur as children. *)
+let child_names (t : t) : string list =
+  let rec names acc = function
+    | Name n -> if List.mem n acc then acc else n :: acc
+    | Seq ps | Choice ps -> List.fold_left names acc ps
+    | Opt p | Star p | Plus p -> names acc p
+  in
+  match t with
+  | Empty -> []
+  | Any -> []
+  | Mixed ns -> ns
+  | Children p -> List.rev (names [] p)
+
+(** [occurs_exactly_once t name]: does every instance of this content model
+    contain exactly one [name] child?  This is the one-to-one analysis
+    behind the template's "1"-labeled edges (Section 4.1). *)
+let occurs_exactly_once (t : t) (target : string) : bool =
+  (* min/max occurrence count of [target] in words of the particle
+     language; max is capped at 2 ("more than one"). *)
+  let rec minmax = function
+    | Name n -> if String.equal n target then (1, 1) else (0, 0)
+    | Seq ps ->
+      List.fold_left
+        (fun (mn, mx) p ->
+          let mn', mx' = minmax p in
+          (mn + mn', min 2 (mx + mx')))
+        (0, 0) ps
+    | Choice ps ->
+      let pairs = List.map minmax ps in
+      let mn = List.fold_left (fun a (m, _) -> min a m) max_int pairs in
+      let mx = List.fold_left (fun a (_, m) -> max a m) 0 pairs in
+      (mn, mx)
+    | Opt p ->
+      let _, mx = minmax p in
+      (0, mx)
+    | Star p ->
+      let _, mx = minmax p in
+      (0, if mx > 0 then 2 else 0)
+    | Plus p ->
+      let mn, mx = minmax p in
+      (mn, if mx > 0 then 2 else 0)
+  in
+  match t with
+  | Empty | Any | Mixed _ -> false
+  | Children p -> minmax p = (1, 1)
+
+(** Compile the content model to a DFA over an alphabet of child-element
+    names for validation.  [intern] maps names to symbols. *)
+let to_regex ~(intern : string -> int) (t : t) : Xl_automata.Regex.t option =
+  let open Xl_automata.Regex in
+  let rec conv = function
+    | Name n -> Sym (intern n)
+    | Seq ps -> seq (List.map conv ps)
+    | Choice ps -> alt (List.map conv ps)
+    | Opt p -> opt (conv p)
+    | Star p -> Star (conv p)
+    | Plus p -> plus (conv p)
+  in
+  match t with
+  | Any -> None
+  | Empty -> Some Eps
+  | Mixed ns -> Some (Star (alt (List.map (fun n -> Sym (intern n)) ns)))
+  | Children p -> Some (conv p)
+
+let rec particle_to_string = function
+  | Name n -> n
+  | Seq ps -> "(" ^ String.concat "," (List.map particle_to_string ps) ^ ")"
+  | Choice ps -> "(" ^ String.concat "|" (List.map particle_to_string ps) ^ ")"
+  | Opt p -> particle_to_string p ^ "?"
+  | Star p -> particle_to_string p ^ "*"
+  | Plus p -> particle_to_string p ^ "+"
+
+let to_string = function
+  | Empty -> "EMPTY"
+  | Any -> "ANY"
+  | Mixed [] -> "(#PCDATA)"
+  | Mixed ns -> "(#PCDATA|" ^ String.concat "|" ns ^ ")*"
+  | Children p -> particle_to_string p

@@ -1,0 +1,31 @@
+(** DTD content models: regular expressions over child element names.
+
+    [Mixed] covers [(#PCDATA | a | b)*]; plain [#PCDATA] is [Mixed []]. *)
+
+type t =
+  | Empty  (** EMPTY *)
+  | Any  (** ANY *)
+  | Mixed of string list  (** (#PCDATA | e1 | ... )* *)
+  | Children of particle
+
+and particle =
+  | Name of string
+  | Seq of particle list
+  | Choice of particle list
+  | Opt of particle  (** p? *)
+  | Star of particle  (** p* *)
+  | Plus of particle  (** p+ *)
+
+val child_names : t -> string list
+(** Element names that can occur as children, declaration order. *)
+
+val occurs_exactly_once : t -> string -> bool
+(** Does every instance of this content model contain exactly one child
+    of the given name?  The one-to-one analysis behind the template's
+    "1"-labeled edges (paper Section 4.1). *)
+
+val to_regex : intern:(string -> int) -> t -> Xl_automata.Regex.t option
+(** Compile for validation; [None] means ANY (everything allowed). *)
+
+val particle_to_string : particle -> string
+val to_string : t -> string

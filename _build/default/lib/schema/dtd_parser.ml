@@ -1,0 +1,251 @@
+(** Parser for external-subset DTD text ([<!ELEMENT>] / [<!ATTLIST>]
+    declarations).  The first declared element becomes the root unless
+    [~root] is given. *)
+
+exception Parse_error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | Some '<'
+      when st.pos + 4 <= String.length st.src
+           && String.sub st.src st.pos 4 = "<!--" ->
+      (* comment *)
+      let rec find i =
+        if i + 3 > String.length st.src then error st "unterminated comment"
+        else if String.sub st.src i 3 = "-->" then st.pos <- i + 3
+        else find (i + 1)
+      in
+      find (st.pos + 4)
+    | _ -> continue := false
+  done
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | '#' -> true
+  | _ -> false
+
+let read_name st =
+  skip_ws st;
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  skip_ws st;
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st (Printf.sprintf "expected %S" s)
+
+(* content particle grammar:
+     cp    ::= (name | group) , optionally followed by ? * +
+     group ::= LPAREN cp (comma-separated or bar-separated) RPAREN *)
+let rec parse_cp st : Content_model.particle =
+  skip_ws st;
+  let base =
+    if looking_at st "(" then parse_group st
+    else Content_model.Name (read_name st)
+  in
+  match peek st with
+  | Some '?' ->
+    advance st;
+    Content_model.Opt base
+  | Some '*' ->
+    advance st;
+    Content_model.Star base
+  | Some '+' ->
+    advance st;
+    Content_model.Plus base
+  | _ -> base
+
+and parse_group st : Content_model.particle =
+  expect st "(";
+  let first = parse_cp st in
+  skip_ws st;
+  match peek st with
+  | Some ',' ->
+    let items = ref [ first ] in
+    while (skip_ws st; looking_at st ",") do
+      expect st ",";
+      items := parse_cp st :: !items
+    done;
+    expect st ")";
+    Content_model.Seq (List.rev !items)
+  | Some '|' ->
+    let items = ref [ first ] in
+    while (skip_ws st; looking_at st "|") do
+      expect st "|";
+      items := parse_cp st :: !items
+    done;
+    expect st ")";
+    Content_model.Choice (List.rev !items)
+  | Some ')' ->
+    advance st;
+    Content_model.Seq [ first ]
+  | _ -> error st "expected ',', '|' or ')'"
+
+let parse_content_model st : Content_model.t =
+  skip_ws st;
+  if looking_at st "EMPTY" then begin
+    st.pos <- st.pos + 5;
+    Content_model.Empty
+  end
+  else if looking_at st "ANY" then begin
+    st.pos <- st.pos + 3;
+    Content_model.Any
+  end
+  else begin
+    (* peek inside a group for #PCDATA *)
+    let save = st.pos in
+    expect st "(";
+    skip_ws st;
+    if looking_at st "#PCDATA" then begin
+      st.pos <- st.pos + String.length "#PCDATA";
+      let names = ref [] in
+      while (skip_ws st; looking_at st "|") do
+        expect st "|";
+        names := read_name st :: !names
+      done;
+      expect st ")";
+      (* optional trailing '*' *)
+      (if looking_at st "*" then advance st);
+      Content_model.Mixed (List.rev !names)
+    end
+    else begin
+      st.pos <- save;
+      match parse_cp st with
+      | p -> Content_model.Children p
+    end
+  end
+
+let parse_att_type st : Dtd.att_type =
+  skip_ws st;
+  if looking_at st "CDATA" then begin
+    st.pos <- st.pos + 5;
+    Dtd.Cdata
+  end
+  else if looking_at st "IDREFS" then begin
+    st.pos <- st.pos + 6;
+    Dtd.Idrefs
+  end
+  else if looking_at st "IDREF" then begin
+    st.pos <- st.pos + 5;
+    Dtd.Idref
+  end
+  else if looking_at st "ID" then begin
+    st.pos <- st.pos + 2;
+    Dtd.Id
+  end
+  else if looking_at st "NMTOKEN" then begin
+    st.pos <- st.pos + 7;
+    Dtd.Cdata
+  end
+  else if looking_at st "(" then begin
+    expect st "(";
+    let vs = ref [ read_name st ] in
+    while (skip_ws st; looking_at st "|") do
+      expect st "|";
+      vs := read_name st :: !vs
+    done;
+    expect st ")";
+    Dtd.Enum (List.rev !vs)
+  end
+  else error st "expected attribute type"
+
+let read_quoted st =
+  skip_ws st;
+  match peek st with
+  | Some (('"' | '\'') as q) ->
+    advance st;
+    let start = st.pos in
+    while (match peek st with Some c when c <> q -> true | _ -> false) do
+      advance st
+    done;
+    let v = String.sub st.src start (st.pos - start) in
+    expect st (String.make 1 q);
+    v
+  | _ -> error st "expected quoted default"
+
+let parse_att_default st : Dtd.att_default =
+  skip_ws st;
+  if looking_at st "#REQUIRED" then begin
+    st.pos <- st.pos + 9;
+    Dtd.Required
+  end
+  else if looking_at st "#IMPLIED" then begin
+    st.pos <- st.pos + 8;
+    Dtd.Implied
+  end
+  else if looking_at st "#FIXED" then begin
+    st.pos <- st.pos + 6;
+    Dtd.Fixed (read_quoted st)
+  end
+  else Dtd.Default (read_quoted st)
+
+(** Parse DTD text.  Returns the constructed {!Dtd.t}. *)
+let parse ?root (src : string) : Dtd.t =
+  let st = { src; pos = 0 } in
+  let decls : (string * Content_model.t) list ref = ref [] in
+  let attlists : (string * Dtd.attribute list) list ref = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_ws st;
+    if st.pos >= String.length st.src then continue := false
+    else if looking_at st "<!ELEMENT" then begin
+      st.pos <- st.pos + String.length "<!ELEMENT";
+      let name = read_name st in
+      let cm = parse_content_model st in
+      expect st ">";
+      decls := (name, cm) :: !decls
+    end
+    else if looking_at st "<!ATTLIST" then begin
+      st.pos <- st.pos + String.length "<!ATTLIST";
+      let name = read_name st in
+      let atts = ref [] in
+      while (skip_ws st; not (looking_at st ">")) do
+        let att_name = read_name st in
+        let att_type = parse_att_type st in
+        let att_default = parse_att_default st in
+        atts := { Dtd.att_name; att_type; att_default } :: !atts
+      done;
+      expect st ">";
+      attlists := (name, List.rev !atts) :: !attlists
+    end
+    else if looking_at st "<!ENTITY" || looking_at st "<!NOTATION" then begin
+      (* skip to '>' *)
+      while (match peek st with Some c when c <> '>' -> true | _ -> false) do
+        advance st
+      done;
+      expect st ">"
+    end
+    else error st "expected a declaration"
+  done;
+  let decls = List.rev !decls in
+  let root =
+    match root, decls with
+    | Some r, _ -> r
+    | None, (name, _) :: _ -> name
+    | None, [] -> invalid_arg "Dtd_parser.parse: empty DTD"
+  in
+  Dtd.of_list ~root
+    (List.map
+       (fun (name, cm) ->
+         let atts =
+           List.concat_map (fun (n, ats) -> if n = name then ats else []) !attlists
+         in
+         (name, cm, atts))
+       decls)

@@ -1,0 +1,9 @@
+(** Parser for external-subset DTD text ([<!ELEMENT>]/[<!ATTLIST>]).
+
+    The first declared element becomes the root unless [~root] says
+    otherwise; [<!ENTITY>] and [<!NOTATION>] declarations are skipped. *)
+
+exception Parse_error of string * int
+(** message, byte position *)
+
+val parse : ?root:string -> string -> Dtd.t

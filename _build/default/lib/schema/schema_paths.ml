@@ -1,0 +1,126 @@
+(** The schema path language used by reduction rule R1 (Section 8).
+
+    A tag path [s] is *schema-consistent* when some instance of the DTD
+    can contain a node whose root-to-node tag path equals [s].  R1 answers
+    membership queries on schema-inconsistent paths with N automatically.
+    The paper's prototype uses Relax NG for this filtering; on DTDs the
+    language is the set of walks of the element graph from the root, plus
+    declared attribute ["@a"] and ["#text"] leaf steps. *)
+
+type t = {
+  dtd : Dtd.t;
+  children : (string, string list) Hashtbl.t;  (** element -> child elements *)
+  atts : (string, string list) Hashtbl.t;  (** element -> "@a" symbols *)
+  mixed : (string, bool) Hashtbl.t;  (** element may contain text *)
+}
+
+let compile (dtd : Dtd.t) : t =
+  let children = Hashtbl.create 64 in
+  let atts = Hashtbl.create 64 in
+  let mixed = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      match Dtd.find dtd name with
+      | None -> ()
+      | Some el ->
+        Hashtbl.replace children name (Content_model.child_names el.Dtd.content);
+        Hashtbl.replace atts name
+          (List.map (fun a -> "@" ^ a.Dtd.att_name) el.Dtd.atts);
+        let m =
+          match el.Dtd.content with
+          | Content_model.Mixed _ | Content_model.Any -> true
+          | Content_model.Empty | Content_model.Children _ -> false
+        in
+        Hashtbl.replace mixed name m)
+    (Dtd.element_names dtd);
+  { dtd; children; atts; mixed }
+
+let lookup tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k)
+
+(** Does the schema admit a node with tag path [path]?  [path] starts at
+    the root element (e.g. [["site"; "regions"; "africa"; "item"]]). *)
+let admits (t : t) (path : string list) : bool =
+  let rec walk current rest =
+    match rest with
+    | [] -> true
+    | sym :: rest' ->
+      if String.length sym > 0 && sym.[0] = '@' then
+        rest' = [] && List.mem sym (lookup t.atts current)
+      else if String.equal sym "#text" then
+        rest' = [] && Option.value ~default:false (Hashtbl.find_opt t.mixed current)
+      else List.mem sym (lookup t.children current) && walk sym rest'
+  in
+  match path with
+  | [] -> false
+  | root :: rest -> String.equal root (Dtd.root t.dtd) && walk root rest
+
+(** The schema path language as a DFA over [alphabet] (which must contain
+    at least the DTD's {!Dtd.path_symbols}).  Accepts exactly the
+    schema-consistent paths; used in tests and to intersect hypothesis
+    languages with the schema. *)
+let to_dfa (t : t) (alphabet : Xl_automata.Alphabet.t) : Xl_automata.Dfa.t =
+  let open Xl_automata in
+  let names = Dtd.element_names t.dtd in
+  let k = Alphabet.size alphabet in
+  (* states: 0 = initial, 1..n = "at element i", n+1 = leaf (attr/text),
+     n+2 = dead *)
+  let n = List.length names in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i name -> Hashtbl.replace index name (i + 1)) names;
+  let leaf = n + 1 and dead = n + 2 in
+  let states = n + 3 in
+  let finals = Array.make states true in
+  finals.(0) <- false;
+  finals.(dead) <- false;
+  let delta = Array.init states (fun _ -> Array.make k dead) in
+  let sym_id s = Alphabet.find alphabet s in
+  (* initial state: only the root element symbol *)
+  (match sym_id (Dtd.root t.dtd), Hashtbl.find_opt index (Dtd.root t.dtd) with
+  | Some a, Some q -> delta.(0).(a) <- q
+  | _ -> ());
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt index name with
+      | None -> ()
+      | Some q ->
+        List.iter
+          (fun child ->
+            match sym_id child, Hashtbl.find_opt index child with
+            | Some a, Some q' -> delta.(q).(a) <- q'
+            | _ -> ())
+          (lookup t.children name);
+        List.iter
+          (fun att ->
+            match sym_id att with
+            | Some a -> delta.(q).(a) <- leaf
+            | None -> ())
+          (lookup t.atts name);
+        if Option.value ~default:false (Hashtbl.find_opt t.mixed name) then
+          match sym_id "#text" with
+          | Some a -> delta.(q).(a) <- leaf
+          | None -> ())
+    names;
+  Dfa.create ~alphabet_size:k ~states ~start:0 ~finals ~delta
+
+(** Maximum depth of the schema (∞ for recursive DTDs is capped at
+    [cap]); used to bound enumeration in tests. *)
+let max_depth ?(cap = 32) (t : t) : int =
+  let memo = Hashtbl.create 64 in
+  let rec depth name seen d =
+    if d > cap then cap
+    else if List.mem name seen then cap
+    else
+      match Hashtbl.find_opt memo name with
+      | Some v -> v
+      | None ->
+        let kids = lookup t.children name in
+        let v =
+          1
+          + List.fold_left
+              (fun acc c -> max acc (depth c (name :: seen) (d + 1)))
+              0 kids
+        in
+        if not (List.mem name seen) then Hashtbl.replace memo name v;
+        v
+  in
+  depth (Dtd.root t.dtd) [] 0

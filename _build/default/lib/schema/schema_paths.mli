@@ -1,0 +1,22 @@
+(** The schema path language used by reduction rule R1 (Section 8).
+
+    A tag path is *schema-consistent* when some instance of the DTD can
+    contain a node with that root-to-node tag path.  R1 answers
+    membership queries on schema-inconsistent paths with N automatically
+    — the paper's Relax-NG filtering, realized on DTDs. *)
+
+type t
+
+val compile : Dtd.t -> t
+
+val admits : t -> string list -> bool
+(** Does the schema admit a node with this tag path?  The path starts at
+    the root element; ["@name"] and ["#text"] may only terminate it. *)
+
+val to_dfa : t -> Xl_automata.Alphabet.t -> Xl_automata.Dfa.t
+(** The same language as a DFA over the given alphabet (which should
+    contain the DTD's {!Dtd.path_symbols}).  Used to tighten learned path
+    automata for presentation and in tests. *)
+
+val max_depth : ?cap:int -> t -> int
+(** Maximum element depth; recursion is capped at [cap]. *)

@@ -1,0 +1,19 @@
+(** Schema sources for rule R1's filtering — the pluggability Section 8
+    describes: a DTD's path language, a Relax NG schema, or a DataGuide
+    derived from the instance itself. *)
+
+type t =
+  | Dtd_paths of Schema_paths.t
+  | Relax_ng of Relaxng.t
+  | Data_guide of Dataguide.t
+
+val of_dtd : Dtd.t -> t
+val of_relaxng : Relaxng.t -> t
+val of_dataguide : Dataguide.t -> t
+
+val admits : t -> string list -> bool
+
+val to_dfa : t -> Xl_automata.Alphabet.t -> Xl_automata.Dfa.t option
+(** Where the source supports a DFA rendering. *)
+
+val describe : t -> string

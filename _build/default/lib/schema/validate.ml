@@ -1,0 +1,179 @@
+(** Document validation against a DTD.
+
+    Each element's child-tag sequence is matched against its content
+    model, compiled once to a DFA per element type (Glushkov-style via the
+    shared regex machinery).  Attribute lists are checked against ATTLIST
+    declarations; ID uniqueness and IDREF resolution are verified. *)
+
+type violation = {
+  where : Xl_xml.Node.t;
+  what : string;
+}
+
+let describe v =
+  Printf.sprintf "%s at /%s"
+    v.what
+    (String.concat "/" (Xl_xml.Node.tag_path v.where))
+
+type compiled = {
+  dtd : Dtd.t;
+  alphabet : Xl_automata.Alphabet.t;
+  models : (string, Xl_automata.Dfa.t option) Hashtbl.t;
+      (** None = ANY (everything allowed) *)
+}
+
+let compile (dtd : Dtd.t) : compiled =
+  let alphabet = Xl_automata.Alphabet.of_list (Dtd.element_names dtd) in
+  let models = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      match Dtd.find dtd name with
+      | None -> ()
+      | Some el ->
+        let dfa =
+          match
+            Content_model.to_regex
+              ~intern:(Xl_automata.Alphabet.intern alphabet)
+              el.Dtd.content
+          with
+          | None -> None
+          | Some r ->
+            Some
+              (Xl_automata.Regex.to_dfa
+                 ~alphabet_size:(Xl_automata.Alphabet.size alphabet)
+                 r)
+        in
+        Hashtbl.replace models name dfa)
+    (Dtd.element_names dtd);
+  { dtd; alphabet; models }
+
+let check_element (c : compiled) (n : Xl_xml.Node.t) : violation list =
+  let open Xl_xml in
+  let name = n.Node.name in
+  match Dtd.find c.dtd name with
+  | None -> [ { where = n; what = Printf.sprintf "undeclared element <%s>" name } ]
+  | Some el ->
+    let vs = ref [] in
+    (* content model *)
+    (match Hashtbl.find_opt c.models name with
+    | Some (Some dfa) ->
+      let child_tags =
+        List.filter_map
+          (fun ch -> if Node.is_element ch then Some ch.Node.name else None)
+          n.Node.children
+      in
+      (match Xl_automata.Alphabet.encode_opt c.alphabet child_tags with
+      | None ->
+        vs :=
+          { where = n; what = Printf.sprintf "<%s> has an undeclared child" name }
+          :: !vs
+      | Some word ->
+        if not (Xl_automata.Dfa.accepts dfa word) then
+          vs :=
+            {
+              where = n;
+              what =
+                Printf.sprintf "<%s> content (%s) does not match %s" name
+                  (String.concat "," child_tags)
+                  (Content_model.to_string el.Dtd.content);
+            }
+            :: !vs);
+      (* PCDATA check: text children only allowed under Mixed *)
+      (match el.Dtd.content with
+      | Content_model.Mixed _ | Content_model.Any -> ()
+      | _ ->
+        if List.exists Node.is_text n.Node.children then
+          vs :=
+            { where = n; what = Printf.sprintf "<%s> may not contain text" name }
+            :: !vs)
+    | Some None | None -> ());
+    (* attributes *)
+    let declared = el.Dtd.atts in
+    List.iter
+      (fun (a : Node.t) ->
+        if not (List.exists (fun d -> d.Dtd.att_name = a.Node.name) declared) then
+          vs :=
+            {
+              where = n;
+              what = Printf.sprintf "undeclared attribute %s on <%s>" a.Node.name name;
+            }
+            :: !vs)
+      n.Node.attributes;
+    List.iter
+      (fun d ->
+        if
+          d.Dtd.att_default = Dtd.Required
+          && not
+               (List.exists (fun (a : Node.t) -> a.Node.name = d.Dtd.att_name) n.Node.attributes)
+        then
+          vs :=
+            {
+              where = n;
+              what =
+                Printf.sprintf "missing required attribute %s on <%s>" d.Dtd.att_name name;
+            }
+            :: !vs)
+      declared;
+    !vs
+
+(** Validate a whole document.  Returns all violations (empty = valid). *)
+let validate ?(compiled : compiled option) (dtd : Dtd.t) (doc : Xl_xml.Doc.t) :
+    violation list =
+  let open Xl_xml in
+  let c = match compiled with Some c -> c | None -> compile dtd in
+  let root = Doc.root doc in
+  let vs = ref [] in
+  if root.Node.name <> Dtd.root dtd then
+    vs :=
+      {
+        where = root;
+        what =
+          Printf.sprintf "root element <%s>, expected <%s>" root.Node.name (Dtd.root dtd);
+      }
+      :: !vs;
+  (* element checks *)
+  let rec walk n =
+    if Node.is_element n then begin
+      vs := check_element c n @ !vs;
+      List.iter walk n.Node.children
+    end
+  in
+  walk root;
+  (* ID uniqueness and IDREF resolution *)
+  let ids = Hashtbl.create 64 in
+  let idrefs = ref [] in
+  let rec collect n =
+    if Node.is_element n then begin
+      (match Dtd.find dtd n.Node.name with
+      | None -> ()
+      | Some el ->
+        List.iter
+          (fun d ->
+            match List.find_opt (fun (a : Node.t) -> a.Node.name = d.Dtd.att_name) n.Node.attributes with
+            | None -> ()
+            | Some a -> (
+              match d.Dtd.att_type with
+              | Dtd.Id ->
+                if Hashtbl.mem ids a.Node.value then
+                  vs :=
+                    { where = n; what = Printf.sprintf "duplicate ID %S" a.Node.value }
+                    :: !vs
+                else Hashtbl.replace ids a.Node.value n
+              | Dtd.Idref -> idrefs := (n, a.Node.value) :: !idrefs
+              | Dtd.Idrefs ->
+                String.split_on_char ' ' a.Node.value
+                |> List.iter (fun v -> if v <> "" then idrefs := (n, v) :: !idrefs)
+              | Dtd.Cdata | Dtd.Enum _ -> ()))
+          el.Dtd.atts)
+    end;
+    List.iter collect n.Node.children
+  in
+  collect root;
+  List.iter
+    (fun (n, v) ->
+      if not (Hashtbl.mem ids v) then
+        vs := { where = n; what = Printf.sprintf "dangling IDREF %S" v } :: !vs)
+    !idrefs;
+  List.rev !vs
+
+let is_valid dtd doc = validate dtd doc = []

@@ -1,0 +1,22 @@
+(** Document validation against a DTD.
+
+    Child sequences are matched against content models compiled to DFAs;
+    attribute lists are checked against ATTLIST declarations; ID
+    uniqueness and IDREF/IDREFS resolution are verified. *)
+
+type violation = {
+  where : Xl_xml.Node.t;
+  what : string;
+}
+
+val describe : violation -> string
+
+type compiled
+
+val compile : Dtd.t -> compiled
+(** Compile once to validate many documents. *)
+
+val validate : ?compiled:compiled -> Dtd.t -> Xl_xml.Doc.t -> violation list
+(** All violations, document order; empty means valid. *)
+
+val is_valid : Dtd.t -> Xl_xml.Doc.t -> bool

@@ -1,0 +1,1 @@
+lib/workload/paper_reference.ml: Printf

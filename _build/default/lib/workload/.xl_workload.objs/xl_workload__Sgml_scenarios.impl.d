@@ -1,0 +1,1 @@
+lib/workload/sgml_scenarios.ml: Ast Cond Parser Simple_path Value Xl_core Xl_schema Xl_xml Xl_xqtree Xl_xquery Xqtree

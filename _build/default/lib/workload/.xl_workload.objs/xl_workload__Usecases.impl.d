@@ -1,0 +1,1 @@
+lib/workload/usecases.ml: List Printf Xl_xqtree

@@ -1,0 +1,1 @@
+lib/workload/usecases.mli: Xl_xqtree

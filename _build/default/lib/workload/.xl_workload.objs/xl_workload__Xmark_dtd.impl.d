@@ -1,0 +1,1 @@
+lib/workload/xmark_dtd.ml: Lazy Xl_schema

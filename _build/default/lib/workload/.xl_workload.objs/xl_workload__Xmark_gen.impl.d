@@ -1,0 +1,1 @@
+lib/workload/xmark_gen.ml: Doc Frag List Printf Prng String Xl_schema Xl_xml Xmark_dtd

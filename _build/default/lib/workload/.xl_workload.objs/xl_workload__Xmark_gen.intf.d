@@ -1,0 +1,1 @@
+lib/workload/xmark_gen.mli: Xl_schema Xl_xml

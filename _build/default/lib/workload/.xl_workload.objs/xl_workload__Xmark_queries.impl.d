@@ -1,0 +1,1 @@
+lib/workload/xmark_queries.ml: List String Xl_xml Xl_xquery

@@ -1,0 +1,1 @@
+lib/workload/xmark_scenarios.ml: Ast Cond Eval Func_spec Parser Simple_path String Value Xl_core Xl_schema Xl_xml Xl_xqtree Xl_xquery Xmark_dtd Xmark_gen Xqtree

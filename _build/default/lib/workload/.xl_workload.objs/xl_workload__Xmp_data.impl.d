@@ -1,0 +1,1 @@
+lib/workload/xmp_data.ml: Doc Frag Lazy List Printf Store String Xl_schema Xl_xml

@@ -1,0 +1,1 @@
+lib/workload/xmp_queries.ml: List String Xl_xml Xl_xquery

@@ -1,0 +1,1 @@
+lib/workload/xmp_scenarios.ml: Ast Cond Func_spec Parser Simple_path Value Xl_core Xl_schema Xl_xml Xl_xqtree Xl_xquery Xmp_data Xqtree

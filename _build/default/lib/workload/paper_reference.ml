@@ -1,0 +1,85 @@
+(** The numbers the paper reports, for side-by-side comparison.
+
+    Figure 15 (expressive power) and Figure 16 (interaction counts).
+    [ce_worst] is the paper's square-bracket worst-case value where one
+    was printed. *)
+
+type fig16_row = {
+  id : string;
+  dd : int;
+  dd_t : int;
+  mq : int;
+  ce : int;
+  ce_worst : int option;
+  cb : int;
+  cb_t : int;
+  ob : int;
+  reduced : int;
+  r1 : int;
+  r2 : int;
+  both : int;
+}
+
+let row id dd dd_t mq ce ?ce_worst cb cb_t ob reduced r1 r2 both =
+  { id; dd; dd_t; mq; ce; ce_worst; cb; cb_t; ob; reduced; r1; r2; both }
+
+(** Figure 16 (top): XMark. *)
+let xmark : fig16_row list =
+  [
+    row "Q1" 1 1 5 1 1 3 0 2434 2412 486 464;
+    row "Q2" 1 1 0 1 1 4 0 2439 2416 486 463;
+    row "Q3" 2 2 0 1 1 13 0 4878 4832 972 926;
+    row "Q4" 1 1 0 1 1 9 0 1627 1608 405 386;
+    row "Q5" 1 2 0 1 1 3 0 1627 1612 405 390;
+    row "Q7" 3 8 10 0 0 0 0 7449 7382 1458 1391;
+    row "Q8" 2 3 0 0 ~ce_worst:1 0 0 0 2604 2573 729 698;
+    row "Q9" 2 2 0 0 ~ce_worst:2 0 0 0 4051 4023 881 853;
+    row "Q10" 12 12 0 0 ~ce_worst:3 0 0 0 26994 26756 5589 5351;
+    row "Q11" 2 3 0 1 1 5 0 4066 4025 891 850;
+    row "Q12" 2 3 0 2 2 8 0 4066 4025 891 850;
+    row "Q13" 2 2 10 0 0 0 0 4868 4822 972 926;
+    row "Q14" 1 1 5 1 ~ce_worst:2 1 3 0 2426 2404 486 464;
+    row "Q15" 1 1 3 0 0 0 0 12637 12604 1053 1020;
+    row "Q16" 1 1 1 1 1 2 0 2438 2422 486 470;
+    row "Q17" 1 1 0 1 1 2 0 1177 1161 405 389;
+    row "Q18" 1 2 0 0 0 0 0 1627 1608 405 386;
+    row "Q19" 2 2 10 0 0 0 1 4848 4804 972 928;
+    row "Q20" 4 8 0 4 4 14 0 6508 6420 1620 1532;
+  ]
+
+(** Figure 16 (bottom): XML Query Use Case "XMP". *)
+let xmp : fig16_row list =
+  [
+    row "Q1" 2 2 0 1 1 3 0 250 236 80 66;
+    row "Q2" 2 2 0 0 0 0 0 250 234 80 64;
+    row "Q3" 2 2 0 0 0 0 0 250 234 80 64;
+    row "Q4" 2 3 0 1 1 3 0 250 234 80 64;
+    row "Q5" 3 3 0 1 1 3 0 356 334 112 90;
+    row "Q7" 2 2 0 1 1 3 1 250 236 80 66;
+    row "Q8" 2 2 0 1 1 3 0 250 234 80 64;
+    row "Q9" 1 1 2 1 ~ce_worst:3 1 3 0 26 23 8 5;
+    row "Q10" 2 5 0 0 0 0 0 106 98 32 24;
+    row "Q11" 4 4 0 2 2 6 0 106 98 32 24;
+    row "Q12" 2 2 0 1 1 10 2 126 112 60 46;
+  ]
+
+let fig16_row_to_string (r : fig16_row) =
+  Printf.sprintf "%d(%d)\t%d\t%d%s\t%d(%d)\t%d\t%d(%d,%d,%d)" r.dd r.dd_t r.mq
+    r.ce
+    (match r.ce_worst with Some w -> Printf.sprintf "[%d]" w | None -> "")
+    r.cb r.cb_t r.ob r.reduced r.r1 r.r2 r.both
+
+(** Figure 15: (suite, learnable, total). *)
+let fig15 : (string * int * int) list =
+  [
+    ("XMark", 19, 20);
+    ("UC \"XMP\"", 11, 12);
+    ("UC \"TREE\"", 5, 6);
+    ("UC \"SEQ\"", 3, 5);  (* printed "SEC" in the paper; the W3C suite is SEQ *)
+    ("UC \"R\"", 14, 18);
+    ("UC \"SGML\"", 11, 11);
+    ("UC \"STRING\"", 2, 4);
+    ("UC \"NS\"", 0, 8);
+    ("UC \"PARTS\"", 0, 1);
+    ("UC \"STRONG\"", 0, 12);
+  ]

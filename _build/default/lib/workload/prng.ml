@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The data generators must be reproducible across runs and platforms so
+    the interaction counts of the experiments are stable; OCaml's
+    [Random] gives no such guarantee across versions. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform pick from a non-empty list. *)
+let choose (t : t) (l : 'a list) : 'a = List.nth l (int t (List.length l))
+
+(** Uniform float in [0, 1). *)
+let float (t : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.0
+
+let bool (t : t) = int t 2 = 0
+
+(** true with probability [p]. *)
+let flip (t : t) (p : float) = float t < p

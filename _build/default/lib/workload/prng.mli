@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The data generators must be reproducible across runs and platforms
+    so the experiments' interaction counts are stable. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound); raises [Invalid_argument] on bound <= 0. *)
+
+val choose : t -> 'a list -> 'a
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val flip : t -> float -> bool
+(** true with the given probability. *)

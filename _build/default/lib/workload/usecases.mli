@@ -1,0 +1,30 @@
+(** The expressive-power experiment of Figure 15: the 97 queries of
+    XMark and the nine W3C XML Query Use Case suites, encoded by their
+    construct sets and classified for membership in XQ_I by
+    {!Xl_xqtree.Classes}. *)
+
+type query = {
+  id : string;
+  constructs : Xl_xqtree.Classes.construct list;
+}
+
+type suite = {
+  suite_name : string;
+  queries : query list;
+  paper_learnable : int;  (** the count Figure 15 reports *)
+}
+
+val suites : suite list
+(** All ten suites, Figure 15 order. *)
+
+type row = {
+  name : string;
+  learnable : int;
+  total : int;
+  percentage : float;
+  paper : int;
+  blockers : (string * string) list;  (** non-learnable query -> reason *)
+}
+
+val classify_all : unit -> row list
+(** The Figure 15 computation. *)

@@ -1,0 +1,100 @@
+(** The XMark auction DTD (Schmidt et al., "Why And How To Benchmark XML
+    Databases"), as used throughout the paper's scenarios and
+    experiments.  The element/attribute inventory matches the published
+    benchmark; it is the alphabet over which the path learner works, so
+    its size directly drives the Reduced counts of Figure 16. *)
+
+let text = {|
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT keyword (#PCDATA | emph)*>
+<!ELEMENT emph (#PCDATA)>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+|}
+
+let dtd : Xl_schema.Dtd.t Lazy.t = lazy (Xl_schema.Dtd_parser.parse ~root:"site" text)
+
+let get () = Lazy.force dtd

@@ -1,0 +1,129 @@
+(** The twenty XMark benchmark queries as executable XQuery text.
+
+    These drive the query *engine* directly (the learning scenarios in
+    {!Xmark_scenarios} encode the same queries as XQ-Tree targets).  The
+    texts follow the published benchmark adapted to this engine's
+    subset: [text()] results are returned as nodes, positional
+    predicates stay on simple paths, and Q18's user-defined function is
+    inlined (the paper's footnote 5).  Each query notes its benchmark
+    intent. *)
+
+type query = {
+  id : string;
+  description : string;
+  text : string;
+}
+
+let q id description text = { id; description; text }
+
+let all : query list =
+  [
+    q "Q1" "Name of the person with ID person0"
+      {|for $b in /site/people/person where $b/@id = "person0" return $b/name|};
+    q "Q2" "Initial increases of all open auctions"
+      {|for $b in /site/open_auctions/open_auction
+        return <increase>{$b/bidder[1]/increase}</increase>|};
+    q "Q3"
+      "Auctions whose first increase is at most half the last"
+      {|for $b in /site/open_auctions/open_auction
+        where data($b/bidder[1]/increase) * 2 <= data($b/bidder[last()]/increase)
+        return <increase first="{data($b/bidder[1]/increase)}" last="{data($b/bidder[last()]/increase)}"/>|};
+    q "Q4" "Reserves of auctions where a given person bid"
+      {|for $b in /site/open_auctions/open_auction
+        where $b/bidder/personref/@person = "person1"
+        return <history>{$b/reserve}</history>|};
+    q "Q5" "How many sold items cost more than 40"
+      {|count(for $i in /site/closed_auctions/closed_auction
+             where data($i/price) >= 40 return $i/price)|};
+    q "Q6" "How many items are listed on all continents"
+      {|count(/site/regions//item)|};
+    q "Q7" "How much prose is in the database"
+      {|count(//description) + count(//text) + count(//mail)|};
+    q "Q8" "For each person, how many items they bought"
+      {|for $p in /site/people/person
+        return <item person="{data($p/name)}">{
+          count(for $t in /site/closed_auctions/closed_auction
+                where $t/buyer/@person = $p/@id return $t)}</item>|};
+    q "Q9" "For each person, the European items they bought"
+      {|for $p in /site/people/person
+        return <person name="{data($p/name)}">{
+          for $t in /site/closed_auctions/closed_auction,
+              $i in /site/regions/europe/item
+          where $t/buyer/@person = $p/@id and $i/@id = $t/itemref/@item
+          return <item>{$i/name}</item>}</person>|};
+    q "Q10" "Persons grouped by their interest categories"
+      {|for $c in /site/categories/category
+        return <categorie>{
+          <id>{$c/name}</id>,
+          for $p in /site/people/person
+          where $p/profile/interest/@category = $c/@id
+          return <personne>{
+            ($p/name, $p/emailaddress, $p/profile/gender, $p/profile/age)
+          }</personne>}</categorie>|};
+    q "Q11" "For each person, the auctions their income can cover"
+      {|for $p in /site/people/person
+        return <items name="{data($p/name)}">{
+          count(for $o in /site/open_auctions/open_auction
+                where data($p/profile/@income) > data($o/initial) * 1000
+                return $o)}</items>|};
+    q "Q12" "Q11 for persons earning more than 50000"
+      {|for $p in /site/people/person
+        where data($p/profile/@income) > 50000
+        return <items person="{data($p/name)}">{
+          count(for $o in /site/open_auctions/open_auction
+                where data($p/profile/@income) > data($o/initial) * 1000
+                return $o)}</items>|};
+    q "Q13" "Names and descriptions of Australian items"
+      {|for $i in /site/regions/australia/item
+        return <item name="{data($i/name)}">{$i/description}</item>|};
+    q "Q14" "Items whose description contains the word gold"
+      {|for $i in /site//item
+        where contains($i/description, "gold")
+        return $i/name|};
+    q "Q15" "Deeply nested annotation keywords"
+      {|for $a in
+          /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/keyword/emph
+        return <text>{$a}</text>|};
+    q "Q16" "Q15 with a seller condition"
+      {|for $a in /site/closed_auctions/closed_auction
+        where exists($a/annotation/description/parlist/listitem/parlist/listitem/text/keyword/emph)
+        return <person id="{data($a/seller/@person)}"/>|};
+    q "Q17" "Persons without a homepage"
+      {|for $p in /site/people/person
+        where empty($p/homepage)
+        return <person name="{data($p/name)}"/>|};
+    q "Q18" "Currency-converted reserves (UDF inlined)"
+      {|for $i in /site/open_auctions/open_auction/reserve
+        return data($i) * 2.20371|};
+    q "Q19" "Items with location, alphabetically by name"
+      {|for $b in /site/regions//item
+        order by data($b/name)
+        return <item name="{data($b/name)}">{$b/location}</item>|};
+    q "Q20" "Customers by income bracket"
+      {|<result>{
+          <preferred>{count(for $p in /site/people/person
+                            where data($p/profile/@income) >= 100000 return $p)}</preferred>,
+          <standard>{count(for $p in /site/people/person
+                           where data($p/profile/@income) < 100000
+                             and data($p/profile/@income) >= 50000 return $p)}</standard>,
+          <challenge>{count(for $p in /site/people/person
+                            where data($p/profile/@income) < 50000 return $p)}</challenge>,
+          <na>{count(for $p in /site/people/person
+                     where empty($p/profile/@income) return $p)}</na>
+        }</result>|};
+  ]
+
+let find id = List.find_opt (fun query -> String.equal query.id id) all
+
+(** Parse and evaluate one query against a document. *)
+let run (query : query) (doc : Xl_xml.Doc.t) : Xl_xquery.Value.t =
+  let ctx = Xl_xquery.Eval.ctx_of_doc doc in
+  Xl_xquery.Eval.run ctx (Xl_xquery.Parser.parse query.text)
+
+(** Evaluate all twenty queries; returns (id, result item count). *)
+let run_all (doc : Xl_xml.Doc.t) : (string * int) list =
+  let ctx = Xl_xquery.Eval.ctx_of_doc doc in
+  List.map
+    (fun query ->
+      (query.id, List.length (Xl_xquery.Eval.run ctx (Xl_xquery.Parser.parse query.text))))
+    all

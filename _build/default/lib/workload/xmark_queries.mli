@@ -1,0 +1,20 @@
+(** The twenty XMark benchmark queries as executable XQuery text,
+    driving the engine directly (the learning scenarios encode the same
+    queries as XQ-Tree targets).  Adapted to the engine's subset with
+    Q18's user-defined function inlined — the paper's footnote 5. *)
+
+type query = {
+  id : string;
+  description : string;
+  text : string;
+}
+
+val all : query list
+(** Q1 through Q20, benchmark order. *)
+
+val find : string -> query option
+
+val run : query -> Xl_xml.Doc.t -> Xl_xquery.Value.t
+
+val run_all : Xl_xml.Doc.t -> (string * int) list
+(** (id, result item count) for every query. *)

@@ -1,0 +1,117 @@
+(** Data for the XML Query Use Case "XMP" (Experiences and Exemplars):
+    the classic bibliography documents [bib.xml], [reviews.xml] and
+    [prices.xml], scaled deterministically.
+
+    The instance guarantees the features the XMP scenarios exercise:
+    Addison-Wesley books after 1991, books sharing authors with different
+    titles, review entries matching book titles, and multiple price
+    quotes per book. *)
+
+open Xl_xml
+
+let dtd_text = {|
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author+, publisher, price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (first, last)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+|}
+
+let reviews_dtd_text = {|
+<!ELEMENT reviews (entry*)>
+<!ELEMENT entry (title, price, review)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+|}
+
+let prices_dtd_text = {|
+<!ELEMENT prices (book*)>
+<!ELEMENT book (title, source, price+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+|}
+
+let dtd : Xl_schema.Dtd.t Lazy.t = lazy (Xl_schema.Dtd_parser.parse ~root:"bib" dtd_text)
+let get_dtd () = Lazy.force dtd
+
+type book = {
+  title : string;
+  authors : (string * string) list;  (** (first, last) *)
+  publisher : string;
+  price : int;
+  year : int;
+}
+
+let books =
+  [
+    { title = "TCP/IP Illustrated"; authors = [ ("W.", "Stevens") ]; publisher = "Addison-Wesley"; price = 65; year = 1994 };
+    { title = "Advanced Programming in the Unix environment"; authors = [ ("W.", "Stevens") ]; publisher = "Addison-Wesley"; price = 55; year = 1992 };
+    { title = "Data on the Web"; authors = [ ("Serge", "Abiteboul"); ("Peter", "Buneman"); ("Dan", "Suciu") ]; publisher = "Morgan Kaufmann Publishers"; price = 39; year = 2000 };
+    { title = "The Economics of Technology and Content for Digital TV"; authors = [ ("Darcy", "Gerbarg") ]; publisher = "Kluwer Academic Publishers"; price = 129; year = 1999 };
+    { title = "Foundations of Databases"; authors = [ ("Serge", "Abiteboul"); ("Richard", "Hull"); ("Victor", "Vianu") ]; publisher = "Addison-Wesley"; price = 58; year = 1995 };
+    { title = "Principles of Compiler Design"; authors = [ ("Alfred", "Aho") ]; publisher = "Addison-Wesley"; price = 44; year = 1986 };
+    { title = "Querying Semistructured Data"; authors = [ ("Dan", "Suciu") ]; publisher = "Springer"; price = 52; year = 1998 };
+    { title = "Typing Semistructured Data"; authors = [ ("Dan", "Suciu") ]; publisher = "Springer"; price = 61; year = 2001 };
+  ]
+
+let bib_doc () : Doc.t =
+  Doc.of_frag ~uri:"bib.xml"
+    (Frag.e "bib"
+       (List.map
+          (fun b ->
+            Frag.e "book"
+              ~attrs:[ ("year", string_of_int b.year) ]
+              ([ Frag.elem "title" b.title ]
+              @ List.map
+                  (fun (f, l) ->
+                    Frag.e "author" [ Frag.elem "first" f; Frag.elem "last" l ])
+                  b.authors
+              @ [
+                  Frag.elem "publisher" b.publisher;
+                  Frag.elem "price" (string_of_int b.price);
+                ]))
+          books))
+
+let reviews_doc () : Doc.t =
+  (* two review entries per book of the first six: a discounted quote and
+     an expensive one, so price predicates discriminate within a book *)
+  Doc.of_frag ~uri:"reviews.xml"
+    (Frag.e "reviews"
+       (List.filteri (fun i _ -> i < 6) books
+       |> List.concat_map (fun b ->
+              let entry price =
+                Frag.e "entry"
+                  [
+                    Frag.elem "title" b.title;
+                    Frag.elem "price" (string_of_int price);
+                    Frag.elem "review"
+                      (Printf.sprintf "A fine book about %s topics."
+                         (String.lowercase_ascii b.publisher));
+                  ]
+              in
+              [ entry (min 59 (b.price + 4)); entry (b.price + 40) ])))
+
+let prices_doc () : Doc.t =
+  Doc.of_frag ~uri:"prices.xml"
+    (Frag.e "prices"
+       (List.map
+          (fun b ->
+            Frag.e "book"
+              [
+                Frag.elem "title" b.title;
+                Frag.elem "source" "www.bookstore.example";
+                Frag.elem "price" (string_of_int b.price);
+                Frag.elem "price" (string_of_int (b.price + 6));
+                Frag.elem "price" (string_of_int (max 5 (b.price - 3)));
+              ])
+          books))
+
+(** Store with bib.xml (default), reviews.xml and prices.xml. *)
+let store () : Store.t =
+  Store.of_docs [ bib_doc (); reviews_doc (); prices_doc () ]

@@ -1,0 +1,333 @@
+(** Learning scenarios for XML Query Use Case "XMP" (Figure 16 bottom).
+
+    The paper learns 11 of the 12 XMP queries (Q6, which counts authors
+    per book with a typed comparison, is handled in the Figure 15
+    classification).  The targets below preserve each query's learning
+    structure — paths, joins across bib/reviews/prices, value predicates,
+    ordering — on the classic bibliography documents. *)
+
+open Xl_xquery
+open Xl_xqtree
+
+let path = Parser.parse_path_string
+let sp = Simple_path.of_string
+let value_ep var spath = Cond.ep ~path:(sp spath) var
+let data v spath = Ast.Call ("data", [ Ast.Simple (Ast.Var v, sp spath) ])
+
+type env = { store : Xl_xml.Store.t; dtd : Xl_schema.Dtd.t; more : Xl_schema.Dtd.t list }
+
+let make_env () : env =
+  {
+    store = Xmp_data.store ();
+    dtd = Xmp_data.get_dtd ();
+    more =
+      [
+        Xl_schema.Dtd_parser.parse ~root:"reviews" Xmp_data.reviews_dtd_text;
+        Xl_schema.Dtd_parser.parse ~root:"prices" Xmp_data.prices_dtd_text;
+      ];
+  }
+
+let scenario env ?(picks = []) ~description name target =
+  Xl_core.Scenario.make ~description ~source_dtd:env.dtd ~more_dtds:env.more
+    ~store:env.store ~picks ~target name
+
+(* book node with a collapsed title drop box *)
+let book_with_title ?(label = "N1.1") ?(tag = "book") ?(conds = []) ?(order_by = []) () =
+  Xqtree.make ~tag ~var:"b" ~source:(Xqtree.Abs (None, path "/bib/book")) ~conds
+    ~order_by label
+    ~children:
+      [
+        Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+          ~source:(Xqtree.Rel (path "title")) (label ^ ".1");
+      ]
+
+(* ---- Q1: A-W books after 1991, with title and year -------------------- *)
+let q1 env =
+  let aw_after_91 =
+    Cond.Expr
+      (Ast.And
+         ( Ast.Cmp (Ast.Eq, data "b" "publisher", Ast.str "Addison-Wesley"),
+           Ast.Cmp (Ast.Gt, data "b" "@year", Ast.int 1991) ))
+  in
+  let target =
+    Xqtree.make ~tag:"bib" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"book" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            ~conds:[ aw_after_91 ] "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"year" ~var:"y" ~source:(Xqtree.Rel (path "@year"))
+                  "N1.1.2";
+              ];
+        ]
+  in
+  scenario env ~description:"Addison-Wesley books published after 1991" "Q1" target
+
+(* ---- Q2: title-author pairs ------------------------------------------- *)
+let q2 env =
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"result" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"author" ~var:"a" ~source:(Xqtree.Rel (path "author"))
+                  "N1.1.2";
+              ];
+        ]
+  in
+  scenario env ~description:"Title and authors of every book (flattened pairs)"
+    "Q2" target
+
+(* ---- Q3: title with all authors --------------------------------------- *)
+let q3 env =
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"result" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"authors" ~var:"a"
+                  ~source:(Xqtree.Rel (path "author/last")) "N1.1.2";
+              ];
+        ]
+  in
+  scenario env ~description:"Each book's title with all author names" "Q3" target
+
+(* ---- Q4: books grouped by author --------------------------------------- *)
+let q4 env =
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"result" ~var:"a"
+            ~source:(Xqtree.Abs (None, path "/bib/book/author"))
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"name" ~one_edge:true ~var:"l"
+                  ~source:(Xqtree.Rel (path "last")) "N1.1.1";
+                Xqtree.make ~tag:"bk" ~var:"b"
+                  ~source:(Xqtree.Abs (None, path "/bib/book"))
+                  ~conds:[ Cond.Join (value_ep "b" "author/last", value_ep "a" "last") ]
+                  "N1.1.2"
+                  ~children:
+                    [
+                      Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                        ~source:(Xqtree.Rel (path "title")) "N1.1.2.1";
+                    ];
+              ];
+        ]
+  in
+  scenario env ~description:"For each author, the titles of their books" "Q4"
+    target
+
+(* ---- Q5: books joined with review prices -------------------------------- *)
+let q5 env =
+  let target =
+    Xqtree.make ~tag:"books-with-prices" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"book-with-prices" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"price-review" ~var:"e"
+                  ~source:(Xqtree.Abs (Some "reviews.xml", path "/reviews/entry"))
+                  ~conds:[ Cond.Join (value_ep "e" "title", value_ep "b" "title") ]
+                  "N1.1.2"
+                  ~children:
+                    [
+                      Xqtree.make ~tag:"amount" ~one_edge:true ~var:"p"
+                        ~source:(Xqtree.Rel (path "price")) "N1.1.2.1";
+                    ];
+              ];
+        ]
+  in
+  scenario env
+    ~description:"Book titles with their review prices (join across documents)"
+    "Q5" target
+
+(* ---- Q7: A-W books after 1991, ordered by title -------------------------- *)
+let q7 env =
+  let aw_after_91 =
+    Cond.Expr
+      (Ast.And
+         ( Ast.Cmp (Ast.Eq, data "b" "publisher", Ast.str "Addison-Wesley"),
+           Ast.Cmp (Ast.Gt, data "b" "@year", Ast.int 1991) ))
+  in
+  let target =
+    Xqtree.make ~tag:"bib" "N1"
+      ~children:
+        [
+          book_with_title ~conds:[ aw_after_91 ] ~order_by:[ (sp "title", false) ] ();
+        ]
+  in
+  scenario env ~description:"Q1 with results in alphabetic order" "Q7" target
+
+(* ---- Q8: books mentioning Suciu ------------------------------------------ *)
+let q8 env =
+  let by_suciu =
+    Cond.Expr
+      (Ast.Call ("contains", [ Ast.Simple (Ast.Var "b", sp "author/last"); Ast.str "Suciu" ]))
+  in
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"book" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            ~conds:[ by_suciu ] "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"publisher" ~var:"p"
+                  ~source:(Xqtree.Rel (path "publisher")) "N1.1.2";
+              ];
+        ]
+  in
+  scenario env ~description:"Books with an author named Suciu (text match)" "Q8"
+    target
+
+(* ---- Q9: titles containing a keyword -------------------------------------- *)
+let q9 env =
+  let about_data =
+    Cond.Expr (Ast.Call ("contains", [ Ast.Var "t"; Ast.str "Data" ]))
+  in
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"title" ~var:"t"
+            ~source:(Xqtree.Abs (None, path "/bib/book/title"))
+            ~conds:[ about_data ] "N1.1";
+        ]
+  in
+  scenario env ~description:"Titles containing the word Data" "Q9" target
+
+(* ---- Q10: price quotes per book (min across sources) ---------------------- *)
+let q10 env =
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"minprice" ~var:"bk"
+            ~source:(Xqtree.Abs (Some "prices.xml", path "/prices/book"))
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"price"
+                  ~func:(Func_spec.Fn ("min", [ Func_spec.Hole 0 ]))
+                  ~children:
+                    [
+                      Xqtree.make ~var:"p" ~source:(Xqtree.Rel (path "price")) "N1.1.2.1";
+                    ]
+                  "N1.1.2";
+              ];
+        ]
+  in
+  scenario env ~description:"Minimum price quote per book" "Q10" target
+
+(* ---- Q11: books with review data and a price limit ------------------------ *)
+let q11 env =
+  let affordable = Cond.Value (value_ep "b" "price", Ast.Lt, Value.Num 100.) in
+  let glowing = Cond.Value (value_ep "e" "price", Ast.Lt, Value.Num 60.) in
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"book" ~var:"b"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            ~conds:[ affordable ] "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title" ~one_edge:true ~var:"t"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"bibprice" ~var:"bp" ~source:(Xqtree.Rel (path "price"))
+                  "N1.1.2";
+                Xqtree.make ~tag:"review-entry" ~var:"e"
+                  ~source:(Xqtree.Abs (Some "reviews.xml", path "/reviews/entry"))
+                  ~conds:
+                    [
+                      Cond.Join (value_ep "e" "title", value_ep "b" "title");
+                      glowing;
+                    ]
+                  "N1.1.3"
+                  ~children:
+                    [
+                      Xqtree.make ~tag:"reviewprice" ~one_edge:true ~var:"rp"
+                        ~source:(Xqtree.Rel (path "price")) "N1.1.3.1";
+                    ];
+              ];
+        ]
+  in
+  scenario env
+    ~description:"Books under 100 with review prices under 60 (two value boxes)"
+    "Q11" target
+
+(* ---- Q12: pairs of distinct books sharing an author ----------------------- *)
+let q12 env =
+  let different_title =
+    Cond.Neg
+      (Cond.Expr (Ast.Cmp (Ast.Eq, data "b2" "title", data "b1" "title")))
+  in
+  let target =
+    Xqtree.make ~tag:"results" "N1"
+      ~children:
+        [
+          Xqtree.make ~tag:"book-pair" ~var:"b1"
+            ~source:(Xqtree.Abs (None, path "/bib/book"))
+            ~order_by:[ (sp "title", false); (sp "publisher", false) ]
+            "N1.1"
+            ~children:
+              [
+                Xqtree.make ~tag:"title1" ~one_edge:true ~var:"t1"
+                  ~source:(Xqtree.Rel (path "title")) "N1.1.1";
+                Xqtree.make ~tag:"alternate" ~var:"b2"
+                  ~source:(Xqtree.Abs (None, path "/bib/book"))
+                  ~conds:
+                    [
+                      Cond.Join (value_ep "b2" "author/last", value_ep "b1" "author/last");
+                      different_title;
+                    ]
+                  "N1.1.2"
+                  ~children:
+                    [
+                      Xqtree.make ~tag:"title2" ~one_edge:true ~var:"t2"
+                        ~source:(Xqtree.Rel (path "title")) "N1.1.2.1";
+                    ];
+              ];
+        ]
+  in
+  scenario env
+    ~description:"Pairs of different books sharing an author (NCB on the title)"
+    "Q12" target
+
+(** The 11 learnable XMP queries, in Figure 16 order. *)
+let all () : (string * Xl_core.Scenario.t) list =
+  let env = make_env () in
+  [
+    ("Q1", q1 env); ("Q2", q2 env); ("Q3", q3 env); ("Q4", q4 env);
+    ("Q5", q5 env); ("Q7", q7 env); ("Q8", q8 env); ("Q9", q9 env);
+    ("Q10", q10 env); ("Q11", q11 env); ("Q12", q12 env);
+  ]

@@ -1,0 +1,1 @@
+lib/xml/dewey.ml: Format List Stdlib String

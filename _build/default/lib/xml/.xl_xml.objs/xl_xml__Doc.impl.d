@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Dewey Frag Hashtbl List Node String

@@ -1,0 +1,1 @@
+lib/xml/doc.mli: Frag Hashtbl Node

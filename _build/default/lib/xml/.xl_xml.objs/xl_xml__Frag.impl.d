@@ -1,0 +1,1 @@
+lib/xml/frag.ml: List String

@@ -1,0 +1,1 @@
+lib/xml/node.ml: Dewey Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/xml/node.mli: Dewey Format

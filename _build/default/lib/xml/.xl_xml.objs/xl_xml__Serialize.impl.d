@@ -1,0 +1,1 @@
+lib/xml/serialize.ml: Buffer Frag List Node Printf String

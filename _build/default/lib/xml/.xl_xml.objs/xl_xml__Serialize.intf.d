@@ -1,0 +1,1 @@
+lib/xml/serialize.mli: Frag Node

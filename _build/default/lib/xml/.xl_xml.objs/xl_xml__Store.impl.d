@@ -1,0 +1,1 @@
+lib/xml/store.ml: Doc Filename List Printf

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Buffer Char Doc Frag List Printf String

@@ -1,0 +1,37 @@
+(** Dewey codes: positional identifiers for XML nodes.
+
+    The root element of a document has code [[1]]; its k-th child
+    (attributes first, then element/text children in document order) has
+    code [[1; k]].  Dewey order coincides with document order, and
+    ancestor tests are prefix tests — the properties the paper relies on
+    for both node identifiers and XQ-Tree labels (Section 3). *)
+
+type t = int list
+
+val root : t
+(** The code of a document's root element, [[1]]. *)
+
+val child : t -> int -> t
+(** [child d k] is the code of [d]'s k-th child (1-based). *)
+
+val parent : t -> t option
+(** The parent code; [None] for the root. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p d]: is [p] a (non-strict) prefix of [d]? *)
+
+val is_ancestor : t -> t -> bool
+(** Strict ancestorship: prefix and not equal. *)
+
+val compare : t -> t -> int
+(** Document order. *)
+
+val depth : t -> int
+
+val to_string : t -> string
+(** ["1.2.3"] notation. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.  Raises [Invalid_argument] on garbage. *)
+
+val pp : Format.formatter -> t -> unit

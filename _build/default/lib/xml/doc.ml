@@ -1,0 +1,122 @@
+(** Documents: indexed, identity-bearing XML trees.
+
+    [of_frag] materializes a {!Frag.t} into a {!Node.t} tree, assigning
+    fresh node ids and Dewey codes.  Node ids are unique across all
+    documents built in a process, so nodes from several documents can live
+    in one extent or data graph. *)
+
+type t = {
+  uri : string;
+  doc_node : Node.t;  (** kind [Document]; its single child is the root element *)
+  root : Node.t;  (** the root element *)
+  by_id : (int, Node.t) Hashtbl.t;
+}
+
+let next_node_id = ref 0
+
+let fresh_id () =
+  incr next_node_id;
+  !next_node_id
+
+let make_node kind name value =
+  {
+    Node.id = fresh_id ();
+    kind;
+    name;
+    value;
+    parent = None;
+    children = [];
+    attributes = [];
+    dewey = [];
+  }
+
+let of_frag ?(uri = "doc.xml") (frag : Frag.t) : t =
+  let rec build dewey frag =
+    match frag with
+    | Frag.T s ->
+      let n = make_node Node.Text "" s in
+      n.Node.dewey <- dewey;
+      n
+    | Frag.E (tag, attrs, children) ->
+      let n = make_node Node.Element tag "" in
+      n.Node.dewey <- dewey;
+      let k = ref 0 in
+      let attr_nodes =
+        List.map
+          (fun (name, value) ->
+            incr k;
+            let a = make_node Node.Attribute name value in
+            a.Node.dewey <- Dewey.child dewey !k;
+            a.Node.parent <- Some n;
+            a)
+          attrs
+      in
+      let child_nodes =
+        List.map
+          (fun c ->
+            incr k;
+            let cn = build (Dewey.child dewey !k) c in
+            cn.Node.parent <- Some n;
+            cn)
+          children
+      in
+      n.Node.attributes <- attr_nodes;
+      n.Node.children <- child_nodes;
+      n
+  in
+  let root =
+    match frag with
+    | Frag.E _ -> build Dewey.root frag
+    | Frag.T _ -> invalid_arg "Doc.of_frag: document root must be an element"
+  in
+  let doc_node = make_node Node.Document "" "" in
+  doc_node.Node.children <- [ root ];
+  root.Node.parent <- Some doc_node;
+  let by_id = Hashtbl.create 1024 in
+  List.iter (fun n -> Hashtbl.replace by_id n.Node.id n) (Node.all_nodes root);
+  Hashtbl.replace by_id doc_node.Node.id doc_node;
+  { uri; doc_node; root; by_id }
+
+let root t = t.root
+let uri t = t.uri
+
+let find_by_id t id = Hashtbl.find_opt t.by_id id
+
+(** All element and attribute nodes of the document, document order.
+    Text nodes are excluded: extents in the paper range over elements,
+    attributes and their values, and a value is identified with the node
+    carrying it. *)
+let nodes t =
+  List.filter
+    (fun n -> Node.is_element n || Node.is_attribute n)
+    (Node.all_nodes t.root)
+
+(** All nodes including text nodes. *)
+let all_nodes t = Node.all_nodes t.root
+
+let node_count t = Hashtbl.length t.by_id
+
+(** First node (document order) whose tag path equals [path], if any.
+    Used to turn an L* membership string into a concrete node to show the
+    teacher. *)
+let node_with_path t path =
+  let rec search n =
+    (* prune: the path must extend the current node's path *)
+    let np = Node.tag_path n in
+    let rec is_prefix p q =
+      match p, q with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: p', y :: q' -> String.equal x y && is_prefix p' q'
+    in
+    if not (is_prefix np path) then None
+    else if np = path then Some n
+    else
+      let candidates = n.Node.attributes @ n.Node.children in
+      List.find_map search candidates
+  in
+  search t.root
+
+(** All nodes with the given tag path. *)
+let nodes_with_path t path =
+  List.filter (fun n -> Node.tag_path n = path) (all_nodes t)

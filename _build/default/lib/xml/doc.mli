@@ -1,0 +1,39 @@
+(** Documents: indexed, identity-bearing XML trees.
+
+    {!of_frag} materializes a {!Frag.t} into a {!Node.t} tree, assigning
+    fresh node ids and Dewey codes.  Ids are unique across all documents
+    built in a process, so nodes from several documents can live in one
+    extent or data graph (the XMP scenarios join three documents). *)
+
+type t = {
+  uri : string;
+  doc_node : Node.t;
+      (** kind [Document]; its single child is the root element *)
+  root : Node.t;  (** the root element *)
+  by_id : (int, Node.t) Hashtbl.t;
+}
+
+val of_frag : ?uri:string -> Frag.t -> t
+(** Build and index a document.  Raises [Invalid_argument] if the
+    fragment's root is a text node. *)
+
+val root : t -> Node.t
+val uri : t -> string
+
+val find_by_id : t -> int -> Node.t option
+
+val nodes : t -> Node.t list
+(** All element and attribute nodes, document order — the extent
+    universe.  (Text is reachable through its parent element.) *)
+
+val all_nodes : t -> Node.t list
+(** Including text nodes. *)
+
+val node_count : t -> int
+
+val node_with_path : t -> string list -> Node.t option
+(** First node (document order) whose tag path equals the argument —
+    used to turn an L* membership string into a concrete node to show
+    the teacher. *)
+
+val nodes_with_path : t -> string list -> Node.t list

@@ -1,0 +1,99 @@
+(** XML nodes with identity.
+
+    Nodes follow the XQuery data model restricted to the kinds the paper
+    needs: documents, elements, attributes and text.  Each node has a
+    globally unique [id] (node identity — "[v1 is v2]" in the paper is id
+    equality) and a Dewey code giving document order.
+
+    The structure is built once by {!Doc} and never mutated afterwards;
+    the mutable fields exist only so construction can tie parent knots. *)
+
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;  (** tag for elements, attribute name for attributes, [""] otherwise *)
+  value : string;  (** text content for text/attribute nodes, [""] otherwise *)
+  mutable parent : t option;
+  mutable children : t list;  (** element and text children, document order *)
+  mutable attributes : t list;
+  mutable dewey : Dewey.t;
+}
+
+let compare_id a b = Stdlib.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+
+(** Document order. *)
+let compare_order a b =
+  let c = Dewey.compare a.dewey b.dewey in
+  if c <> 0 then c else Stdlib.compare a.id b.id
+
+let is_element n = n.kind = Element
+let is_attribute n = n.kind = Attribute
+let is_text n = n.kind = Text
+
+let parent n = n.parent
+let children n = n.children
+let attributes n = n.attributes
+
+(** [symbol n] is the tag-path symbol this node contributes: the tag for an
+    element, ["@name"] for an attribute, ["#text"] for a text node.  These
+    symbols form the alphabet of the path-learning automata. *)
+let symbol n =
+  match n.kind with
+  | Element -> n.name
+  | Attribute -> "@" ^ n.name
+  | Text -> "#text"
+  | Document -> "#doc"
+
+(** [tag_path n] is the sequence of symbols from the document's root
+    element down to [n] inclusive — the string [path(n)] of Section 5. *)
+let tag_path n =
+  let rec up acc n =
+    match n.kind, n.parent with
+    | Document, _ -> acc
+    | _, Some p -> up (symbol n :: acc) p
+    | _, None -> symbol n :: acc
+  in
+  up [] n
+
+(** Concatenated text content of the subtree, as XPath's string value. *)
+let rec string_value n =
+  match n.kind with
+  | Text | Attribute -> n.value
+  | Element | Document ->
+    String.concat "" (List.map string_value n.children)
+
+(** Typed view used by general comparisons: numeric when parseable. *)
+let numeric_value n =
+  match float_of_string_opt (String.trim (string_value n)) with
+  | Some f -> Some f
+  | None -> None
+
+let element_children n = List.filter is_element n.children
+
+let attribute n name =
+  List.find_opt (fun a -> String.equal a.name name) n.attributes
+
+(** All descendant-or-self nodes in document order (elements and text;
+    attributes are reachable through [attributes]). *)
+let rec descendants_or_self n =
+  n :: List.concat_map descendants_or_self n.children
+
+let descendants n = List.concat_map descendants_or_self n.children
+
+(** Descendant-or-self elements, attributes included as leaves —
+    the node universe used for extents and the data graph. *)
+let rec all_nodes n =
+  (n :: n.attributes) @ List.concat_map all_nodes n.children
+
+let rec root n = match n.parent with None -> n | Some p -> root p
+
+let pp fmt n =
+  Format.fprintf fmt "%s(%s)" (symbol n) (Dewey.to_string n.dewey)

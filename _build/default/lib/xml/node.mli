@@ -1,0 +1,78 @@
+(** XML nodes with identity.
+
+    The XQuery data model restricted to the kinds the paper needs:
+    documents, elements, attributes and text.  Each node has a globally
+    unique [id] — the paper's node identity, "[v1 is v2]", is [id]
+    equality — and a Dewey code giving document order.
+
+    Nodes are built once by {!Doc} and never mutated afterwards; the
+    mutable fields exist only so construction can tie the parent knots. *)
+
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;
+      (** tag for elements, attribute name for attributes, [""] otherwise *)
+  value : string;  (** content for text/attribute nodes, [""] otherwise *)
+  mutable parent : t option;
+  mutable children : t list;  (** element and text children, document order *)
+  mutable attributes : t list;
+  mutable dewey : Dewey.t;
+}
+
+val compare_id : t -> t -> int
+val equal : t -> t -> bool
+(** Node identity ([id] equality). *)
+
+val hash : t -> int
+
+val compare_order : t -> t -> int
+(** Document order (Dewey order, ties broken by id across documents). *)
+
+val is_element : t -> bool
+val is_attribute : t -> bool
+val is_text : t -> bool
+
+val parent : t -> t option
+val children : t -> t list
+val attributes : t -> t list
+
+val symbol : t -> string
+(** The tag-path symbol this node contributes: the tag for an element,
+    ["@name"] for an attribute, ["#text"] for text.  These symbols form
+    the alphabet of the path-learning automata (Section 5). *)
+
+val tag_path : t -> string list
+(** [path(n)] of the paper: symbols from the document's root element down
+    to [n], inclusive. *)
+
+val string_value : t -> string
+(** Concatenated text content of the subtree. *)
+
+val numeric_value : t -> float option
+(** The string value parsed as a number, when possible. *)
+
+val element_children : t -> t list
+
+val attribute : t -> string -> t option
+(** Attribute node by name. *)
+
+val descendants_or_self : t -> t list
+(** Elements and text, document order. *)
+
+val descendants : t -> t list
+
+val all_nodes : t -> t list
+(** Descendant-or-self elements with their attribute nodes — the node
+    universe of extents and the data graph. *)
+
+val root : t -> t
+(** Topmost ancestor (the document node for attached nodes). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(** Serialization of fragments and nodes back to XML text. *)
+
+let escape_text s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_attr s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec frag_to_buffer b = function
+  | Frag.T s -> Buffer.add_string b (escape_text s)
+  | Frag.E (tag, attrs, children) ->
+    Buffer.add_char b '<';
+    Buffer.add_string b tag;
+    List.iter
+      (fun (name, value) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b name;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_attr value);
+        Buffer.add_char b '"')
+      attrs;
+    if children = [] then Buffer.add_string b "/>"
+    else begin
+      Buffer.add_char b '>';
+      List.iter (frag_to_buffer b) children;
+      Buffer.add_string b "</";
+      Buffer.add_string b tag;
+      Buffer.add_char b '>'
+    end
+
+let frag_to_string f =
+  let b = Buffer.create 256 in
+  frag_to_buffer b f;
+  Buffer.contents b
+
+(** Pretty-printed fragment with [indent]-space indentation.  Elements with
+    a single text child stay on one line. *)
+let frag_to_pretty_string ?(indent = 2) f =
+  let b = Buffer.create 256 in
+  let pad n = Buffer.add_string b (String.make (n * indent) ' ') in
+  let rec go level = function
+    | Frag.T s -> pad level; Buffer.add_string b (escape_text s); Buffer.add_char b '\n'
+    | Frag.E (tag, attrs, children) ->
+      pad level;
+      Buffer.add_char b '<';
+      Buffer.add_string b tag;
+      List.iter
+        (fun (name, value) ->
+          Buffer.add_string b (Printf.sprintf " %s=\"%s\"" name (escape_attr value)))
+        attrs;
+      (match children with
+      | [] -> Buffer.add_string b "/>\n"
+      | [ Frag.T s ] ->
+        Buffer.add_char b '>';
+        Buffer.add_string b (escape_text s);
+        Buffer.add_string b "</";
+        Buffer.add_string b tag;
+        Buffer.add_string b ">\n"
+      | _ ->
+        Buffer.add_string b ">\n";
+        List.iter (go (level + 1)) children;
+        pad level;
+        Buffer.add_string b "</";
+        Buffer.add_string b tag;
+        Buffer.add_string b ">\n")
+  in
+  go 0 f;
+  Buffer.contents b
+
+let rec node_to_frag (n : Node.t) : Frag.t =
+  match n.Node.kind with
+  | Node.Text -> Frag.T n.Node.value
+  | Node.Attribute -> Frag.T n.Node.value
+  | Node.Element ->
+    let attrs = List.map (fun a -> (a.Node.name, a.Node.value)) n.Node.attributes in
+    Frag.E (n.Node.name, attrs, List.map node_to_frag n.Node.children)
+  | Node.Document ->
+    (match n.Node.children with
+    | [ root ] -> node_to_frag root
+    | _ -> invalid_arg "Serialize.node_to_frag: malformed document node")
+
+let node_to_string n = frag_to_string (node_to_frag n)
+let node_to_pretty_string ?indent n = frag_to_pretty_string ?indent (node_to_frag n)

@@ -1,0 +1,17 @@
+(** Serialization of fragments and nodes back to XML text. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val frag_to_string : Frag.t -> string
+(** Compact serialization with proper escaping. *)
+
+val frag_to_pretty_string : ?indent:int -> Frag.t -> string
+(** Indented serialization; elements with a single text child stay on
+    one line. *)
+
+val node_to_frag : Node.t -> Frag.t
+(** Deep copy of a node subtree as a plain fragment. *)
+
+val node_to_string : Node.t -> string
+val node_to_pretty_string : ?indent:int -> Node.t -> string

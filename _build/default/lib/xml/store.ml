@@ -1,0 +1,52 @@
+(** Document store.
+
+    Resolves the [document("uri")] function of the query engine and gives
+    the learner a single universe of nodes spanning several documents
+    (XMP scenarios join [bib.xml] with [reviews.xml]). *)
+
+type t = {
+  mutable docs : (string * Doc.t) list;  (** insertion order preserved *)
+  mutable default : Doc.t option;
+}
+
+let create () = { docs = []; default = None }
+
+(** [add ?default store doc] registers [doc] under its URI.  The first
+    document added becomes the default (the target of paths that start at
+    the plain document root), unless overridden with [~default:true]. *)
+let add ?(default = false) t doc =
+  t.docs <- t.docs @ [ (Doc.uri doc, doc) ];
+  if default || t.default = None then t.default <- Some doc
+
+let of_docs docs =
+  let t = create () in
+  List.iter (fun d -> add t d) docs;
+  t
+
+let default t =
+  match t.default with
+  | Some d -> d
+  | None -> invalid_arg "Store.default: empty store"
+
+let find t uri =
+  match List.assoc_opt uri t.docs with
+  | Some d -> Some d
+  | None ->
+    (* tolerate "file:///..." or path prefixes around the registered name *)
+    List.find_map
+      (fun (u, d) ->
+        if Filename.basename u = Filename.basename uri then Some d else None)
+      t.docs
+
+let find_exn t uri =
+  match find t uri with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Store.find_exn: no document %S" uri)
+
+let docs t = List.map snd t.docs
+
+(** Every element/attribute node of every document, document order within
+    each document, documents in registration order. *)
+let nodes t = List.concat_map Doc.nodes (docs t)
+
+let find_node_by_id t id = List.find_map (fun d -> Doc.find_by_id d id) (docs t)

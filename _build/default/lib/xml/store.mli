@@ -1,0 +1,32 @@
+(** Document store.
+
+    Resolves the query engine's [document("uri")] function and gives the
+    learner a single node universe spanning several documents (the XMP
+    scenarios join [bib.xml] with [reviews.xml] and [prices.xml]). *)
+
+type t
+
+val create : unit -> t
+
+val add : ?default:bool -> t -> Doc.t -> unit
+(** Register a document under its URI.  The first document added becomes
+    the default unless overridden. *)
+
+val of_docs : Doc.t list -> t
+
+val default : t -> Doc.t
+(** The target of paths starting at the plain document root.
+    Raises [Invalid_argument] on an empty store. *)
+
+val find : t -> string -> Doc.t option
+(** Lookup by URI; tolerates path prefixes around the registered name. *)
+
+val find_exn : t -> string -> Doc.t
+
+val docs : t -> Doc.t list
+(** Registration order. *)
+
+val nodes : t -> Node.t list
+(** Every element/attribute node of every document. *)
+
+val find_node_by_id : t -> int -> Node.t option

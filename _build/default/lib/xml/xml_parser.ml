@@ -1,0 +1,248 @@
+(** A small XML 1.0 parser.
+
+    Supports elements, attributes (single or double quoted), character
+    data, CDATA sections, comments, processing instructions, an optional
+    XML declaration and an optional DOCTYPE (skipped; DTDs are parsed by
+    [Xl_schema.Dtd_parser]).  Predefined and numeric character entities
+    are decoded.  Whitespace-only text between elements is dropped, which
+    matches how the paper's data sets are used. *)
+
+exception Parse_error of string * int  (** message, byte position *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st (Printf.sprintf "expected %S" s)
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance st
+  done
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* called just after '&' *)
+  let semi =
+    try String.index_from st.src st.pos ';'
+    with Not_found -> error st "unterminated entity"
+  in
+  let ent = String.sub st.src st.pos (semi - st.pos) in
+  st.pos <- semi + 1;
+  match ent with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ when String.length ent > 1 && ent.[0] = '#' ->
+    let code =
+      if ent.[1] = 'x' || ent.[1] = 'X' then
+        int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
+      else int_of_string (String.sub ent 1 (String.length ent - 1))
+    in
+    if code < 0x80 then String.make 1 (Char.chr code)
+    else
+      (* encode as UTF-8 *)
+      let b = Buffer.create 4 in
+      if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents b
+  | _ -> error st (Printf.sprintf "unknown entity &%s;" ent)
+
+let read_quoted st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st;
+      q
+    | _ -> error st "expected quoted value"
+  in
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated attribute value"
+    | Some c when c = quote ->
+      advance st;
+      Buffer.contents b
+    | Some '&' ->
+      advance st;
+      Buffer.add_string b (decode_entity st);
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char b c;
+      loop ()
+  in
+  loop ()
+
+let skip_until st terminator =
+  match
+    let tlen = String.length terminator in
+    let rec find i =
+      if i + tlen > String.length st.src then None
+      else if String.sub st.src i tlen = terminator then Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | Some i -> st.pos <- i + String.length terminator
+  | None -> error st (Printf.sprintf "missing %S" terminator)
+
+let rec skip_misc st =
+  skip_ws st;
+  if looking_at st "<?" then begin
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!--" then begin
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    (* skip to the matching '>' (handles an internal subset in brackets) *)
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | None -> error st "unterminated DOCTYPE"
+      | Some '[' ->
+        incr depth;
+        advance st
+      | Some ']' ->
+        decr depth;
+        advance st
+      | Some '>' when !depth = 0 ->
+        advance st;
+        continue := false
+      | Some _ -> advance st
+    done;
+    skip_misc st
+  end
+
+let rec parse_element st : Frag.t =
+  expect st "<";
+  let tag = read_name st in
+  let attrs = parse_attributes st [] in
+  if looking_at st "/>" then begin
+    expect st "/>";
+    Frag.E (tag, List.rev attrs, [])
+  end
+  else begin
+    expect st ">";
+    let children = parse_content st [] in
+    expect st "</";
+    let close = read_name st in
+    if not (String.equal close tag) then
+      error st (Printf.sprintf "mismatched close tag </%s> for <%s>" close tag);
+    skip_ws st;
+    expect st ">";
+    Frag.E (tag, List.rev attrs, children)
+  end
+
+and parse_attributes st acc =
+  skip_ws st;
+  match peek st with
+  | Some c when is_name_char c ->
+    let name = read_name st in
+    skip_ws st;
+    expect st "=";
+    skip_ws st;
+    let value = read_quoted st in
+    parse_attributes st ((name, value) :: acc)
+  | _ -> acc
+
+and parse_content st acc =
+  if looking_at st "</" then flush_content acc []
+  else if looking_at st "<!--" then begin
+    skip_until st "-->";
+    parse_content st acc
+  end
+  else if looking_at st "<![CDATA[" then begin
+    st.pos <- st.pos + String.length "<![CDATA[";
+    let start = st.pos in
+    skip_until st "]]>";
+    let data = String.sub st.src start (st.pos - start - 3) in
+    parse_content st (`Text data :: acc)
+  end
+  else if looking_at st "<?" then begin
+    skip_until st "?>";
+    parse_content st acc
+  end
+  else if looking_at st "<" then
+    let child = parse_element st in
+    parse_content st (`Node child :: acc)
+  else
+    match peek st with
+    | None -> error st "unterminated element content"
+    | Some _ ->
+      let b = Buffer.create 16 in
+      let rec text () =
+        match peek st with
+        | None | Some '<' -> ()
+        | Some '&' ->
+          advance st;
+          Buffer.add_string b (decode_entity st);
+          text ()
+        | Some c ->
+          advance st;
+          Buffer.add_char b c;
+          text ()
+      in
+      text ();
+      parse_content st (`Text (Buffer.contents b) :: acc)
+
+and flush_content rev_acc out =
+  (* merge adjacent text, drop whitespace-only runs *)
+  match rev_acc with
+  | [] -> out
+  | `Node n :: rest -> flush_content rest (n :: out)
+  | `Text s :: rest ->
+    let is_ws = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s in
+    if is_ws then flush_content rest out else flush_content rest (Frag.T s :: out)
+
+(** Parse a complete document (prolog + one root element) into a fragment. *)
+let parse (src : string) : Frag.t =
+  let st = { src; pos = 0 } in
+  skip_misc st;
+  if not (looking_at st "<") then error st "expected root element";
+  let root = parse_element st in
+  skip_misc st;
+  if st.pos <> String.length st.src then error st "content after the root element";
+  root
+
+(** Parse straight to an indexed {!Doc.t}. *)
+let parse_doc ?uri (src : string) : Doc.t = Doc.of_frag ?uri (parse src)

@@ -1,0 +1,18 @@
+(** A small XML 1.0 parser.
+
+    Supports elements, attributes, character data, CDATA, comments,
+    processing instructions, an optional XML declaration and DOCTYPE
+    (skipped — DTDs are parsed by [Xl_schema.Dtd_parser]), and predefined
+    plus numeric character entities.  Whitespace-only text between
+    elements is dropped. *)
+
+exception Parse_error of string * int
+(** message, byte position *)
+
+val parse : string -> Frag.t
+(** Parse a complete document (prolog + exactly one root element).
+    Raises {!Parse_error} on malformed input, including trailing
+    content. *)
+
+val parse_doc : ?uri:string -> string -> Doc.t
+(** Parse straight to an indexed document. *)

@@ -1,0 +1,1 @@
+lib/xqtree/classes.ml: Cond List Xqtree

@@ -1,0 +1,1 @@
+lib/xqtree/classes.mli: Xqtree

@@ -1,0 +1,1 @@
+lib/xqtree/cond.ml: Ast List Path_expr Printer Printf Simple_path String Value Xl_xquery

@@ -1,0 +1,1 @@
+lib/xqtree/cond.mli: Ast Path_expr Simple_path Value Xl_xquery

@@ -1,0 +1,1 @@
+lib/xqtree/func_spec.ml: Ast List Printer Printf String Value Xl_xquery

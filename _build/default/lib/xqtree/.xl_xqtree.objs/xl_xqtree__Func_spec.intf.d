@@ -1,0 +1,1 @@
+lib/xqtree/func_spec.mli: Ast Value Xl_xquery

@@ -1,0 +1,1 @@
+lib/xqtree/xqtree.ml: Array Ast Buffer Cond Eval Func_spec List Option Path_expr Printf Simple_path String Value Xl_xml Xl_xquery

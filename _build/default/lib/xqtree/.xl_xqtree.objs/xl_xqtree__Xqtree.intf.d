@@ -1,0 +1,1 @@
+lib/xqtree/xqtree.mli: Ast Cond Func_spec Path_expr Simple_path Value Xl_xml Xl_xquery

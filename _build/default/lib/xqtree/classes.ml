@@ -1,0 +1,162 @@
+(** The query classes of Sections 5, 6 and 9:
+    X0 ⊆ X0* ⊆ X0*+ and X1 (= X0) ⊆ X1* ⊆ X1*+ ⊆ X1*+E, plus the
+    construct-level classifier used for the Figure 15 expressive-power
+    experiment. *)
+
+type cls = X0 | X0_star | X0_star_plus | X1 | X1_star | X1_star_plus | X1_star_plus_E
+
+let cls_to_string = function
+  | X0 -> "X0"
+  | X0_star -> "X0*"
+  | X0_star_plus -> "X0*+"
+  | X1 -> "X1"
+  | X1_star -> "X1*"
+  | X1_star_plus -> "X1*+"
+  | X1_star_plus_E -> "X1*+E"
+
+(* is every condition of the Rel1-Rel3 relationship shape over visible
+   variables? *)
+let rel_shaped (t : Xqtree.t) (n : Xqtree.node) : bool =
+  let visible = Xqtree.visible_vars t n.Xqtree.label in
+  List.for_all
+    (fun c ->
+      match c with
+      | Cond.Join _ | Cond.Relay _ ->
+        List.for_all
+          (fun v -> Some v = n.Xqtree.var || List.mem v visible)
+          (Cond.vars c)
+      | Cond.Value _ | Cond.Func_cmp _ | Cond.Expr _ | Cond.Neg _ -> false)
+    n.Xqtree.conds
+
+let explicit_free (n : Xqtree.node) =
+  n.Xqtree.func = None && n.Xqtree.order_by = []
+
+(** [0-Learnable(n)]: a fragment [for v in p return v] with a doc-rooted
+    regular path and no conditions. *)
+let zero_learnable (n : Xqtree.node) : bool =
+  (match n.Xqtree.source with Some (Xqtree.Abs _) -> true | _ -> false)
+  && n.Xqtree.var <> None && n.Xqtree.conds = [] && explicit_free n
+
+(** [1-Learnable(n)]: [expr*(v).path] doc-rooted (holds when the chain of
+    sources is rooted, checked via {!Xqtree.absolute_path}) and the
+    [where] clause is a conjunction of Rel-shaped relationships. *)
+let one_learnable (t : Xqtree.t) (n : Xqtree.node) : bool =
+  n.Xqtree.var <> None
+  && n.Xqtree.source <> None
+  && Xqtree.absolute_path t n.Xqtree.label <> None
+  && rel_shaped t n && explicit_free n
+
+(* holder nodes: the primed variants 0-Learnable'/1-Learnable'.  A holder
+   either collapses with a 1-labeled child or just returns its children. *)
+let holder (learnable : Xqtree.node -> bool) (n : Xqtree.node) : bool =
+  n.Xqtree.var = None && n.Xqtree.source = None && n.Xqtree.conds = []
+  && explicit_free n
+  &&
+  match List.filter (fun c -> c.Xqtree.one_edge) n.Xqtree.children with
+  | [] -> true  (* pure holder of children *)
+  | [ c1 ] -> ( (* must be learnable when collapsed with its 1-child *)
+    match c1.Xqtree.var with Some _ -> learnable c1 | None -> false)
+  | _ -> false
+
+(** Extended learnability: explicit Condition Boxes, OrderBy Boxes and
+    Drop-Box functions allowed (Section 9). *)
+let extended_learnable (t : Xqtree.t) (n : Xqtree.node) : bool =
+  let cond_ok c =
+    match c with
+    | Cond.Join _ | Cond.Relay _ -> true
+    | Cond.Value _ | Cond.Func_cmp _ | Cond.Expr _ -> true
+    | Cond.Neg _ -> true
+  in
+  (match n.Xqtree.var, n.Xqtree.source with
+  | Some _, Some _ -> Xqtree.absolute_path t n.Xqtree.label <> None
+  | None, None -> true
+  | _ -> false)
+  && List.for_all cond_ok n.Xqtree.conds
+
+(** Smallest class containing the XQ-Tree, if any. *)
+let classify (t : Xqtree.t) : cls option =
+  let ns = Xqtree.nodes t in
+  let all p = List.for_all p ns in
+  if List.length ns = 1 && zero_learnable t && Xqtree.size t = 1 then Some X0
+  else if all zero_learnable then Some X0_star
+  else if all (fun n -> zero_learnable n || holder zero_learnable n) then
+    Some X0_star_plus
+  else if all (one_learnable t) then Some X1_star
+  else if all (fun n -> one_learnable t n || holder (one_learnable t) n) then
+    Some X1_star_plus
+  else if all (fun n -> extended_learnable t n || holder (extended_learnable t) n)
+  then Some X1_star_plus_E
+  else None
+
+let in_class (t : Xqtree.t) (c : cls) : bool =
+  match classify t, c with
+  | None, _ -> false
+  | Some found, want ->
+    let rank = function
+      | X0 | X1 -> 0
+      | X0_star -> 1
+      | X0_star_plus -> 2
+      | X1_star -> 3
+      | X1_star_plus -> 4
+      | X1_star_plus_E -> 5
+    in
+    rank found <= rank want
+
+(* ---- construct-level classifier (Figure 15) -------------------------- *)
+
+(** Constructs a benchmark/use-case query may exercise.  A query is in
+    XQ_I (learnable by LEARN-X1*+E for the given instance) exactly when
+    it uses no construct outside the extension's reach. *)
+type construct =
+  | Regular_path  (** location paths, incl. // and alternation *)
+  | Join_condition  (** value joins (learned by C-Learner) *)
+  | Value_predicate  (** selection on values (Condition Box) *)
+  | Negated_predicate  (** Negative Condition Box *)
+  | Aggregation  (** count/sum/avg/... (Drop-Box function) *)
+  | Arithmetic  (** computed values (Drop-Box function) *)
+  | Order_by  (** sorting (OrderBy Box) *)
+  | Element_construction
+  | Quantifier  (** some/every *)
+  | Full_text  (** contains() — substring match *)
+  | Positional  (** a[1], last() — allowed inside Rel paths *)
+  | Udf_nonrecursive
+      (** user-defined, inlinable function — learnable as an equivalent
+          query without the function (footnote 5, XMark Q18) *)
+  | Namespace_pattern  (** namespace-sensitive matching (UC "NS") *)
+  | Recursive_udf  (** recursive user functions (UC "PARTS") *)
+  | Typed_operation  (** operations on strongly typed data (UC "STRONG") *)
+  | Schema_introspection  (** instance-of / typeswitch-style tests *)
+
+let construct_learnable = function
+  | Regular_path | Join_condition | Value_predicate | Negated_predicate
+  | Aggregation | Arithmetic | Order_by | Element_construction | Quantifier
+  | Full_text | Positional | Udf_nonrecursive ->
+    true
+  | Namespace_pattern | Recursive_udf | Typed_operation | Schema_introspection ->
+    false
+
+(** Is a query with these constructs in XQ_I? *)
+let learnable_with_extension (constructs : construct list) : bool =
+  List.for_all construct_learnable constructs
+
+(** The first construct that blocks learnability, if any. *)
+let blocking_construct (constructs : construct list) : construct option =
+  List.find_opt (fun c -> not (construct_learnable c)) constructs
+
+let construct_to_string = function
+  | Regular_path -> "regular path"
+  | Join_condition -> "join condition"
+  | Value_predicate -> "value predicate"
+  | Negated_predicate -> "negated predicate"
+  | Aggregation -> "aggregation"
+  | Arithmetic -> "arithmetic"
+  | Order_by -> "order by"
+  | Element_construction -> "element construction"
+  | Quantifier -> "quantifier"
+  | Full_text -> "full-text"
+  | Positional -> "positional predicate"
+  | Udf_nonrecursive -> "non-recursive UDF"
+  | Namespace_pattern -> "namespace pattern"
+  | Recursive_udf -> "recursive UDF"
+  | Typed_operation -> "typed operation"
+  | Schema_introspection -> "schema introspection"

@@ -1,0 +1,53 @@
+(** The query classes of Sections 5, 6 and 9 —
+    X0 ⊆ X0* ⊆ X0*+ and X1 (= X0) ⊆ X1* ⊆ X1*+ ⊆ X1*+E — plus the
+    construct-level classifier behind the Figure 15 experiment. *)
+
+type cls = X0 | X0_star | X0_star_plus | X1 | X1_star | X1_star_plus | X1_star_plus_E
+
+val cls_to_string : cls -> string
+
+val zero_learnable : Xqtree.node -> bool
+(** [0-Learnable(n)]: [for v in p return v] with a doc-rooted regular
+    path and no conditions. *)
+
+val one_learnable : Xqtree.t -> Xqtree.node -> bool
+(** [1-Learnable(n)]: rooted composed path and Rel-shaped [where]
+    conjunction over visible variables. *)
+
+val extended_learnable : Xqtree.t -> Xqtree.node -> bool
+(** Adds the Section 9 extensions (explicit boxes, functions, sorting). *)
+
+val classify : Xqtree.t -> cls option
+(** Smallest class containing the tree, if any. *)
+
+val in_class : Xqtree.t -> cls -> bool
+
+(** {2 Construct-level classification (Figure 15)} *)
+
+type construct =
+  | Regular_path
+  | Join_condition
+  | Value_predicate
+  | Negated_predicate
+  | Aggregation
+  | Arithmetic
+  | Order_by
+  | Element_construction
+  | Quantifier
+  | Full_text
+  | Positional
+  | Udf_nonrecursive
+      (** inlinable user function — learnable as an equivalent
+          function-free query (footnote 5, XMark Q18) *)
+  | Namespace_pattern  (** blocks learnability (UC "NS") *)
+  | Recursive_udf  (** blocks learnability (UC "PARTS") *)
+  | Typed_operation  (** blocks learnability (UC "STRONG") *)
+  | Schema_introspection
+
+val construct_learnable : construct -> bool
+
+val learnable_with_extension : construct list -> bool
+(** Is a query with these constructs in XQ_I? *)
+
+val blocking_construct : construct list -> construct option
+val construct_to_string : construct -> string

@@ -1,0 +1,129 @@
+(** Conditions in XQ-Tree [where] clauses.
+
+    The shapes mirror 1-learnability (paper Section 6): equality
+    relationships between a node variable and the variables it may depend
+    on, possibly through relay nodes (Rel1–Rel3), plus the explicit
+    predicates supplied through Condition Boxes (Section 9(3)).
+
+    An endpoint [data($v/p)] is a variable plus a simple child-axis path
+    (possibly empty = the variable itself). *)
+
+open Xl_xquery
+
+type endpoint = { var : string; path : Simple_path.t }
+
+let ep ?(path = []) var = { var; path }
+
+type t =
+  | Join of endpoint * endpoint
+      (** [data($v1/p1) = data($v2/p2)] — Rel1 (empty paths) and Rel2
+          (relay nodes reached from an endpoint). *)
+  | Relay of relay
+      (** Rel3 — an existential relay node reached from a document root. *)
+  | Value of endpoint * Ast.cmp_op * Value.atom
+      (** [data($v/p) op constant] — a Condition-Box selection predicate. *)
+  | Func_cmp of string * endpoint * Ast.cmp_op * Value.atom
+      (** [fn(data($v/p)) op constant], e.g. [count(...) > 1]. *)
+  | Expr of Ast.expr  (** free-form explicit predicate (PCB) *)
+  | Neg of t  (** Negative Condition Box *)
+
+and relay = {
+  relay_var : string;
+  relay_doc : string option;  (** document of the relay path *)
+  relay_path : Path_expr.t;  (** doc-rooted path selecting relay candidates *)
+  links : (endpoint * Simple_path.t) list;
+      (** [data(ep) = data($w/q)] for each link *)
+  relay_conds : (Simple_path.t * Ast.cmp_op * Value.atom) list;
+      (** extra value predicates on the relay, e.g. [data($w/price) < 300] *)
+}
+
+let endpoint_expr (e : endpoint) : Ast.expr =
+  match e.path with
+  | [] -> Ast.Call ("data", [ Ast.Var e.var ])
+  | p -> Ast.Call ("data", [ Ast.Simple (Ast.Var e.var, p) ])
+
+(** Compile a condition to an AST expression for evaluation. *)
+let rec to_expr (c : t) : Ast.expr =
+  match c with
+  | Join (a, b) -> Ast.Cmp (Ast.Eq, endpoint_expr a, endpoint_expr b)
+  | Value (e, op, atom) -> Ast.Cmp (op, endpoint_expr e, Ast.Literal atom)
+  | Func_cmp (fn, e, op, atom) ->
+    let arg =
+      match e.path with
+      | [] -> Ast.Var e.var
+      | p -> Ast.Simple (Ast.Var e.var, p)
+    in
+    Ast.Cmp (op, Ast.Call (fn, [ arg ]), Ast.Literal atom)
+  | Expr e -> e
+  | Neg c -> Ast.Not (to_expr c)
+  | Relay r ->
+    let w = r.relay_var in
+    let link_exprs =
+      List.map
+        (fun (e, q) ->
+          Ast.Cmp
+            ( Ast.Eq,
+              endpoint_expr e,
+              Ast.Call ("data", [ Ast.Simple (Ast.Var w, q) ]) ))
+        r.links
+    in
+    let value_exprs =
+      List.map
+        (fun (q, op, atom) ->
+          Ast.Cmp (op, Ast.Call ("data", [ Ast.Simple (Ast.Var w, q) ]), Ast.Literal atom))
+        r.relay_conds
+    in
+    Ast.Some_
+      ( [ (w, Ast.Path (Ast.Doc_root r.relay_doc, r.relay_path)) ],
+        Ast.conj (link_exprs @ value_exprs) )
+
+let to_exprs (cs : t list) : Ast.expr option =
+  match cs with [] -> None | cs -> Some (Ast.conj (List.map to_expr cs))
+
+(** Variables a condition refers to (relay variables excluded — they are
+    bound inside the condition itself). *)
+let rec vars (c : t) : string list =
+  match c with
+  | Join (a, b) -> [ a.var; b.var ]
+  | Value (e, _, _) | Func_cmp (_, e, _, _) -> [ e.var ]
+  | Expr e -> Ast.free_vars e
+  | Neg c -> vars c
+  | Relay r -> List.map (fun (e, _) -> e.var) r.links
+
+let endpoint_to_string (e : endpoint) =
+  match e.path with
+  | [] -> Printf.sprintf "data($%s)" e.var
+  | p -> Printf.sprintf "data($%s/%s)" e.var (Simple_path.to_string p)
+
+let rec to_string (c : t) : string =
+  match c with
+  | Join (a, b) -> Printf.sprintf "%s = %s" (endpoint_to_string a) (endpoint_to_string b)
+  | Value (e, op, atom) ->
+    Printf.sprintf "%s %s %s" (endpoint_to_string e) (Printer.cmp_to_string op)
+      (Value.atom_to_string atom)
+  | Func_cmp (fn, e, op, atom) ->
+    Printf.sprintf "%s(%s) %s %s" fn (endpoint_to_string e) (Printer.cmp_to_string op)
+      (Value.atom_to_string atom)
+  | Expr e -> Printer.to_string e
+  | Neg c -> Printf.sprintf "not(%s)" (to_string c)
+  | Relay r ->
+    let links =
+      List.map
+        (fun (e, q) ->
+          Printf.sprintf "%s = data($%s/%s)" (endpoint_to_string e) r.relay_var
+            (Simple_path.to_string q))
+        r.links
+    in
+    let vals =
+      List.map
+        (fun (q, op, atom) ->
+          Printf.sprintf "data($%s/%s) %s %s" r.relay_var (Simple_path.to_string q)
+            (Printer.cmp_to_string op) (Value.atom_to_string atom))
+        r.relay_conds
+    in
+    Printf.sprintf "some $%s in %s satisfies %s" r.relay_var
+      (Path_expr.to_string r.relay_path)
+      (String.concat " and " (links @ vals))
+
+(** Structural equality (used by C-Learner set operations). *)
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,49 @@
+(** Conditions in XQ-Tree [where] clauses.
+
+    The shapes mirror 1-learnability (Section 6): equality relationships
+    between a node variable and the variables it may depend on, possibly
+    through relay nodes (Rel1–Rel3), plus the explicit predicates of
+    Condition Boxes (Section 9(3)). *)
+
+open Xl_xquery
+
+type endpoint = { var : string; path : Simple_path.t }
+(** [data($var/path)]; an empty path is the variable itself. *)
+
+val ep : ?path:Simple_path.t -> string -> endpoint
+
+type t =
+  | Join of endpoint * endpoint
+      (** [data($v1/p1) = data($v2/p2)] — Rel1/Rel2. *)
+  | Relay of relay  (** Rel3: an existential relay from a document root. *)
+  | Value of endpoint * Ast.cmp_op * Value.atom
+      (** Condition-Box selection predicate. *)
+  | Func_cmp of string * endpoint * Ast.cmp_op * Value.atom
+      (** [fn(...) op constant]. *)
+  | Expr of Ast.expr  (** free-form explicit predicate (PCB) *)
+  | Neg of t  (** Negative Condition Box *)
+
+and relay = {
+  relay_var : string;
+  relay_doc : string option;
+  relay_path : Path_expr.t;  (** doc-rooted path selecting relay candidates *)
+  links : (endpoint * Simple_path.t) list;
+      (** [data(ep) = data($w/q)] per link *)
+  relay_conds : (Simple_path.t * Ast.cmp_op * Value.atom) list;
+      (** extra value predicates on the relay, e.g. [price < 300] *)
+}
+
+val endpoint_expr : endpoint -> Ast.expr
+
+val to_expr : t -> Ast.expr
+(** Compile for evaluation. *)
+
+val to_exprs : t list -> Ast.expr option
+(** Conjunction; [None] for the empty list. *)
+
+val vars : t -> string list
+(** Variables referenced (relay variables excluded — bound inside). *)
+
+val endpoint_to_string : endpoint -> string
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,53 @@
+(** Functions in Drop Boxes (paper Section 9(1), Figure 14).
+
+    When the user types a function into a Drop Box, XLearner opens a
+    nested Drop Box per parameter and rewrites the XQ-Tree.  A
+    [Func_spec.t] is the typed-in expression with [Hole i] standing for
+    the i-th nested Drop Box (whose content is then learned as usual).
+
+    The experiment tables measure such specifications by their number of
+    terminal nodes (function names, constants, dropped nodes) — see the
+    "#t" columns of Figure 16. *)
+
+open Xl_xquery
+
+type t =
+  | Hole of int  (** i-th nested Drop Box (0-based) *)
+  | Const of Value.atom
+  | Fn of string * t list
+  | Bin of Ast.arith_op * t * t
+
+(** Terminal count as defined in Section 10: function names, values and
+    dropped example nodes all count as terminals; e.g.
+    [multiply(plus(30, 40), 2)] has 5 terminals. *)
+let rec terminals = function
+  | Hole _ -> 1  (* the dropped example node filling the box *)
+  | Const _ -> 1
+  | Fn (_, args) -> 1 + List.fold_left (fun a t -> a + terminals t) 0 args
+  | Bin (_, a, b) -> 1 + terminals a + terminals b
+
+let rec holes = function
+  | Hole i -> [ i ]
+  | Const _ -> []
+  | Fn (_, args) -> List.concat_map holes args
+  | Bin (_, a, b) -> holes a @ holes b
+
+(** Number of nested Drop Boxes the spec opens. *)
+let arity t =
+  match holes t with [] -> 0 | hs -> 1 + List.fold_left max 0 hs
+
+(** Instantiate with the learned subqueries for each hole. *)
+let rec to_expr (t : t) ~(fill : int -> Ast.expr) : Ast.expr =
+  match t with
+  | Hole i -> fill i
+  | Const a -> Ast.Literal a
+  | Fn (name, args) -> Ast.Call (name, List.map (to_expr ~fill) args)
+  | Bin (op, a, b) -> Ast.Arith (op, to_expr ~fill a, to_expr ~fill b)
+
+let rec to_string = function
+  | Hole i -> Printf.sprintf "[box %d]" (i + 1)
+  | Const a -> Value.atom_to_string a
+  | Fn (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map to_string args))
+  | Bin (op, a, b) ->
+    Printf.sprintf "%s %s %s" (to_string a) (Printer.arith_to_string op) (to_string b)

@@ -1,0 +1,25 @@
+(** Functions in Drop Boxes (Section 9(1), Figure 14).
+
+    When the user types a function into a Drop Box, XLearner opens a
+    nested Drop Box per parameter; a [Func_spec.t] is the typed-in
+    expression with [Hole i] standing for the i-th nested box. *)
+
+open Xl_xquery
+
+type t =
+  | Hole of int  (** i-th nested Drop Box (0-based) *)
+  | Const of Value.atom
+  | Fn of string * t list
+  | Bin of Ast.arith_op * t * t
+
+val terminals : t -> int
+(** Terminal count as defined in Section 10 (function names, values and
+    dropped nodes): [multiply(plus(30, 40), 2)] has 5 terminals. *)
+
+val holes : t -> int list
+val arity : t -> int
+
+val to_expr : t -> fill:(int -> Ast.expr) -> Ast.expr
+(** Instantiate with the learned subqueries. *)
+
+val to_string : t -> string

@@ -1,0 +1,224 @@
+(** XQ-Trees: the paper's representation of XQuery queries (Section 3).
+
+    Each node carries one flwr query fragment; the nesting of flwr
+    expressions is the tree.  Node identifiers use Dewey-style labels
+    ("N1.1.2").  The key operations are [compose] / complete queries
+    (realized here as [to_ast], which composes fragments down the tree)
+    and [collapse] of 1-labeled edges, which [to_ast] performs implicitly
+    by placing constructors inside or outside the fragment's loop. *)
+
+open Xl_xquery
+
+type source =
+  | Abs of string option * Path_expr.t
+      (** doc-rooted path: [document(uri)/p] *)
+  | Rel of Path_expr.t  (** relative to the nearest ancestor variable *)
+
+type node = {
+  label : string;  (** Dewey-style identifier, e.g. "N1.1.2" *)
+  tag : string option;  (** element constructor tag (from the template) *)
+  one_edge : bool;
+      (** the edge from the parent is 1-labeled (one-to-one in the target
+          schema): the constructor sits outside the fragment's loop *)
+  var : string option;  (** the fragment's variable [ve] *)
+  source : source option;  (** [for var in source] *)
+  conds : Cond.t list;  (** [where] conjunction *)
+  order_by : (Simple_path.t * bool) list;  (** sort keys relative to [var] *)
+  func : Func_spec.t option;  (** Nested-Drop-Box function *)
+  emit_var : bool;  (** the variable itself appears in the return clause *)
+  children : node list;
+}
+
+type t = node
+
+let make ?tag ?(one_edge = false) ?var ?source ?(conds = []) ?(order_by = [])
+    ?func ?emit_var ?(children = []) label =
+  let emit_var =
+    match emit_var with
+    | Some b -> b
+    | None -> children = [] && func = None && var <> None
+  in
+  { label; tag; one_edge; var; source; conds; order_by; func; emit_var; children }
+
+let rec find (t : t) label : node option =
+  if String.equal t.label label then Some t
+  else List.find_map (fun c -> find c label) t.children
+
+let rec fold f acc (t : t) = List.fold_left (fold f) (f acc t) t.children
+
+let nodes (t : t) : node list = List.rev (fold (fun acc n -> n :: acc) [] t)
+
+let size t = List.length (nodes t)
+
+(** Nodes that define a variable, in depth-first (document) order — the
+    traversal order of LEARN-X1*+ (Section 7). *)
+let var_nodes t = List.filter (fun n -> n.var <> None) (nodes t)
+
+(** The chain of ancestors of [label], outermost first (excluding the
+    node itself). *)
+let ancestors (t : t) label : node list =
+  let rec go path n =
+    if String.equal n.label label then Some (List.rev path)
+    else List.find_map (go (n :: path)) n.children
+  in
+  Option.value ~default:[] (go [] t)
+
+(** Variables visible at node [label]: those of its ancestors —
+    [associatable] minus the node's own bindings (Section 6). *)
+let visible_vars (t : t) label : string list =
+  List.filter_map (fun n -> n.var) (ancestors t label)
+
+(** The nearest ancestor variable a [Rel] source is relative to. *)
+let base_var (t : t) label : string option =
+  let rec last_var acc = function
+    | [] -> acc
+    | n :: rest -> last_var (match n.var with Some v -> Some v | None -> acc) rest
+  in
+  last_var None (ancestors t label)
+
+(** Doc-rooted path language of a node's extent: the concatenation of the
+    ancestor source paths ([expr*(v).path] of Section 6). *)
+let absolute_path (t : t) label : (string option * Path_expr.t) option =
+  let rec go inherited n =
+    let here =
+      match n.source with
+      | Some (Abs (uri, p)) -> Some (uri, p)
+      | Some (Rel p) -> (
+        match inherited with
+        | Some (uri, pre) -> Some (uri, Path_expr.Seq (pre, p))
+        | None -> Some (None, p))
+      | None -> inherited
+    in
+    if String.equal n.label label then here
+    else List.find_map (go here) n.children
+  in
+  go None t
+
+(** Collapse pairs (Section 5, LEARN-X0*+): when a variable node has a
+    1-labeled child that also carries a variable, the pair is learned as
+    one unit — the drop goes into the child's Drop Box and the learned
+    composed path is split afterwards.  [collapse_parent t label] is the
+    parent of such a pair when [label] names the child. *)
+let collapse_parent (t : t) (label : string) : node option =
+  let rec go parent n =
+    if String.equal n.label label then
+      match parent with
+      | Some (p : node) when p.var <> None && n.one_edge && n.var <> None -> Some p
+      | _ -> None
+    else List.find_map (go (Some n)) n.children
+  in
+  go None t
+
+(** Is this node the parent half of a collapse pair? *)
+let is_collapse_parent (t : t) (n : node) : bool =
+  n.var <> None
+  && List.exists
+       (fun c -> c.one_edge && c.var <> None && collapse_parent t c.label = Some n)
+       n.children
+
+(** The child half of the collapse pair rooted at [n], if any. *)
+let collapse_child (n : node) : node option =
+  if n.var = None then None
+  else List.find_opt (fun c -> c.one_edge && c.var <> None) n.children
+
+(** Fixed step count of a path expression, when every accepted word has
+    the same length (e.g. a plain chain of steps). *)
+let rec path_steps (p : Xl_xquery.Path_expr.t) : int option =
+  match p with
+  | Xl_xquery.Path_expr.Eps -> Some 0
+  | Xl_xquery.Path_expr.Step (Xl_xquery.Path_expr.Child, _) -> Some 1
+  | Xl_xquery.Path_expr.Step (Xl_xquery.Path_expr.Desc, _) -> None
+  | Xl_xquery.Path_expr.Star _ -> None
+  | Xl_xquery.Path_expr.Seq (a, b) -> (
+    match path_steps a, path_steps b with
+    | Some x, Some y -> Some (x + y)
+    | _ -> None)
+  | Xl_xquery.Path_expr.Alt (a, b) -> (
+    match path_steps a, path_steps b with
+    | Some x, Some y when x = y -> Some x
+    | _ -> None)
+
+(** Compose the whole tree into a single XQuery AST — the query the
+    XQ-Tree represents. *)
+let to_ast (t : t) : Ast.expr =
+  let rec node_expr (n : node) : Ast.expr =
+    let content =
+      match n.func with
+      | Some f ->
+        let kids = Array.of_list n.children in
+        Func_spec.to_expr f ~fill:(fun i ->
+            if i < Array.length kids then node_expr kids.(i)
+            else invalid_arg ("Xqtree.to_ast: missing child for hole of " ^ n.label))
+      | None -> (
+        let kid_exprs = List.map node_expr n.children in
+        let own = if n.emit_var then
+            match n.var with Some v -> [ Ast.Var v ] | None -> []
+          else []
+        in
+        match own @ kid_exprs with
+        | [ single ] -> single
+        | many -> Ast.Sequence many)
+    in
+    let wrap inner =
+      match n.tag with
+      | Some tag -> Ast.Elem (tag, [ inner ])
+      | None -> inner
+    in
+    match n.var, n.source with
+    | Some v, Some src ->
+      let src_expr =
+        match src with
+        | Abs (uri, p) -> Ast.Path (Ast.Doc_root uri, p)
+        | Rel p -> Ast.Path (Ast.Var (Option.get (base_var t n.label)), p)
+      in
+      let where = Cond.to_exprs n.conds in
+      let order_by =
+        List.map
+          (fun (path, descending) ->
+            { Ast.key = Ast.Simple (Ast.Var v, path); descending })
+          n.order_by
+      in
+      let flwor ret = Ast.Flwor { for_ = [ (v, src_expr) ]; let_ = []; where; order_by; return = ret } in
+      if n.one_edge then wrap (flwor content) else flwor (wrap content)
+    | _ -> wrap content
+  in
+  node_expr t
+
+(** Evaluate the XQ-Tree against a store. *)
+let eval (t : t) (store : Xl_xml.Store.t) : Value.t =
+  let ctx = Eval.make_ctx store in
+  Eval.run ctx (to_ast t)
+
+(** Paper-style listing: one "label:- fragment" line per node. *)
+let to_listing (t : t) : string =
+  let b = Buffer.create 256 in
+  let rec go (n : node) =
+    let parts = ref [] in
+    (match n.var, n.source with
+    | Some v, Some (Abs (uri, p)) ->
+      let doc = match uri with None -> "" | Some u -> Printf.sprintf "document(%S)" u in
+      parts := [ Printf.sprintf "for $%s in %s%s" v doc (Path_expr.to_string p) ]
+    | Some v, Some (Rel p) ->
+      let base = Option.value ~default:"?" (base_var t n.label) in
+      parts := [ Printf.sprintf "for $%s in $%s%s" v base (Path_expr.to_string p) ]
+    | _ -> ());
+    if n.conds <> [] then
+      parts := !parts @ [ "where " ^ String.concat " and " (List.map Cond.to_string n.conds) ];
+    let ret_items =
+      (if n.emit_var then match n.var with Some v -> [ "$" ^ v ] | None -> [] else [])
+      @ (match n.func with
+        | Some f -> [ Func_spec.to_string f ]
+        | None -> List.map (fun c -> "{" ^ c.label ^ "}") n.children)
+    in
+    let ret_body = String.concat " " ret_items in
+    let ret =
+      match n.tag with
+      | Some tag -> Printf.sprintf "return <%s>%s</%s>" tag ret_body tag
+      | None -> Printf.sprintf "return %s" ret_body
+    in
+    parts := !parts @ [ ret ];
+    Buffer.add_string b (Printf.sprintf "%s:- %s\n" n.label (String.concat " " !parts));
+    List.iter go n.children
+  in
+  go t;
+  Buffer.contents b

@@ -1,0 +1,78 @@
+(** XQ-Trees: the paper's representation of XQuery queries (Section 3).
+
+    Each node carries one flwr query fragment; the nesting of flwr
+    expressions is the tree.  [to_ast] composes the fragments into one
+    query (the complete-query construction [cq]); the collapse of
+    1-labeled edges is realized by constructor placement. *)
+
+open Xl_xquery
+
+type source =
+  | Abs of string option * Path_expr.t
+      (** doc-rooted: [document(uri)/p] ([None] = default document) *)
+  | Rel of Path_expr.t  (** relative to the nearest ancestor variable *)
+
+type node = {
+  label : string;  (** Dewey-style identifier, e.g. "N1.1.2" *)
+  tag : string option;  (** constructor tag (from the template) *)
+  one_edge : bool;
+      (** 1-labeled edge from the parent: the constructor sits outside
+          the fragment's loop *)
+  var : string option;  (** the fragment's variable [ve] *)
+  source : source option;  (** [for var in source] *)
+  conds : Cond.t list;  (** [where] conjunction *)
+  order_by : (Simple_path.t * bool) list;  (** keys relative to [var] *)
+  func : Func_spec.t option;  (** Nested-Drop-Box function *)
+  emit_var : bool;  (** the variable appears in the return clause *)
+  children : node list;
+}
+
+type t = node
+
+val make :
+  ?tag:string -> ?one_edge:bool -> ?var:string -> ?source:source ->
+  ?conds:Cond.t list -> ?order_by:(Simple_path.t * bool) list ->
+  ?func:Func_spec.t -> ?emit_var:bool -> ?children:node list -> string -> node
+(** [make label ...].  [emit_var] defaults to true exactly for leaf
+    variable nodes. *)
+
+val find : t -> string -> node option
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+val nodes : t -> node list
+(** Preorder (the depth-first learning order). *)
+
+val size : t -> int
+val var_nodes : t -> node list
+
+val ancestors : t -> string -> node list
+(** Outermost first, excluding the node itself. *)
+
+val visible_vars : t -> string -> string list
+(** Ancestor variables — [associatable] minus own bindings (Section 6). *)
+
+val base_var : t -> string -> string option
+(** The nearest ancestor variable a [Rel] source is relative to. *)
+
+val absolute_path : t -> string -> (string option * Path_expr.t) option
+(** Doc-rooted path language of a node's extent — [expr*(v).path] of
+    Section 6 — with the document it starts in. *)
+
+val collapse_parent : t -> string -> node option
+(** The parent half of a collapse pair, when the label names the child
+    (a 1-labeled variable child of a variable node — Section 5,
+    LEARN-X0*+). *)
+
+val is_collapse_parent : t -> node -> bool
+val collapse_child : node -> node option
+
+val path_steps : Path_expr.t -> int option
+(** Fixed word length of the path's language, when uniform. *)
+
+val to_ast : t -> Ast.expr
+(** Compose the whole tree into one XQuery expression. *)
+
+val eval : t -> Xl_xml.Store.t -> Value.t
+
+val to_listing : t -> string
+(** Paper-style listing: one ["label:- fragment"] line per node
+    (Figure 6 notation). *)

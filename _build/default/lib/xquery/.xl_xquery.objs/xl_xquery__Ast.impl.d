@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: List Path_expr Set Simple_path String Value

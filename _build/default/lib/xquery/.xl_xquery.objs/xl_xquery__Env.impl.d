@@ -1,0 +1,1 @@
+lib/xquery/env.ml: List Map Printf String Value

@@ -1,0 +1,1 @@
+lib/xquery/env.mli: Value

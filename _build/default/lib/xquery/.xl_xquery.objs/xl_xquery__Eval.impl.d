@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Array Ast Doc Env Float Frag Functions Hashtbl List Node Path_expr Serialize Simple_path Store String Value Xl_automata Xl_xml

@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Env Hashtbl Path_expr Value Xl_automata Xl_xml

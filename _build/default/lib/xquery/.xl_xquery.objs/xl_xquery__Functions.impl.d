@@ -1,0 +1,1 @@
+lib/xquery/functions.ml: Float Hashtbl List String Value Xl_xml

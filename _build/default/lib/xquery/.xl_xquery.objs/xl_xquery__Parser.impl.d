@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer List Path_expr Printf Simple_path String Value

@@ -1,0 +1,1 @@
+lib/xquery/path_expr.ml: Alphabet List Regex String Xl_automata

@@ -1,0 +1,1 @@
+lib/xquery/path_expr.mli: Xl_automata

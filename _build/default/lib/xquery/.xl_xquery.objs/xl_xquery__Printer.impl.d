@@ -1,0 +1,1 @@
+lib/xquery/printer.ml: Ast Buffer List Path_expr Printf Simple_path String Value

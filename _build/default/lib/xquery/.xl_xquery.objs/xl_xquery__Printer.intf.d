@@ -1,0 +1,1 @@
+lib/xquery/printer.mli: Ast Value

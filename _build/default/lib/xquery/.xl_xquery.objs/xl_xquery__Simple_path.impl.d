@@ -1,0 +1,1 @@
+lib/xquery/simple_path.ml: List Node Path_expr Printf String Xl_xml

@@ -1,0 +1,1 @@
+lib/xquery/simple_path.mli: Path_expr Xl_xml

@@ -1,0 +1,1 @@
+lib/xquery/value.ml: Either Float List Printf String Xl_xml

@@ -1,0 +1,1 @@
+lib/xquery/value.mli: Xl_xml

@@ -1,0 +1,113 @@
+(** Abstract syntax of the XQuery subset.
+
+    The subset covers what the paper's learnable classes and the XMark /
+    XML Query Use Case workloads need: FLWOR expressions, quantifiers,
+    regular location paths, element construction, general comparisons,
+    arithmetic, and built-in functions. *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge | Is  (** [Is] is node identity — the paper's "v1 is v2" *)
+
+type arith_op = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Literal of Value.atom
+  | Sequence of expr list  (** [(e1, e2, ...)] *)
+  | Var of string
+  | Doc_root of string option
+      (** [document("uri")]; [None] is the default document *)
+  | Path of expr * Path_expr.t  (** [e/regular-path] *)
+  | Simple of expr * Simple_path.t  (** [e/a[1]/b] — positional path *)
+  | Flwor of flwor
+  | Some_ of binding list * expr  (** [some $v in e satisfies e'] *)
+  | Every of binding list * expr
+  | If of expr * expr * expr
+  | Elem of string * expr list  (** element constructor *)
+  | Attr_c of string * expr  (** attribute constructor *)
+  | Text_c of expr  (** text constructor *)
+  | Cmp of cmp_op * expr * expr
+  | Arith of arith_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Call of string * expr list
+  | Union of expr * expr
+      (** node-sequence union, document order, duplicates removed *)
+
+and binding = string * expr  (** [$v in e] *)
+
+and order_key = { key : expr; descending : bool }
+
+and flwor = {
+  for_ : binding list;
+  let_ : (string * expr) list;
+  where : expr option;
+  order_by : order_key list;
+  return : expr;
+}
+
+let flwor ?(for_ = []) ?(let_ = []) ?where ?(order_by = []) return =
+  Flwor { for_; let_; where; order_by; return }
+
+(** [for $v in e return e'] with a single binding. *)
+let for1 v e ?where ?(order_by = []) ret =
+  Flwor { for_ = [ (v, e) ]; let_ = []; where; order_by; return = ret }
+
+let str s = Literal (Value.Str s)
+let num f = Literal (Value.Num f)
+let int i = Literal (Value.Num (float_of_int i))
+let bool b = Literal (Value.Bool b)
+
+(** [root/path] — absolute path from the default document. *)
+let abs_path p = Path (Doc_root None, p)
+
+(** [$v/path]. *)
+let var_path v p = Path (Var v, p)
+
+let call name args = Call (name, args)
+
+(** Conjunction of a list of boolean expressions ([true] when empty). *)
+let conj = function
+  | [] -> bool true
+  | e :: rest -> List.fold_left (fun a b -> And (a, b)) e rest
+
+(** Free variables of an expression (used by class analysis). *)
+let free_vars (e : expr) : string list =
+  let module SS = Set.Make (String) in
+  let rec go bound acc e =
+    match e with
+    | Var v -> if SS.mem v bound then acc else SS.add v acc
+    | Literal _ | Doc_root _ -> acc
+    | Sequence es -> List.fold_left (go bound) acc es
+    | Path (e, _) | Simple (e, _) | Text_c e | Attr_c (_, e) | Not e -> go bound acc e
+    | Elem (_, es) -> List.fold_left (go bound) acc es
+    | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) | Union (a, b) ->
+      go bound (go bound acc a) b
+    | If (c, t, f) -> go bound (go bound (go bound acc c) t) f
+    | Call (_, es) -> List.fold_left (go bound) acc es
+    | Some_ (bs, body) | Every (bs, body) ->
+      let bound', acc' =
+        List.fold_left
+          (fun (bd, ac) (v, e) -> (SS.add v bd, go bd ac e))
+          (bound, acc) bs
+      in
+      go bound' acc' body
+    | Flwor f ->
+      let bound', acc' =
+        List.fold_left
+          (fun (bd, ac) (v, e) -> (SS.add v bd, go bd ac e))
+          (bound, acc) f.for_
+      in
+      let bound'', acc'' =
+        List.fold_left
+          (fun (bd, ac) (v, e) -> (SS.add v bd, go bd ac e))
+          (bound', acc') f.let_
+      in
+      let acc3 =
+        match f.where with None -> acc'' | Some w -> go bound'' acc'' w
+      in
+      let acc4 =
+        List.fold_left (fun ac k -> go bound'' ac k.key) acc3 f.order_by
+      in
+      go bound'' acc4 f.return
+  in
+  SS.elements (go SS.empty SS.empty e)

@@ -1,0 +1,17 @@
+(** Variable environments. *)
+
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty : t = M.empty
+let bind (env : t) v x : t = M.add v x env
+let find (env : t) v : Value.t option = M.find_opt v env
+
+let find_exn (env : t) v : Value.t =
+  match M.find_opt v env with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "unbound variable $%s" v)
+
+let bindings (env : t) = M.bindings env
+let of_list l : t = List.fold_left (fun e (v, x) -> bind e v x) empty l

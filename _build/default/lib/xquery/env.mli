@@ -1,0 +1,13 @@
+(** Variable environments. *)
+
+type t
+
+val empty : t
+val bind : t -> string -> Value.t -> t
+val find : t -> string -> Value.t option
+
+val find_exn : t -> string -> Value.t
+(** Raises [Invalid_argument] when unbound. *)
+
+val bindings : t -> (string * Value.t) list
+val of_list : (string * Value.t) list -> t

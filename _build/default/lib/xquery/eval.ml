@@ -1,0 +1,311 @@
+(** Evaluator for the XQuery subset.
+
+    Regular location paths are compiled (once, cached) to DFAs over the
+    context's alphabet and evaluated by walking the tree while tracking
+    the automaton state, with dead-state pruning.  This is what makes
+    "selection by regular path expression" cheap enough to recompute
+    extents repeatedly during learning. *)
+
+open Xl_xml
+
+type compiled_path = {
+  dfa : Xl_automata.Dfa.t;
+  live : bool array;  (** states from which a final state is reachable *)
+}
+
+type ctx = {
+  store : Store.t;
+  alphabet : Xl_automata.Alphabet.t;
+  cache : (Path_expr.t, compiled_path) Hashtbl.t;
+  mutable constructed : int;  (** count of constructed elements (stats) *)
+}
+
+let liveness (dfa : Xl_automata.Dfa.t) : bool array =
+  let n = Xl_automata.Dfa.state_count dfa in
+  let live = Array.copy dfa.Xl_automata.Dfa.finals in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to n - 1 do
+      if not live.(q) then
+        for a = 0 to Xl_automata.Dfa.alphabet_size dfa - 1 do
+          if live.(Xl_automata.Dfa.step dfa q a) && not live.(q) then begin
+            live.(q) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  live
+
+let intern_doc_symbols alphabet doc =
+  List.iter
+    (fun n -> ignore (Xl_automata.Alphabet.intern alphabet (Node.symbol n)))
+    (Doc.all_nodes doc)
+
+let make_ctx (store : Store.t) : ctx =
+  let alphabet = Xl_automata.Alphabet.create () in
+  List.iter (intern_doc_symbols alphabet) (Store.docs store);
+  { store; alphabet; cache = Hashtbl.create 32; constructed = 0 }
+
+let ctx_of_doc doc = make_ctx (Store.of_docs [ doc ])
+
+(* intern every tag literal of the path so Any_elem expansion and
+   compilation agree on the alphabet *)
+let rec intern_path_symbols alphabet (p : Path_expr.t) =
+  match p with
+  | Path_expr.Step (_, test) -> (
+    match Path_expr.test_symbol test with
+    | Some s -> ignore (Xl_automata.Alphabet.intern alphabet s)
+    | None -> ())
+  | Path_expr.Seq (a, b) | Path_expr.Alt (a, b) ->
+    intern_path_symbols alphabet a;
+    intern_path_symbols alphabet b
+  | Path_expr.Star a -> intern_path_symbols alphabet a
+  | Path_expr.Eps -> ()
+
+let compile_path (ctx : ctx) (p : Path_expr.t) : compiled_path =
+  match Hashtbl.find_opt ctx.cache p with
+  | Some c when Xl_automata.Dfa.alphabet_size c.dfa = Xl_automata.Alphabet.size ctx.alphabet ->
+    c
+  | _ ->
+    intern_path_symbols ctx.alphabet p;
+    let regex = Path_expr.to_regex ctx.alphabet p in
+    let dfa =
+      Xl_automata.Regex.to_dfa ~alphabet_size:(Xl_automata.Alphabet.size ctx.alphabet) regex
+    in
+    let c = { dfa; live = liveness dfa } in
+    Hashtbl.replace ctx.cache p c;
+    c
+
+(** Nodes reachable from [from] by the regular path [p] — [from]'s own
+    symbol is not consumed.  Results in document order. *)
+let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
+  let { dfa; live } = compile_path ctx p in
+  let out = ref [] in
+  let sym n =
+    match Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) with
+    | Some a -> a
+    | None -> Xl_automata.Alphabet.intern ctx.alphabet (Node.symbol n)
+  in
+  let rec visit q n =
+    (* try attributes *)
+    List.iter
+      (fun a ->
+        let q' = Xl_automata.Dfa.step dfa q (sym a) in
+        if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out)
+      n.Node.attributes;
+    (* children: text and elements *)
+    List.iter
+      (fun c ->
+        let s = sym c in
+        if s < Xl_automata.Dfa.alphabet_size dfa then begin
+          let q' = Xl_automata.Dfa.step dfa q s in
+          if live.(q') then begin
+            if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
+            if Node.is_element c then visit q' c
+          end
+        end)
+      n.Node.children
+  in
+  visit dfa.Xl_automata.Dfa.start from;
+  List.sort Node.compare_order (List.rev !out)
+
+(* atomized-sequence construction content: adjacent atoms joined by a
+   space, nodes copied *)
+let rec item_to_frags (it : Value.item) : Frag.t list =
+  match it with
+  | Value.Atom a -> [ Frag.T (Value.atom_to_string a) ]
+  | Value.Node n -> (
+    match n.Node.kind with
+    | Node.Text -> [ Frag.T n.Node.value ]
+    | Node.Attribute -> [ Frag.T n.Node.value ]
+    | Node.Element -> [ Serialize.node_to_frag n ]
+    | Node.Document -> List.concat_map item_to_frags (Value.of_nodes n.Node.children))
+
+let sequence_to_frags (v : Value.t) : Frag.t list =
+  (* merge adjacent atoms with a single space, XQuery-style *)
+  let rec go = function
+    | [] -> []
+    | Value.Atom a :: (Value.Atom _ :: _ as rest) ->
+      Frag.T (Value.atom_to_string a ^ " ") :: go rest
+    | it :: rest -> item_to_frags it @ go rest
+  in
+  go v
+
+exception Type_error of string
+
+let rec eval (ctx : ctx) (env : Env.t) (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Literal a -> [ Value.Atom a ]
+  | Ast.Sequence es -> List.concat_map (eval ctx env) es
+  | Ast.Var v -> Env.find_exn env v
+  | Ast.Doc_root uri -> (
+    match uri with
+    | None -> [ Value.Node (Store.default ctx.store).Doc.doc_node ]
+    | Some u -> [ Value.Node (Store.find_exn ctx.store u).Doc.doc_node ])
+  | Ast.Path (e, p) ->
+    let v = eval ctx env e in
+    Value.document_order
+      (Value.of_nodes (List.concat_map (eval_path ctx p) (Value.nodes_of v)))
+  | Ast.Simple (e, p) ->
+    let v = eval ctx env e in
+    Value.document_order
+      (Value.of_nodes (List.concat_map (Simple_path.eval p) (Value.nodes_of v)))
+  | Ast.Flwor f -> eval_flwor ctx env f
+  | Ast.Some_ (bs, body) -> Value.of_bool (eval_quant ctx env bs body ~exists:true)
+  | Ast.Every (bs, body) -> Value.of_bool (eval_quant ctx env bs body ~exists:false)
+  | Ast.If (c, t, f) ->
+    if Value.to_bool (eval ctx env c) then eval ctx env t else eval ctx env f
+  | Ast.Elem (tag, contents) ->
+    let attrs, kids =
+      List.fold_left
+        (fun (attrs, kids) c ->
+          match c with
+          | Ast.Attr_c (name, e) ->
+            (attrs @ [ (name, Value.string_value (eval ctx env e)) ], kids)
+          | _ -> (attrs, kids @ sequence_to_frags (eval ctx env c)))
+        ([], []) contents
+    in
+    ctx.constructed <- ctx.constructed + 1;
+    let doc = Doc.of_frag ~uri:"#constructed" (Frag.E (tag, attrs, kids)) in
+    [ Value.Node (Doc.root doc) ]
+  | Ast.Attr_c (_, e) ->
+    (* attribute outside an element constructor: atomize *)
+    [ Value.Atom (Value.Str (Value.string_value (eval ctx env e))) ]
+  | Ast.Text_c e -> [ Value.Atom (Value.Str (Value.string_value (eval ctx env e))) ]
+  | Ast.Cmp (op, a, b) ->
+    Value.of_bool (general_compare op (eval ctx env a) (eval ctx env b))
+  | Ast.Arith (op, a, b) -> eval_arith op (eval ctx env a) (eval ctx env b)
+  | Ast.And (a, b) ->
+    Value.of_bool (Value.to_bool (eval ctx env a) && Value.to_bool (eval ctx env b))
+  | Ast.Or (a, b) ->
+    Value.of_bool (Value.to_bool (eval ctx env a) || Value.to_bool (eval ctx env b))
+  | Ast.Not a -> Value.of_bool (not (Value.to_bool (eval ctx env a)))
+  | Ast.Call (name, args) -> Functions.apply name (List.map (eval ctx env) args)
+  | Ast.Union (a, b) ->
+    Value.document_order (eval ctx env a @ eval ctx env b)
+
+and eval_flwor ctx env (f : Ast.flwor) : Value.t =
+  (* expand for-bindings into a tuple stream *)
+  let tuples =
+    List.fold_left
+      (fun envs (v, e) ->
+        List.concat_map
+          (fun env ->
+            List.map (fun item -> Env.bind env v [ item ]) (eval ctx env e))
+          envs)
+      [ env ] f.Ast.for_
+  in
+  let tuples =
+    List.map
+      (fun env ->
+        List.fold_left (fun env (v, e) -> Env.bind env v (eval ctx env e)) env f.Ast.let_)
+      tuples
+  in
+  let tuples =
+    match f.Ast.where with
+    | None -> tuples
+    | Some w -> List.filter (fun env -> Value.to_bool (eval ctx env w)) tuples
+  in
+  let tuples =
+    match f.Ast.order_by with
+    | [] -> tuples
+    | keys ->
+      let decorated =
+        List.map
+          (fun env ->
+            (List.map (fun k -> (Value.atomize (eval ctx env k.Ast.key), k.Ast.descending)) keys, env))
+          tuples
+      in
+      let cmp_keys (ka, _) (kb, _) =
+        let rec go a b =
+          match a, b with
+          | [], [] -> 0
+          | (xa, desc) :: ra, (xb, _) :: rb ->
+            let c =
+              match xa, xb with
+              | [], [] -> 0
+              | [], _ -> -1
+              | _, [] -> 1
+              | a0 :: _, b0 :: _ -> Value.atom_compare a0 b0
+            in
+            if c <> 0 then if desc then -c else c else go ra rb
+          | _ -> 0
+        in
+        go ka kb
+      in
+      List.map snd (List.stable_sort cmp_keys decorated)
+  in
+  List.concat_map (fun env -> eval ctx env f.Ast.return) tuples
+
+and eval_quant ctx env bs body ~exists : bool =
+  let tuples =
+    List.fold_left
+      (fun envs (v, e) ->
+        List.concat_map
+          (fun env ->
+            List.map (fun item -> Env.bind env v [ item ]) (eval ctx env e))
+          envs)
+      [ env ] bs
+  in
+  if exists then List.exists (fun env -> Value.to_bool (eval ctx env body)) tuples
+  else List.for_all (fun env -> Value.to_bool (eval ctx env body)) tuples
+
+and general_compare op (va : Value.t) (vb : Value.t) : bool =
+  match op with
+  | Ast.Is ->
+    (* node identity, existentially over the two sequences *)
+    List.exists
+      (function
+        | Value.Node n ->
+          List.exists
+            (function Value.Node m -> Xl_xml.Node.equal n m | Value.Atom _ -> false)
+            vb
+        | Value.Atom _ -> false)
+      va
+  | _ ->
+  let atoms_a = Value.atomize va and atoms_b = Value.atomize vb in
+  let holds a b =
+    let c = Value.atom_compare a b in
+    match op with
+    | Ast.Eq -> Value.atom_equal a b
+    | Ast.Ne -> not (Value.atom_equal a b)
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+    | Ast.Is -> assert false
+  in
+  List.exists (fun a -> List.exists (fun b -> holds a b) atoms_b) atoms_a
+
+and eval_arith op va vb : Value.t =
+  let num v =
+    match List.filter_map Value.numeric_of_atom (Value.atomize v) with
+    | [ n ] -> n
+    | [] -> raise (Type_error "arithmetic on empty sequence")
+    | _ -> raise (Type_error "arithmetic on a sequence")
+  in
+  let a = num va and b = num vb in
+  let r =
+    match op with
+    | Ast.Add -> a +. b
+    | Ast.Sub -> a -. b
+    | Ast.Mul -> a *. b
+    | Ast.Div -> a /. b
+    | Ast.Mod -> Float.rem a b
+  in
+  Value.of_float r
+
+(** Evaluate a closed query against a store. *)
+let run ?(env = Env.empty) (ctx : ctx) (e : Ast.expr) : Value.t = eval ctx env e
+
+(** Evaluate and serialize the result. *)
+let run_to_string ?(env = Env.empty) (ctx : ctx) (e : Ast.expr) : string =
+  let v = run ~env ctx e in
+  String.concat ""
+    (List.map
+       (function
+         | Value.Node n -> Serialize.node_to_string n
+         | Value.Atom a -> Value.atom_to_string a)
+       v)

@@ -1,0 +1,47 @@
+(** Evaluator for the XQuery subset.
+
+    Regular location paths are compiled (once, cached) to DFAs over the
+    context's alphabet and evaluated by walking the tree while tracking
+    the automaton state, with dead-state pruning — what makes "selection
+    by regular path expression" cheap enough to recompute extents
+    repeatedly during learning. *)
+
+type compiled_path = {
+  dfa : Xl_automata.Dfa.t;
+  live : bool array;  (** states from which a final state is reachable *)
+}
+
+type ctx = {
+  store : Xl_xml.Store.t;
+  alphabet : Xl_automata.Alphabet.t;
+  cache : (Path_expr.t, compiled_path) Hashtbl.t;
+  mutable constructed : int;  (** constructed-element counter *)
+}
+
+val liveness : Xl_automata.Dfa.t -> bool array
+(** Per-state "can still accept" flags, for pruning tree walks. *)
+
+val make_ctx : Xl_xml.Store.t -> ctx
+(** Interns every symbol of every document in the store. *)
+
+val ctx_of_doc : Xl_xml.Doc.t -> ctx
+
+val intern_path_symbols : Xl_automata.Alphabet.t -> Path_expr.t -> unit
+(** Intern a path's literal tags so wildcard expansion and compilation
+    agree on the alphabet. *)
+
+val compile_path : ctx -> Path_expr.t -> compiled_path
+
+val eval_path : ctx -> Path_expr.t -> Xl_xml.Node.t -> Xl_xml.Node.t list
+(** Nodes reachable from the base by the regular path (the base's own
+    symbol is not consumed), document order. *)
+
+exception Type_error of string
+
+val eval : ctx -> Env.t -> Ast.expr -> Value.t
+
+val run : ?env:Env.t -> ctx -> Ast.expr -> Value.t
+(** Evaluate a closed query. *)
+
+val run_to_string : ?env:Env.t -> ctx -> Ast.expr -> string
+(** Evaluate and serialize. *)

@@ -1,0 +1,150 @@
+(** Built-in function library.
+
+    Covers the functions used by XMark and the XML Query Use Cases as
+    exercised in the paper's experiments: aggregation, sequence tests,
+    string functions and [data]. *)
+
+exception Unknown_function of string
+exception Bad_arity of string * int
+
+let numeric v =
+  List.filter_map Value.numeric_of_atom (Value.atomize v)
+
+let one name = function
+  | [ v ] -> v
+  | args -> raise (Bad_arity (name, List.length args))
+
+let two name = function
+  | [ a; b ] -> (a, b)
+  | args -> raise (Bad_arity (name, List.length args))
+
+(** [apply name args] evaluates the builtin [name]. *)
+let apply (name : string) (args : Value.t list) : Value.t =
+  match name with
+  | "count" -> Value.of_int (List.length (one name args))
+  | "sum" -> Value.of_float (List.fold_left ( +. ) 0. (numeric (one name args)))
+  | "avg" -> (
+    match numeric (one name args) with
+    | [] -> Value.empty
+    | ns -> Value.of_float (List.fold_left ( +. ) 0. ns /. float_of_int (List.length ns)))
+  | "min" -> (
+    match numeric (one name args) with
+    | [] -> Value.empty
+    | n :: ns -> Value.of_float (List.fold_left min n ns))
+  | "max" -> (
+    match numeric (one name args) with
+    | [] -> Value.empty
+    | n :: ns -> Value.of_float (List.fold_left max n ns))
+  | "data" ->
+    List.map (fun a -> Value.Atom a) (Value.atomize (one name args))
+  | "string" -> Value.of_string (Value.string_value (one name args))
+  | "number" -> (
+    match numeric (one name args) with
+    | [ n ] -> Value.of_float n
+    | _ -> Value.of_float Float.nan)
+  | "distinct" | "distinct-values" ->
+    (* distinct atomic values, first occurrence order *)
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun a ->
+        let k = Value.atom_to_string a in
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.replace seen k ();
+          Some (Value.Atom a)
+        end)
+      (Value.atomize (one name args))
+  | "empty" -> Value.of_bool (one name args = [])
+  | "exists" -> Value.of_bool (one name args <> [])
+  | "not" -> Value.of_bool (not (Value.to_bool (one name args)))
+  | "true" -> Value.of_bool true
+  | "false" -> Value.of_bool false
+  | "zero-or-one" -> (
+    match one name args with
+    | ([] | [ _ ]) as v -> v
+    | _ -> failwith "zero-or-one: more than one item")
+  | "contains" ->
+    let a, b = two name args in
+    let hay = Value.string_value a and needle = Value.string_value b in
+    let n = String.length needle and h = String.length hay in
+    let rec find i = i + n <= h && (String.sub hay i n = needle || find (i + 1)) in
+    Value.of_bool (n = 0 || find 0)
+  | "starts-with" ->
+    let a, b = two name args in
+    let hay = Value.string_value a and pre = Value.string_value b in
+    Value.of_bool
+      (String.length pre <= String.length hay
+      && String.sub hay 0 (String.length pre) = pre)
+  | "string-length" -> Value.of_int (String.length (Value.string_value (one name args)))
+  | "concat" -> Value.of_string (String.concat "" (List.map Value.string_value args))
+  | "name" -> (
+    match one name args with
+    | [ Value.Node n ] -> Value.of_string n.Xl_xml.Node.name
+    | _ -> Value.of_string "")
+  | "round" -> (
+    match numeric (one name args) with
+    | [ n ] -> Value.of_float (Float.round n)
+    | _ -> Value.empty)
+  | "floor" -> (
+    match numeric (one name args) with
+    | [ n ] -> Value.of_float (Float.floor n)
+    | _ -> Value.empty)
+  | "ceiling" -> (
+    match numeric (one name args) with
+    | [ n ] -> Value.of_float (Float.ceil n)
+    | _ -> Value.empty)
+  | "abs" -> (
+    match numeric (one name args) with
+    | [ n ] -> Value.of_float (Float.abs n)
+    | _ -> Value.empty)
+  | "substring" -> (
+    match args with
+    | [ s; start ] | [ s; start; _ ] ->
+      let str = Value.string_value s in
+      let from =
+        match numeric start with [ f ] -> int_of_float f | _ -> 1
+      in
+      let len =
+        match args with
+        | [ _; _; l ] -> (
+          match numeric l with [ f ] -> int_of_float f | _ -> 0)
+        | _ -> String.length str - from + 1
+      in
+      let from = max 1 from in
+      let len = max 0 (min len (String.length str - from + 1)) in
+      if from > String.length str then Value.of_string ""
+      else Value.of_string (String.sub str (from - 1) len)
+    | _ -> raise (Bad_arity (name, List.length args)))
+  | "upper-case" -> Value.of_string (String.uppercase_ascii (Value.string_value (one name args)))
+  | "lower-case" -> Value.of_string (String.lowercase_ascii (Value.string_value (one name args)))
+  | "normalize-space" ->
+    let s = Value.string_value (one name args) in
+    let words =
+      String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s)
+      |> List.filter (fun w -> w <> "")
+    in
+    Value.of_string (String.concat " " words)
+  | "string-join" -> (
+    match args with
+    | [ seq; sep ] ->
+      Value.of_string
+        (String.concat (Value.string_value sep)
+           (List.map Value.item_string seq))
+    | _ -> raise (Bad_arity (name, List.length args)))
+  | "boolean" -> Value.of_bool (Value.to_bool (one name args))
+  | "reverse" -> List.rev (one name args)
+  | "last-item" -> (
+    match List.rev (one name args) with [] -> Value.empty | x :: _ -> [ x ])
+  | _ -> raise (Unknown_function name)
+
+(** Functions usable in the paper's Nested Drop Boxes (Section 9(1)). *)
+let known name =
+  match name with
+  | "count" | "sum" | "avg" | "min" | "max" | "data" | "string" | "number"
+  | "distinct" | "distinct-values" | "empty" | "exists" | "not" | "true" | "false"
+  | "zero-or-one" | "contains" | "starts-with" | "string-length" | "concat"
+  | "name" | "round" | "floor" | "ceiling" | "abs" | "substring" | "upper-case"
+  | "lower-case" | "normalize-space" | "string-join" | "boolean" | "reverse"
+  | "last-item" ->
+    true
+  | _ -> false

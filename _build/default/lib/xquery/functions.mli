@@ -1,0 +1,12 @@
+(** Built-in function library: the functions the XMark / XML Query Use
+    Case workloads exercise (aggregation, sequence tests, string
+    functions, [data]). *)
+
+exception Unknown_function of string
+exception Bad_arity of string * int
+
+val apply : string -> Value.t list -> Value.t
+(** Evaluate a builtin by name. *)
+
+val known : string -> bool
+(** Is this name usable in the paper's Nested Drop Boxes (Section 9(1))? *)

@@ -1,0 +1,587 @@
+(** Parser for the XQuery subset.
+
+    Character-level recursive descent (the [<] operator / constructor
+    ambiguity is resolved by syntactic position, as in real XQuery
+    grammars).  Supported:
+
+    - FLWOR: [for $v in e, ...] [let $v := e] [where e]
+      [order by k (descending)?, ...] [return e]
+    - quantifiers: [some/every $v in e, ... satisfies e]
+    - [if (e) then e else e]
+    - or/and/not, general comparisons [= != < <= > >=], arithmetic
+    - regular location paths: [/a//b/(c|d)/@id/text()] with [*] and [@*],
+      positional predicates [a[1]], [a[last()]]
+    - [document("uri")], [$v], literals, function calls
+    - direct element constructors [<a x="{e}">{e} text <b/></a>] *)
+
+exception Parse_error of string * int
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | Some '(' when peek2 st = Some ':' ->
+      (* XQuery comment (: ... :) *)
+      let rec find i depth =
+        if i + 1 >= String.length st.src then error st "unterminated comment"
+        else if st.src.[i] = ':' && st.src.[i + 1] = ')' then
+          if depth = 1 then st.pos <- i + 2 else find (i + 2) (depth - 1)
+        else if st.src.[i] = '(' && st.src.[i + 1] = ':' then find (i + 2) (depth + 1)
+        else find (i + 1) depth
+      in
+      find (st.pos + 2) 1
+    | _ -> continue := false
+  done
+
+let is_name_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* keyword lookahead without consuming *)
+let at_keyword st kw =
+  skip_ws st;
+  looking_at st kw
+  && (let after = st.pos + String.length kw in
+      after >= String.length st.src || not (is_name_char st.src.[after]))
+
+let eat_keyword st kw =
+  if at_keyword st kw then begin
+    st.pos <- st.pos + String.length kw;
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (eat_keyword st kw) then error st (Printf.sprintf "expected %S" kw)
+
+let expect st s =
+  skip_ws st;
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st (Printf.sprintf "expected %S" s)
+
+let eat st s =
+  skip_ws st;
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let read_string_literal st =
+  skip_ws st;
+  match peek st with
+  | Some (('"' | '\'') as q) ->
+    advance st;
+    let start = st.pos in
+    while (match peek st with Some c when c <> q -> true | _ -> false) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    expect st (String.make 1 q);
+    s
+  | _ -> error st "expected a string literal"
+
+let read_var st =
+  expect st "$";
+  read_name st
+
+(* ---- paths ---------------------------------------------------------- *)
+
+type raw_step =
+  | Rtest of Path_expr.test * Simple_path.position option
+  | Rgroup of raw_path list  (** ( p | p | ... ) *)
+
+and raw_path = (bool * raw_step) list  (** (descendant?, step) *)
+
+let rec parse_raw_path st ~first_desc : raw_path =
+  let step = parse_raw_step st in
+  let rest = parse_raw_path_rest st in
+  (first_desc, step) :: rest
+
+and parse_raw_path_rest st : raw_path =
+  if looking_at st "//" then begin
+    expect st "//";
+    let step = parse_raw_step st in
+    (true, step) :: parse_raw_path_rest st
+  end
+  else if looking_at st "/" && peek2 st <> Some '>' then begin
+    expect st "/";
+    let step = parse_raw_step st in
+    (false, step) :: parse_raw_path_rest st
+  end
+  else []
+
+and parse_raw_step st : raw_step =
+  skip_ws st;
+  if looking_at st "(" then begin
+    expect st "(";
+    let alts = ref [ parse_raw_path st ~first_desc:false ] in
+    while eat st "|" do
+      alts := parse_raw_path st ~first_desc:false :: !alts
+    done;
+    expect st ")";
+    Rgroup (List.rev !alts)
+  end
+  else begin
+    let test =
+      if eat st "@*" then Path_expr.Any_attr
+      else if eat st "@" then Path_expr.Attr (read_name st)
+      else if looking_at st "*" then begin
+        advance st;
+        Path_expr.Any_elem
+      end
+      else if looking_at st "text()" then begin
+        st.pos <- st.pos + 6;
+        Path_expr.Text_node
+      end
+      else Path_expr.Tag (read_name st)
+    in
+    let pos =
+      if looking_at st "[" then begin
+        expect st "[";
+        let p =
+          if eat st "last()" then Simple_path.Last
+          else begin
+            skip_ws st;
+            let start = st.pos in
+            while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+              advance st
+            done;
+            if st.pos = start then error st "expected a position";
+            let n = int_of_string (String.sub st.src start (st.pos - start)) in
+            if n = 1 then Simple_path.First else Simple_path.Nth n
+          end
+        in
+        expect st "]";
+        Some p
+      end
+      else None
+    in
+    Rtest (test, pos)
+  end
+
+let rec raw_has_position (p : raw_path) =
+  List.exists
+    (fun (_, s) ->
+      match s with
+      | Rtest (_, Some _) -> true
+      | Rtest (_, None) -> false
+      | Rgroup alts -> List.exists raw_has_position alts)
+    p
+
+let rec raw_to_path_expr (p : raw_path) : Path_expr.t =
+  Path_expr.seq
+    (List.map
+       (fun (desc, s) ->
+         match s with
+         | Rtest (test, _) ->
+           if desc then Path_expr.desc test else Path_expr.child test
+         | Rgroup alts ->
+           let alt_paths = List.map raw_to_path_expr alts in
+           let grouped = Path_expr.alt alt_paths in
+           if desc then
+             Path_expr.Seq
+               (Path_expr.Star (Path_expr.child Path_expr.Any_elem), grouped)
+           else grouped)
+       p)
+
+let raw_to_simple_path (p : raw_path) st : Simple_path.t =
+  List.map
+    (fun (desc, s) ->
+      if desc then error st "positional predicate mixed with //";
+      match s with
+      | Rtest (Path_expr.Tag n, pos) -> Simple_path.Elem (n, pos)
+      | Rtest (Path_expr.Attr a, None) -> Simple_path.Attr_step a
+      | Rtest (Path_expr.Text_node, None) -> Simple_path.Text_step
+      | _ -> error st "positional predicate in a non-simple path")
+    p
+
+let attach_path (base : Ast.expr) (raw : raw_path) st : Ast.expr =
+  if raw_has_position raw then Ast.Simple (base, raw_to_simple_path raw st)
+  else Ast.Path (base, raw_to_path_expr raw)
+
+(* ---- expressions ---------------------------------------------------- *)
+
+let rec parse_expr st : Ast.expr =
+  skip_ws st;
+  if at_keyword st "for" || at_keyword st "let" then parse_flwor st
+  else if at_keyword st "some" then parse_quant st ~exists:true
+  else if at_keyword st "every" then parse_quant st ~exists:false
+  else if at_keyword st "if" then parse_if st
+  else parse_or st
+
+and parse_flwor st : Ast.expr =
+  let for_ = ref [] and let_ = ref [] in
+  let rec clauses () =
+    if eat_keyword st "for" then begin
+      let rec bindings () =
+        let v = (skip_ws st; read_var st) in
+        expect_keyword st "in";
+        let e = parse_expr st in
+        for_ := !for_ @ [ (v, e) ];
+        if eat st "," then bindings ()
+      in
+      bindings ();
+      clauses ()
+    end
+    else if eat_keyword st "let" then begin
+      let v = (skip_ws st; read_var st) in
+      expect st ":=";
+      let e = parse_expr st in
+      let_ := !let_ @ [ (v, e) ];
+      clauses ()
+    end
+  in
+  clauses ();
+  let where = if eat_keyword st "where" then Some (parse_expr st) else None in
+  let order_by =
+    if eat_keyword st "order" then begin
+      expect_keyword st "by";
+      let rec keys acc =
+        let k = parse_or st in
+        let descending = eat_keyword st "descending" in
+        ignore (eat_keyword st "ascending");
+        let acc = acc @ [ { Ast.key = k; descending } ] in
+        if eat st "," then keys acc else acc
+      in
+      keys []
+    end
+    else []
+  in
+  expect_keyword st "return";
+  let return = parse_expr st in
+  Ast.Flwor { for_ = !for_; let_ = !let_; where; order_by; return }
+
+and parse_quant st ~exists : Ast.expr =
+  ignore (eat_keyword st "some" || eat_keyword st "every");
+  let rec bindings acc =
+    let v = (skip_ws st; read_var st) in
+    expect_keyword st "in";
+    let e = parse_expr st in
+    let acc = acc @ [ (v, e) ] in
+    if eat st "," then bindings acc else acc
+  in
+  let bs = bindings [] in
+  expect_keyword st "satisfies";
+  let body = parse_expr st in
+  if exists then Ast.Some_ (bs, body) else Ast.Every (bs, body)
+
+and parse_if st : Ast.expr =
+  expect_keyword st "if";
+  expect st "(";
+  let c = parse_expr st in
+  expect st ")";
+  expect_keyword st "then";
+  let t = parse_expr st in
+  expect_keyword st "else";
+  let f = parse_expr st in
+  Ast.If (c, t, f)
+
+and parse_or st : Ast.expr =
+  let a = parse_and st in
+  if eat_keyword st "or" then Ast.Or (a, parse_or st) else a
+
+and parse_and st : Ast.expr =
+  let a = parse_cmp st in
+  if eat_keyword st "and" then Ast.And (a, parse_and st) else a
+
+and parse_cmp st : Ast.expr =
+  let a = parse_add st in
+  skip_ws st;
+  let op =
+    if eat st "!=" then Some Ast.Ne
+    else if eat st "<=" then Some Ast.Le
+    else if eat st ">=" then Some Ast.Ge
+    else if eat st "=" then Some Ast.Eq
+    else if looking_at st "<" && peek2 st <> Some '/' && not (is_constructor_start st) then begin
+      advance st;
+      Some Ast.Lt
+    end
+    else if eat st ">" then Some Ast.Gt
+    else if eat_keyword st "eq" then Some Ast.Eq
+    else if eat_keyword st "ne" then Some Ast.Ne
+    else if eat_keyword st "lt" then Some Ast.Lt
+    else if eat_keyword st "le" then Some Ast.Le
+    else if eat_keyword st "gt" then Some Ast.Gt
+    else if eat_keyword st "ge" then Some Ast.Ge
+    else if eat_keyword st "is" then Some Ast.Is
+    else None
+  in
+  match op with Some op -> Ast.Cmp (op, a, parse_add st) | None -> a
+
+and parse_add st : Ast.expr =
+  let rec loop a =
+    skip_ws st;
+    if eat st "+" then loop (Ast.Arith (Ast.Add, a, parse_mul st))
+    else if
+      looking_at st "-" && peek2 st <> Some '-'
+    then begin
+      advance st;
+      loop (Ast.Arith (Ast.Sub, a, parse_mul st))
+    end
+    else a
+  in
+  loop (parse_mul st)
+
+and parse_mul st : Ast.expr =
+  let rec loop a =
+    skip_ws st;
+    if eat st "*" then loop (Ast.Arith (Ast.Mul, a, parse_union st))
+    else if eat_keyword st "div" then loop (Ast.Arith (Ast.Div, a, parse_union st))
+    else if eat_keyword st "mod" then loop (Ast.Arith (Ast.Mod, a, parse_union st))
+    else a
+  in
+  loop (parse_union st)
+
+and parse_union st : Ast.expr =
+  let a = parse_path st in
+  if eat_keyword st "union" then Ast.Union (a, parse_union st) else a
+
+and is_constructor_start st =
+  (* "<" followed directly by a name-start char begins a constructor *)
+  looking_at st "<"
+  && (match peek2 st with Some c when is_name_start c -> true | _ -> false)
+
+and parse_path st : Ast.expr =
+  skip_ws st;
+  if looking_at st "//" then begin
+    expect st "//";
+    let raw = parse_raw_path st ~first_desc:true in
+    attach_path (Ast.Doc_root None) raw st
+  end
+  else if looking_at st "/" && (match peek2 st with Some c -> is_name_start c || c = '(' || c = '@' || c = '*' | None -> false) then begin
+    expect st "/";
+    let raw = parse_raw_path st ~first_desc:false in
+    attach_path (Ast.Doc_root None) raw st
+  end
+  else begin
+    let base = parse_primary st in
+    (* path continuation *)
+    if looking_at st "//" then begin
+      expect st "//";
+      let raw = parse_raw_path st ~first_desc:true in
+      attach_path base raw st
+    end
+    else if looking_at st "/" && (match peek2 st with Some c -> is_name_start c || c = '(' || c = '@' || c = '*' || c = 't' | None -> false) then begin
+      expect st "/";
+      let raw = parse_raw_path st ~first_desc:false in
+      attach_path base raw st
+    end
+    else base
+  end
+
+and parse_primary st : Ast.expr =
+  skip_ws st;
+  match peek st with
+  | Some '$' -> Ast.Var (read_var st)
+  | Some ('"' | '\'') -> Ast.Literal (Value.Str (read_string_literal st))
+  | Some ('0' .. '9') ->
+    let start = st.pos in
+    while
+      match peek st with Some ('0' .. '9' | '.') -> true | _ -> false
+    do
+      advance st
+    done;
+    Ast.Literal (Value.Num (float_of_string (String.sub st.src start (st.pos - start))))
+  | Some '(' ->
+    expect st "(";
+    if eat st ")" then Ast.Sequence []
+    else begin
+      let e = parse_expr st in
+      let items = ref [ e ] in
+      while eat st "," do
+        items := parse_expr st :: !items
+      done;
+      expect st ")";
+      match !items with [ single ] -> single | many -> Ast.Sequence (List.rev many)
+    end
+  | Some '<' when is_constructor_start st -> parse_constructor st
+  | Some c when is_name_start c ->
+    let name = read_name st in
+    skip_ws st;
+    if looking_at st "(" then begin
+      expect st "(";
+      if name = "document" || name = "doc" then begin
+        if eat st ")" then Ast.Doc_root None
+        else begin
+          let uri = read_string_literal st in
+          expect st ")";
+          Ast.Doc_root (Some uri)
+        end
+      end
+      else if eat st ")" then
+        if name = "true" then Ast.Literal (Value.Bool true)
+        else if name = "false" then Ast.Literal (Value.Bool false)
+        else Ast.Call (name, [])
+      else begin
+        let args = ref [ parse_expr st ] in
+        while eat st "," do
+          args := parse_expr st :: !args
+        done;
+        expect st ")";
+        if name = "not" then Ast.Not (List.hd (List.rev !args))
+        else Ast.Call (name, List.rev !args)
+      end
+    end
+    else
+      (* a bare name is a relative child step from nothing: treat it as a
+         path over the context — unsupported; report clearly *)
+      error st (Printf.sprintf "unexpected bare name %S (paths must start with /, $var or document())" name)
+  | _ -> error st "expected an expression"
+
+and parse_constructor st : Ast.expr =
+  expect st "<";
+  let tag = read_name st in
+  let attrs = ref [] in
+  let rec parse_attrs () =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = read_name st in
+      expect st "=";
+      skip_ws st;
+      let quote =
+        match peek st with
+        | Some (('"' | '\'') as q) ->
+          advance st;
+          q
+        | _ -> error st "expected attribute value"
+      in
+      (* value: mix of literal text and {expr} *)
+      let parts = ref [] in
+      let buf = Buffer.create 16 in
+      let flush_text () =
+        if Buffer.length buf > 0 then begin
+          parts := Ast.Literal (Value.Str (Buffer.contents buf)) :: !parts;
+          Buffer.clear buf
+        end
+      in
+      let rec loop () =
+        match peek st with
+        | None -> error st "unterminated attribute"
+        | Some c when c = quote -> advance st
+        | Some '{' ->
+          advance st;
+          flush_text ();
+          let e = parse_expr st in
+          expect st "}";
+          parts := e :: !parts;
+          loop ()
+        | Some c ->
+          advance st;
+          Buffer.add_char buf c;
+          loop ()
+      in
+      loop ();
+      flush_text ();
+      let value =
+        match List.rev !parts with
+        | [] -> Ast.Literal (Value.Str "")
+        | [ e ] -> e
+        | many -> Ast.Call ("concat", many)
+      in
+      attrs := Ast.Attr_c (name, value) :: !attrs;
+      parse_attrs ()
+    | _ -> ()
+  in
+  parse_attrs ();
+  skip_ws st;
+  if eat st "/>" then Ast.Elem (tag, List.rev !attrs)
+  else begin
+    expect st ">";
+    let contents = ref [] in
+    let buf = Buffer.create 16 in
+    let flush_text () =
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      let trimmed = String.trim s in
+      if trimmed <> "" then contents := Ast.Literal (Value.Str trimmed) :: !contents
+    in
+    let rec loop () =
+      if looking_at st "</" then ()
+      else
+        match peek st with
+        | None -> error st "unterminated element constructor"
+        | Some '{' ->
+          advance st;
+          flush_text ();
+          let e = parse_expr st in
+          let items = ref [ e ] in
+          while eat st "," do
+            items := parse_expr st :: !items
+          done;
+          expect st "}";
+          let e =
+            match !items with [ one ] -> one | many -> Ast.Sequence (List.rev many)
+          in
+          contents := e :: !contents;
+          loop ()
+        | Some '<' when is_constructor_start st ->
+          flush_text ();
+          contents := parse_constructor st :: !contents;
+          loop ()
+        | Some c ->
+          advance st;
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    flush_text ();
+    expect st "</";
+    skip_ws st;
+    (* allow the paper's abbreviation </> *)
+    (if looking_at st ">" then ()
+     else
+       let close = read_name st in
+       if close <> tag then
+         error st (Printf.sprintf "mismatched </%s> for <%s>" close tag));
+    expect st ">";
+    Ast.Elem (tag, List.rev !attrs @ List.rev !contents)
+  end
+
+(** Parse a complete query. *)
+let parse (src : string) : Ast.expr =
+  let st = { src; pos = 0 } in
+  let e = parse_expr st in
+  skip_ws st;
+  if st.pos <> String.length st.src then error st "trailing input";
+  e
+
+let parse_path_string (src : string) : Path_expr.t =
+  let st = { src; pos = 0 } in
+  skip_ws st;
+  let first_desc = looking_at st "//" in
+  if first_desc then expect st "//" else if looking_at st "/" then expect st "/";
+  let raw = parse_raw_path st ~first_desc in
+  skip_ws st;
+  if st.pos <> String.length st.src then error st "trailing input in path";
+  raw_to_path_expr raw

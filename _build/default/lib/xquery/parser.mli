@@ -1,0 +1,17 @@
+(** Parser for the XQuery subset (character-level recursive descent).
+
+    Supported: FLWOR with [for]/[let]/[where]/[order by]/[return],
+    quantifiers, [if/then/else], or/and/not, general comparisons
+    (including [is], node identity), arithmetic, regular location paths
+    ([//], alternation, wildcards, positional predicates on simple
+    paths), [document("uri")], literals, function calls, XQuery comments
+    and direct element constructors. *)
+
+exception Parse_error of string * int
+(** message, byte position *)
+
+val parse : string -> Ast.expr
+(** Parse a complete query; rejects trailing input. *)
+
+val parse_path_string : string -> Path_expr.t
+(** Parse just a path, e.g. ["/site/regions/(europe|africa)/item"]. *)

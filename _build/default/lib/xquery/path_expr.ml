@@ -1,0 +1,117 @@
+(** Regular location paths.
+
+    The paper's central path construct: location paths whose step
+    structure is a regular expression over tags, e.g.
+    [/site/regions/(europe|africa)/item] or [/site//name].  A path is
+    evaluated over tag-path words, so selection reduces to running a DFA
+    while walking the tree (see {!Eval}).
+
+    Paths are either absolute (from a document root) or relative (from a
+    variable binding). *)
+
+type test =
+  | Tag of string
+  | Any_elem  (** [*] *)
+  | Attr of string  (** [@name] *)
+  | Any_attr  (** [@*] *)
+  | Text_node  (** [text()] *)
+
+type axis =
+  | Child  (** [/] *)
+  | Desc  (** [//] — descendant *)
+
+type t =
+  | Step of axis * test
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Eps
+
+let child test = Step (Child, test)
+let desc test = Step (Desc, test)
+
+let rec seq = function
+  | [] -> Eps
+  | [ p ] -> p
+  | p :: rest -> Seq (p, seq rest)
+
+let alt = function
+  | [] -> invalid_arg "Path_expr.alt: empty"
+  | p :: rest -> List.fold_left (fun a b -> Alt (a, b)) p rest
+
+(** Convenience: [steps ["site"; "regions"; "item"]] is /site/regions/item. *)
+let steps tags = seq (List.map (fun t -> child (Tag t)) tags)
+
+let test_symbol = function
+  | Tag t -> Some t
+  | Attr a -> Some ("@" ^ a)
+  | Text_node -> Some "#text"
+  | Any_elem | Any_attr -> None
+
+(** Compile to a symbol regex over [alphabet].  [Any_elem] expands to the
+    alternation of all element symbols currently interned (symbols not
+    starting with '@' or '#'); the caller must intern the document's
+    symbols first. *)
+let to_regex (alphabet : Xl_automata.Alphabet.t) (p : t) : Xl_automata.Regex.t =
+  let open Xl_automata in
+  let elem_syms () =
+    List.filteri (fun _ _ -> true) (Alphabet.symbols alphabet)
+    |> List.filter (fun s ->
+           String.length s > 0 && s.[0] <> '@' && s.[0] <> '#')
+    |> List.map (fun s -> Regex.Sym (Alphabet.intern alphabet s))
+  in
+  let attr_syms () =
+    Alphabet.symbols alphabet
+    |> List.filter (fun s -> String.length s > 0 && s.[0] = '@')
+    |> List.map (fun s -> Regex.Sym (Alphabet.intern alphabet s))
+  in
+  let test_regex = function
+    | Tag t -> Regex.Sym (Alphabet.intern alphabet t)
+    | Attr a -> Regex.Sym (Alphabet.intern alphabet ("@" ^ a))
+    | Text_node -> Regex.Sym (Alphabet.intern alphabet "#text")
+    | Any_elem -> Regex.alt (elem_syms ())
+    | Any_attr -> Regex.alt (attr_syms ())
+  in
+  let rec conv = function
+    | Step (Child, test) -> test_regex test
+    | Step (Desc, test) ->
+      (* //t  =  (any element)* t *)
+      Regex.Seq (Regex.Star (Regex.alt (elem_syms ())), test_regex test)
+    | Seq (a, b) -> Regex.Seq (conv a, conv b)
+    | Alt (a, b) -> Regex.Alt (conv a, conv b)
+    | Star a -> Regex.Star (conv a)
+    | Eps -> Regex.Eps
+  in
+  conv p
+
+let rec to_string_aux prec p =
+  match p with
+  | Eps -> ""
+  | Step (Child, test) -> "/" ^ test_to_string test
+  | Step (Desc, test) -> "//" ^ test_to_string test
+  | Seq (a, b) ->
+    let s = to_string_aux 2 a ^ to_string_aux 2 b in
+    if prec > 2 then "(" ^ s ^ ")" else s
+  | Alt (a, b) ->
+    (* the paper prints alternation inside one step: /(europe|africa) *)
+    let strip s = if String.length s > 0 && s.[0] = '/' then String.sub s 1 (String.length s - 1) else s in
+    "/(" ^ strip (to_string_aux 1 a) ^ "|" ^ strip (to_string_aux 1 b) ^ ")"
+  | Star a -> "(" ^ to_string_aux 3 a ^ ")*"
+
+and test_to_string = function
+  | Tag t -> t
+  | Any_elem -> "*"
+  | Attr a -> "@" ^ a
+  | Any_attr -> "@*"
+  | Text_node -> "text()"
+
+let to_string p = to_string_aux 0 p
+
+let rec equal a b =
+  match a, b with
+  | Eps, Eps -> true
+  | Step (ax, t), Step (ax', t') -> ax = ax' && t = t'
+  | Seq (a1, a2), Seq (b1, b2) | Alt (a1, a2), Alt (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Star a, Star b -> equal a b
+  | _ -> false

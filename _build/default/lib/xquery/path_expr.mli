@@ -1,0 +1,47 @@
+(** Regular location paths — the paper's central path construct.
+
+    Location paths whose step structure is a regular expression over
+    tags, e.g. [/site/regions/(europe|africa)/item] or [/site//name].
+    Paths are evaluated over tag-path words, so selection reduces to
+    running a DFA while walking the tree (see {!Eval}). *)
+
+type test =
+  | Tag of string
+  | Any_elem  (** [*] *)
+  | Attr of string  (** [@name] *)
+  | Any_attr  (** [@*] *)
+  | Text_node  (** [text()] *)
+
+type axis =
+  | Child  (** [/] *)
+  | Desc  (** [//] *)
+
+type t =
+  | Step of axis * test
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Eps
+
+val child : test -> t
+val desc : test -> t
+
+val seq : t list -> t
+val alt : t list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val steps : string list -> t
+(** [steps ["site"; "item"]] is [/site/item]. *)
+
+val test_symbol : test -> string option
+(** The path symbol a concrete test matches ([None] for wildcards). *)
+
+val to_regex : Xl_automata.Alphabet.t -> t -> Xl_automata.Regex.t
+(** Compile over an alphabet.  Wildcards expand to the alternation of
+    the currently interned symbols, so intern the document's symbols
+    first (see {!Eval.intern_path_symbols}). *)
+
+val to_string : t -> string
+(** XPath-flavoured rendering, e.g. ["/site/regions/(europe|africa)/item"]. *)
+
+val equal : t -> t -> bool

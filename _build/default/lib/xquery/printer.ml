@@ -1,0 +1,120 @@
+(** Pretty-printer: AST back to XQuery text.
+
+    The learner's final output — the generated mapping query — is printed
+    with this module, in the style of the paper's Figure 2. *)
+
+let cmp_to_string = function
+  | Ast.Eq -> "="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Is -> "is"
+
+let arith_to_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "div"
+  | Ast.Mod -> "mod"
+
+let atom_to_string = function
+  | Value.Str s -> Printf.sprintf "%S" s
+  | Value.Num f -> Value.atom_to_string (Value.Num f)
+  | Value.Bool b -> if b then "true()" else "false()"
+
+let rec to_string ?(indent = 0) (e : Ast.expr) : string =
+  let pad n = String.make (2 * n) ' ' in
+  match e with
+  | Ast.Literal a -> atom_to_string a
+  | Ast.Var v -> "$" ^ v
+  | Ast.Doc_root None -> "document()"
+  | Ast.Doc_root (Some u) -> Printf.sprintf "document(%S)" u
+  | Ast.Sequence es ->
+    "(" ^ String.concat ", " (List.map (to_string ~indent) es) ^ ")"
+  | Ast.Path (Ast.Doc_root None, p) -> Path_expr.to_string p
+  | Ast.Path (e, p) -> to_string ~indent e ^ Path_expr.to_string p
+  | Ast.Simple (e, p) -> to_string ~indent e ^ "/" ^ Simple_path.to_string p
+  | Ast.Flwor f -> flwor_to_string ~indent f
+  | Ast.Some_ (bs, body) ->
+    Printf.sprintf "some %s satisfies %s" (bindings_to_string ~indent bs)
+      (to_string ~indent body)
+  | Ast.Every (bs, body) ->
+    Printf.sprintf "every %s satisfies %s" (bindings_to_string ~indent bs)
+      (to_string ~indent body)
+  | Ast.If (c, t, f) ->
+    Printf.sprintf "if (%s) then %s else %s" (to_string ~indent c)
+      (to_string ~indent t) (to_string ~indent f)
+  | Ast.Elem (tag, contents) ->
+    let attrs, kids =
+      List.partition (function Ast.Attr_c _ -> true | _ -> false) contents
+    in
+    let attr_str =
+      String.concat ""
+        (List.map
+           (function
+             | Ast.Attr_c (n, e) -> Printf.sprintf " %s=\"{%s}\"" n (to_string ~indent e)
+             | _ -> "")
+           attrs)
+    in
+    if kids = [] then Printf.sprintf "<%s%s/>" tag attr_str
+    else
+      Printf.sprintf "<%s%s>%s{\n%s%s\n%s}%s</%s>" tag attr_str "" (pad (indent + 1))
+        (String.concat (",\n" ^ pad (indent + 1))
+           (List.map (to_string ~indent:(indent + 1)) kids))
+        (pad indent) "" tag
+  | Ast.Attr_c (n, e) -> Printf.sprintf "attribute %s {%s}" n (to_string ~indent e)
+  | Ast.Text_c e -> Printf.sprintf "text {%s}" (to_string ~indent e)
+  | Ast.Cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (atomic ~indent a) (cmp_to_string op) (atomic ~indent b)
+  | Ast.Arith (op, a, b) ->
+    Printf.sprintf "%s %s %s" (atomic ~indent a) (arith_to_string op) (atomic ~indent b)
+  | Ast.And (a, b) ->
+    Printf.sprintf "%s and %s" (atomic ~indent a) (atomic ~indent b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s or %s)" (atomic ~indent a) (atomic ~indent b)
+  | Ast.Not a -> Printf.sprintf "not(%s)" (to_string ~indent a)
+  | Ast.Call (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map (to_string ~indent) args))
+  | Ast.Union (a, b) ->
+    Printf.sprintf "%s union %s" (atomic ~indent a) (atomic ~indent b)
+
+and atomic ~indent e =
+  match e with
+  | Ast.Flwor _ | Ast.Some_ _ | Ast.Every _ | Ast.If _ ->
+    "(" ^ to_string ~indent e ^ ")"
+  | _ -> to_string ~indent e
+
+and bindings_to_string ~indent bs =
+  String.concat ", "
+    (List.map (fun (v, e) -> Printf.sprintf "$%s in %s" v (to_string ~indent e)) bs)
+
+and flwor_to_string ~indent (f : Ast.flwor) : string =
+  let pad n = String.make (2 * n) ' ' in
+  let b = Buffer.create 128 in
+  if f.Ast.for_ <> [] then begin
+    Buffer.add_string b ("for " ^ bindings_to_string ~indent f.Ast.for_);
+    Buffer.add_char b '\n'
+  end;
+  List.iter
+    (fun (v, e) ->
+      Buffer.add_string b
+        (pad indent ^ Printf.sprintf "let $%s := %s\n" v (to_string ~indent e)))
+    f.Ast.let_;
+  (match f.Ast.where with
+  | Some w -> Buffer.add_string b (pad indent ^ "where " ^ to_string ~indent w ^ "\n")
+  | None -> ());
+  (match f.Ast.order_by with
+  | [] -> ()
+  | keys ->
+    Buffer.add_string b
+      (pad indent ^ "order by "
+      ^ String.concat ", "
+          (List.map
+             (fun k ->
+               to_string ~indent k.Ast.key ^ if k.Ast.descending then " descending" else "")
+             keys)
+      ^ "\n"));
+  Buffer.add_string b
+    (pad indent ^ "return " ^ to_string ~indent:(indent + 1) f.Ast.return);
+  Buffer.contents b

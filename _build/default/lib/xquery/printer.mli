@@ -1,0 +1,9 @@
+(** Pretty-printer: AST back to XQuery text — how the learner presents
+    the generated mapping query (paper Figure 2 style).  Output reparses
+    with {!Parser.parse} to an evaluation-equivalent query. *)
+
+val cmp_to_string : Ast.cmp_op -> string
+val arith_to_string : Ast.arith_op -> string
+val atom_to_string : Value.atom -> string
+
+val to_string : ?indent:int -> Ast.expr -> string

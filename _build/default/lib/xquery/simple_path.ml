@@ -1,0 +1,92 @@
+(** Simple child-axis paths with optional positional predicates,
+    e.g. [a[1]/b/c[last()]] or [itemref/@item].
+
+    These are the paths [q] allowed inside the Rel2/Rel3 relationship
+    patterns of 1-learnability (Section 6): child axis plus optional
+    position numbers or [last()]. *)
+
+type position = First | Last | Nth of int
+
+type step =
+  | Elem of string * position option
+  | Attr_step of string
+  | Text_step
+
+type t = step list
+
+let elem ?pos name = Elem (name, pos)
+
+let step_to_string = function
+  | Elem (n, None) -> n
+  | Elem (n, Some First) -> n ^ "[1]"
+  | Elem (n, Some Last) -> n ^ "[last()]"
+  | Elem (n, Some (Nth k)) -> Printf.sprintf "%s[%d]" n k
+  | Attr_step a -> "@" ^ a
+  | Text_step -> "text()"
+
+let to_string (p : t) = String.concat "/" (List.map step_to_string p)
+
+(** Evaluate from a context node; child axis only, document order. *)
+let eval (p : t) (from : Xl_xml.Node.t) : Xl_xml.Node.t list =
+  let open Xl_xml in
+  let step nodes s =
+    List.concat_map
+      (fun n ->
+        match s with
+        | Attr_step a -> (
+          match Node.attribute n a with Some at -> [ at ] | None -> [])
+        | Text_step -> List.filter Node.is_text n.Node.children
+        | Elem (name, pos) -> (
+          let kids =
+            List.filter
+              (fun c -> Node.is_element c && String.equal c.Node.name name)
+              n.Node.children
+          in
+          match pos with
+          | None -> kids
+          | Some First -> (match kids with [] -> [] | k :: _ -> [ k ])
+          | Some Last -> (
+            match List.rev kids with [] -> [] | k :: _ -> [ k ])
+          | Some (Nth k) ->
+            if k >= 1 && k <= List.length kids then [ List.nth kids (k - 1) ] else []))
+      nodes
+  in
+  List.fold_left step [ from ] p
+
+(** The same path as a (position-free) regular path, for printing learned
+    conditions inside generated queries. *)
+let to_path_expr (p : t) : Path_expr.t =
+  Path_expr.seq
+    (List.map
+       (function
+         | Elem (n, _) -> Path_expr.child (Path_expr.Tag n)
+         | Attr_step a -> Path_expr.child (Path_expr.Attr a)
+         | Text_step -> Path_expr.child Path_expr.Text_node)
+       p)
+
+(** Parse a simple path from its textual form, e.g.
+    ["profile/@income"], ["bidder[1]/increase"], ["a[last()]/text()"]. *)
+let of_string (s : string) : t =
+  if String.trim s = "" then []
+  else
+    List.map
+      (fun part ->
+        if String.length part > 0 && part.[0] = '@' then
+          Attr_step (String.sub part 1 (String.length part - 1))
+        else if String.equal part "text()" then Text_step
+        else
+          match String.index_opt part '[' with
+          | None -> Elem (part, None)
+          | Some i ->
+            let name = String.sub part 0 i in
+            let inside = String.sub part (i + 1) (String.length part - i - 2) in
+            let pos =
+              if String.equal inside "last()" then Last
+              else
+                match int_of_string_opt inside with
+                | Some 1 -> First
+                | Some k -> Nth k
+                | None -> invalid_arg ("Simple_path.of_string: bad position " ^ inside)
+            in
+            Elem (name, Some pos))
+      (String.split_on_char '/' s)

@@ -1,0 +1,27 @@
+(** Simple child-axis paths with optional positional predicates,
+    e.g. [a[1]/b/c[last()]] or [itemref/@item] — the paths [q] allowed
+    inside the Rel2/Rel3 relationship patterns of 1-learnability
+    (Section 6). *)
+
+type position = First | Last | Nth of int
+
+type step =
+  | Elem of string * position option
+  | Attr_step of string
+  | Text_step
+
+type t = step list
+
+val elem : ?pos:position -> string -> step
+val step_to_string : step -> string
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parse ["profile/@income"], ["bidder[1]/increase"], ["a/text()"]...
+    Raises [Invalid_argument] on malformed positions. *)
+
+val eval : t -> Xl_xml.Node.t -> Xl_xml.Node.t list
+(** Child-axis evaluation from a context node, document order. *)
+
+val to_path_expr : t -> Path_expr.t
+(** The same path with positions dropped, as a regular path. *)

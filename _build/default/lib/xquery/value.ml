@@ -1,0 +1,87 @@
+(** Values of the query engine: flat sequences of items.
+
+    Following the XQuery data model, every expression evaluates to a
+    sequence; a single item is a singleton sequence and nested sequences
+    flatten. *)
+
+type atom =
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+type item =
+  | Node of Xl_xml.Node.t
+  | Atom of atom
+
+type t = item list
+
+let empty : t = []
+let of_node n : t = [ Node n ]
+let of_nodes ns : t = List.map (fun n -> Node n) ns
+let of_string s : t = [ Atom (Str s) ]
+let of_float f : t = [ Atom (Num f) ]
+let of_int i : t = [ Atom (Num (float_of_int i)) ]
+let of_bool b : t = [ Atom (Bool b) ]
+
+let atom_to_string = function
+  | Str s -> s
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else string_of_float f
+  | Bool b -> if b then "true" else "false"
+
+(** Atomization: the typed value of an item ([data()] in the paper). *)
+let atomize_item = function
+  | Atom a -> a
+  | Node n -> Str (Xl_xml.Node.string_value n)
+
+let atomize (v : t) : atom list = List.map atomize_item v
+
+let item_string i = atom_to_string (atomize_item i)
+
+let string_value (v : t) : string =
+  String.concat "" (List.map item_string v)
+
+let numeric_of_atom = function
+  | Num f -> Some f
+  | Str s -> float_of_string_opt (String.trim s)
+  | Bool b -> Some (if b then 1. else 0.)
+
+(** Effective boolean value. *)
+let to_bool (v : t) : bool =
+  match v with
+  | [] -> false
+  | [ Atom (Bool b) ] -> b
+  | [ Atom (Num f) ] -> f <> 0.
+  | [ Atom (Str s) ] -> s <> ""
+  | _ -> true  (* non-empty node sequence *)
+
+(** Atom equality with numeric promotion, as used by general comparisons. *)
+let atom_equal a b =
+  match numeric_of_atom a, numeric_of_atom b with
+  | Some x, Some y -> x = y
+  | _ -> String.equal (atom_to_string a) (atom_to_string b)
+
+let atom_compare a b =
+  match numeric_of_atom a, numeric_of_atom b with
+  | Some x, Some y -> Float.compare x y
+  | _ -> String.compare (atom_to_string a) (atom_to_string b)
+
+let item_equal a b =
+  match a, b with
+  | Node n, Node m -> Xl_xml.Node.equal n m
+  | _ -> atom_equal (atomize_item a) (atomize_item b)
+
+(** Sort nodes into document order and remove duplicates (path results). *)
+let document_order (v : t) : t =
+  let nodes, atoms =
+    List.partition_map
+      (function Node n -> Either.Left n | Atom a -> Either.Right a)
+      v
+  in
+  let sorted = List.sort_uniq Xl_xml.Node.compare_order nodes in
+  List.map (fun n -> Node n) sorted @ List.map (fun a -> Atom a) atoms
+
+let nodes_of (v : t) : Xl_xml.Node.t list =
+  List.filter_map (function Node n -> Some n | Atom _ -> None) v

@@ -1,0 +1,51 @@
+(** Values of the query engine: flat sequences of items, following the
+    XQuery data model. *)
+
+type atom =
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+type item =
+  | Node of Xl_xml.Node.t
+  | Atom of atom
+
+type t = item list
+
+val empty : t
+val of_node : Xl_xml.Node.t -> t
+val of_nodes : Xl_xml.Node.t list -> t
+val of_string : string -> t
+val of_float : float -> t
+val of_int : int -> t
+val of_bool : bool -> t
+
+val atom_to_string : atom -> string
+(** Integral floats print without a decimal point. *)
+
+val atomize_item : item -> atom
+(** [data()] on one item: nodes atomize to their string value. *)
+
+val atomize : t -> atom list
+val item_string : item -> string
+val string_value : t -> string
+
+val numeric_of_atom : atom -> float option
+
+val to_bool : t -> bool
+(** Effective boolean value. *)
+
+val atom_equal : atom -> atom -> bool
+(** Equality with numeric promotion (general-comparison semantics). *)
+
+val atom_compare : atom -> atom -> int
+(** Numeric when both sides parse as numbers, else lexicographic. *)
+
+val item_equal : item -> item -> bool
+(** Node identity for nodes, atom equality otherwise. *)
+
+val document_order : t -> t
+(** Sort the node part into document order, deduplicated; atoms keep
+    their relative order after the nodes. *)
+
+val nodes_of : t -> Xl_xml.Node.t list

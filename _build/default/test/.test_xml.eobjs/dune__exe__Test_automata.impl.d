@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Alphabet Array Dfa List Lstar Nfa QCheck2 QCheck_alcotest Regex Xl_automata

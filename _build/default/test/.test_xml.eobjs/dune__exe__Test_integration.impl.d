@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Lazy Learn List Option Plearner Stats String Xl_core Xl_workload Xl_xqtree

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Array Content_model Dataguide Dtd Dtd_parser List QCheck2 QCheck_alcotest Relaxng Schema_paths Schema_source String Validate Xl_automata Xl_schema Xl_workload Xl_xml

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dewey Doc Frag Gen List Node Option QCheck2 QCheck_alcotest Serialize Store Test Xl_xml Xml_parser

@@ -1,0 +1,1 @@
+test/test_xqtree.ml: Alcotest Ast Classes Cond Eval Func_spec List Option Parser Path_expr Simple_path String Value Xl_xml Xl_xqtree Xl_xquery Xqtree

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Ast Eval List Parser Printer QCheck2 QCheck_alcotest String Value Xl_xml Xl_xquery

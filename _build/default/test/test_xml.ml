@@ -1,0 +1,276 @@
+(* Unit and property tests for the XML substrate (xl_xml). *)
+
+open Xl_xml
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+(* ---------- Dewey ------------------------------------------------------- *)
+
+let test_dewey_order () =
+  check cint "root vs root" 0 (Dewey.compare [ 1 ] [ 1 ]);
+  check cbool "prefix smaller" true (Dewey.compare [ 1 ] [ 1; 1 ] < 0);
+  check cbool "sibling order" true (Dewey.compare [ 1; 2 ] [ 1; 10 ] < 0);
+  check cbool "document order across depth" true (Dewey.compare [ 1; 2; 9 ] [ 1; 3 ] < 0)
+
+let test_dewey_ancestor () =
+  check cbool "ancestor" true (Dewey.is_ancestor [ 1 ] [ 1; 4; 2 ]);
+  check cbool "self is not ancestor" false (Dewey.is_ancestor [ 1; 4 ] [ 1; 4 ]);
+  check cbool "sibling not ancestor" false (Dewey.is_ancestor [ 1; 4 ] [ 1; 5; 1 ])
+
+let test_dewey_strings () =
+  check cstr "to_string" "1.2.3" (Dewey.to_string [ 1; 2; 3 ]);
+  check cbool "roundtrip" true (Dewey.of_string "1.2.3" = [ 1; 2; 3 ]);
+  check cbool "parent" true (Dewey.parent [ 1; 2; 3 ] = Some [ 1; 2 ]);
+  check cbool "parent of root" true (Dewey.parent [ 1 ] = None)
+
+(* ---------- Frag -------------------------------------------------------- *)
+
+let sample =
+  Frag.e "site"
+    [
+      Frag.e "regions"
+        [
+          Frag.e "europe"
+            [
+              Frag.e "item" ~attrs:[ ("id", "i7") ]
+                [ Frag.elem "name" "H. Potter"; Frag.elem "description" "Best Seller" ];
+            ];
+        ];
+      Frag.e "categories" [ Frag.e "category" ~attrs:[ ("id", "c2") ] [ Frag.elem "name" "book" ] ];
+    ]
+
+let test_frag_basics () =
+  check cint "size counts elements" 9 (Frag.size sample);
+  check cstr "string_value concatenates" "H. PotterBest Sellerbook" (Frag.string_value sample);
+  check cbool "equal reflexive" true (Frag.equal sample sample);
+  check cbool "equal distinguishes" false (Frag.equal sample (Frag.elem "site" "x"))
+
+(* ---------- Doc / Node --------------------------------------------------- *)
+
+let doc () = Doc.of_frag ~uri:"test.xml" sample
+
+let test_doc_structure () =
+  let d = doc () in
+  let root = Doc.root d in
+  check cstr "root tag" "site" root.Node.name;
+  check cint "two children" 2 (List.length (Node.element_children root));
+  check cbool "root has document parent" true
+    (match Node.parent root with Some p -> p.Node.kind = Node.Document | None -> false)
+
+let test_tag_path () =
+  let d = doc () in
+  match Doc.node_with_path d [ "site"; "regions"; "europe"; "item"; "name" ] with
+  | None -> Alcotest.fail "name node not found"
+  | Some n ->
+    check cstr "string value" "H. Potter" (Node.string_value n);
+    check cbool "tag_path roundtrip" true
+      (Node.tag_path n = [ "site"; "regions"; "europe"; "item"; "name" ])
+
+let test_attribute_path () =
+  let d = doc () in
+  match Doc.node_with_path d [ "site"; "regions"; "europe"; "item"; "@id" ] with
+  | None -> Alcotest.fail "@id not found"
+  | Some a ->
+    check cbool "is attribute" true (Node.is_attribute a);
+    check cstr "value" "i7" a.Node.value;
+    check cstr "symbol" "@id" (Node.symbol a)
+
+let test_document_order () =
+  let d = doc () in
+  let nodes = Doc.nodes d in
+  let sorted = List.sort Node.compare_order nodes in
+  let ids l = List.map (fun n -> n.Node.id) l in
+  check cbool "Doc.nodes is already document order" true (ids nodes = ids sorted);
+  let name_item = Doc.node_with_path d [ "site"; "regions"; "europe"; "item"; "name" ] in
+  let name_cat = Doc.node_with_path d [ "site"; "categories"; "category"; "name" ] in
+  match name_item, name_cat with
+  | Some a, Some b -> check cbool "item name before category name" true (Node.compare_order a b < 0)
+  | _ -> Alcotest.fail "nodes missing"
+
+let test_find_by_id () =
+  let d = doc () in
+  let n = Option.get (Doc.node_with_path d [ "site"; "categories" ]) in
+  check cbool "find_by_id" true
+    (match Doc.find_by_id d n.Node.id with Some m -> Node.equal m n | None -> false)
+
+let test_all_nodes_count () =
+  let d = doc () in
+  (* 9 elements + 2 attributes + 3 texts + 1 document node indexed *)
+  check cint "node_count" 15 (Doc.node_count d);
+  check cint "element+attr nodes" 11 (List.length (Doc.nodes d))
+
+(* ---------- Parser ------------------------------------------------------- *)
+
+let test_parse_simple () =
+  let f = Xml_parser.parse "<a x='1'><b>hi</b><c/></a>" in
+  check cbool "structure" true
+    (Frag.equal f (Frag.e "a" ~attrs:[ ("x", "1") ] [ Frag.elem "b" "hi"; Frag.e "c" [] ]))
+
+let test_parse_entities () =
+  let f = Xml_parser.parse "<a>&lt;tag&gt; &amp; &quot;x&quot; &#65;&#x42;</a>" in
+  check cstr "decoded" "<tag> & \"x\" AB" (Frag.string_value f)
+
+let test_parse_cdata_comments () =
+  let f = Xml_parser.parse "<a><!-- note --><![CDATA[1 < 2 & 3]]></a>" in
+  check cstr "cdata" "1 < 2 & 3" (Frag.string_value f)
+
+let test_parse_prolog_doctype () =
+  let f =
+    Xml_parser.parse
+      "<?xml version=\"1.0\"?><!DOCTYPE site [<!ELEMENT site (a)*>]><site><a/></site>"
+  in
+  check cbool "root" true (match f with Frag.E ("site", _, _) -> true | _ -> false)
+
+let test_parse_whitespace_dropped () =
+  let f = Xml_parser.parse "<a>\n  <b>x</b>\n  <c>y</c>\n</a>" in
+  match f with
+  | Frag.E ("a", _, kids) -> check cint "two children, no ws text" 2 (List.length kids)
+  | _ -> Alcotest.fail "bad parse"
+
+let test_parse_errors () =
+  let fails s =
+    match Xml_parser.parse s with
+    | exception Xml_parser.Parse_error _ -> true
+    | _ -> false
+  in
+  check cbool "mismatched tags" true (fails "<a></b>");
+  check cbool "unterminated" true (fails "<a><b>");
+  check cbool "junk after root" true (fails "<a/><b/>");
+  check cbool "bad entity" true (fails "<a>&nosuch;</a>")
+
+(* ---------- Serializer ---------------------------------------------------- *)
+
+let test_serialize_escaping () =
+  let f = Frag.e "a" ~attrs:[ ("k", "a\"b<c") ] [ Frag.T "x<y&z>" ] in
+  check cstr "escaped" "<a k=\"a&quot;b&lt;c\">x&lt;y&amp;z&gt;</a>"
+    (Serialize.frag_to_string f)
+
+let test_serialize_node_roundtrip () =
+  let d = doc () in
+  let s = Serialize.node_to_string (Doc.root d) in
+  let f = Xml_parser.parse s in
+  check cbool "frag equal after roundtrip" true (Frag.equal f sample)
+
+(* ---------- Store ---------------------------------------------------------- *)
+
+let test_store () =
+  let d1 = Doc.of_frag ~uri:"a.xml" (Frag.elem "a" "1") in
+  let d2 = Doc.of_frag ~uri:"b.xml" (Frag.elem "b" "2") in
+  let st = Store.of_docs [ d1; d2 ] in
+  check cstr "default is first" "a.xml" (Doc.uri (Store.default st));
+  check cbool "find by uri" true (Store.find st "b.xml" <> None);
+  check cbool "find by basename" true (Store.find st "/tmp/b.xml" <> None);
+  check cbool "missing" true (Store.find st "c.xml" = None);
+  check cint "all nodes" 2 (List.length (Store.nodes st))
+
+(* ---------- Properties ------------------------------------------------------ *)
+
+let gen_frag =
+  let open QCheck2.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "item"; "name" ] in
+  let attr = pair (oneofl [ "id"; "x" ]) (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) in
+  let text = string_size ~gen:(char_range 'a' 'z') (1 -- 8) in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun s -> Frag.T s) text
+      else
+        frequency
+          [
+            (1, map (fun s -> Frag.T s) text);
+            ( 3,
+              map3
+                (fun t attrs kids ->
+                  (* attribute names must be unique per element, and
+                     adjacent text children merge on reparse *)
+                  let attrs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs in
+                  let rec merge = function
+                    | Frag.T a :: Frag.T b :: rest -> merge (Frag.T (a ^ b) :: rest)
+                    | x :: rest -> x :: merge rest
+                    | [] -> []
+                  in
+                  Frag.E (t, attrs, merge kids))
+                tag (list_size (0 -- 2) attr)
+                (list_size (0 -- 3) (self (depth - 1))) );
+          ])
+    2
+
+let rec merge_texts = function
+  | Frag.T a :: Frag.T b :: rest -> merge_texts (Frag.T (a ^ b) :: rest)
+  | Frag.E (t, attrs, kids) :: rest -> Frag.E (t, attrs, merge_texts kids) :: merge_texts rest
+  | x :: rest -> x :: merge_texts rest
+  | [] -> []
+
+let gen_doc_frag =
+  QCheck2.Gen.map
+    (fun kids -> Frag.E ("root", [], merge_texts kids))
+    QCheck2.Gen.(list_size (0 -- 4) gen_frag)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"serialize/parse roundtrip" ~count:200
+    ~print:Serialize.frag_to_string gen_doc_frag
+    (fun f ->
+      (* whitespace-only text nodes are dropped by the parser, so only
+         generate non-ws text (the generator above does) *)
+      let s = Serialize.frag_to_string f in
+      Frag.equal (Xml_parser.parse s) f)
+
+let prop_dewey_total_order =
+  let open QCheck2 in
+  Test.make ~name:"dewey compare is a total order" ~count:500
+    Gen.(triple (list_size (1 -- 4) (1 -- 5)) (list_size (1 -- 4) (1 -- 5)) (list_size (1 -- 4) (1 -- 5)))
+    (fun (a, b, c) ->
+      let ( <= ) x y = Dewey.compare x y <= 0 in
+      (* antisymmetry + transitivity spot checks *)
+      (not (a <= b) || not (b <= a) || Dewey.compare a b = 0)
+      && ((not (a <= b)) || (not (b <= c)) || a <= c))
+
+let prop_tag_paths_unique_prefix =
+  QCheck2.Test.make ~name:"node tag_path starts with the root tag" ~count:100
+    gen_doc_frag (fun f ->
+      let d = Doc.of_frag f in
+      List.for_all
+        (fun n ->
+          match Node.tag_path n with "root" :: _ -> true | _ -> false)
+        (Doc.nodes d))
+
+let () =
+  Alcotest.run "xl_xml"
+    [
+      ( "dewey",
+        [
+          Alcotest.test_case "order" `Quick test_dewey_order;
+          Alcotest.test_case "ancestor" `Quick test_dewey_ancestor;
+          Alcotest.test_case "strings" `Quick test_dewey_strings;
+        ] );
+      ("frag", [ Alcotest.test_case "basics" `Quick test_frag_basics ]);
+      ( "doc",
+        [
+          Alcotest.test_case "structure" `Quick test_doc_structure;
+          Alcotest.test_case "tag_path" `Quick test_tag_path;
+          Alcotest.test_case "attribute path" `Quick test_attribute_path;
+          Alcotest.test_case "document order" `Quick test_document_order;
+          Alcotest.test_case "find_by_id" `Quick test_find_by_id;
+          Alcotest.test_case "node counts" `Quick test_all_nodes_count;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata and comments" `Quick test_parse_cdata_comments;
+          Alcotest.test_case "prolog and doctype" `Quick test_parse_prolog_doctype;
+          Alcotest.test_case "whitespace dropped" `Quick test_parse_whitespace_dropped;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "serializer",
+        [
+          Alcotest.test_case "escaping" `Quick test_serialize_escaping;
+          Alcotest.test_case "roundtrip" `Quick test_serialize_node_roundtrip;
+        ] );
+      ("store", [ Alcotest.test_case "basics" `Quick test_store ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_dewey_total_order; prop_tag_paths_unique_prefix ] );
+    ]

@@ -1,0 +1,269 @@
+(* Unit tests for the XQ-Tree representation and class analysis (xl_xqtree). *)
+
+open Xl_xquery
+open Xl_xqtree
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+let path = Parser.parse_path_string
+let sp = Simple_path.of_string
+
+(* the paper's q1 tree (Figure 6) *)
+let q1_tree () =
+  Xqtree.make ~tag:"i_list" "N1"
+    ~children:
+      [
+        Xqtree.make ~tag:"category" ~var:"c"
+          ~source:(Xqtree.Abs (None, path "/site/categories/category"))
+          "N1.1"
+          ~children:
+            [
+              Xqtree.make ~tag:"cname" ~one_edge:true ~var:"cn"
+                ~source:(Xqtree.Rel (path "name")) "N1.1.1";
+              Xqtree.make ~tag:"item" ~var:"i"
+                ~source:(Xqtree.Abs (None, path "/site/regions/(europe|africa)/item"))
+                ~conds:
+                  [
+                    Cond.Join
+                      ( Cond.ep ~path:(sp "incategory/@category") "i",
+                        Cond.ep ~path:(sp "@id") "c" );
+                  ]
+                "N1.1.2"
+                ~children:
+                  [
+                    Xqtree.make ~tag:"iname" ~one_edge:true ~var:"in"
+                      ~source:(Xqtree.Rel (path "name")) "N1.1.2.1";
+                    Xqtree.make ~tag:"desc" ~var:"d"
+                      ~source:(Xqtree.Rel (path "description")) "N1.1.2.2";
+                  ];
+            ];
+      ]
+
+let auction_doc () =
+  Xl_xml.Xml_parser.parse_doc ~uri:"auction.xml"
+    {|<site>
+        <regions>
+          <europe>
+            <item id="i7"><name>Potter</name><incategory category="c2"/><description>Good</description></item>
+            <item id="i9"><name>Drum</name><incategory category="c1"/><description>Loud</description></item>
+          </europe>
+          <africa/>
+        </regions>
+        <categories>
+          <category id="c1"><name>music</name></category>
+          <category id="c2"><name>book</name></category>
+        </categories>
+      </site>|}
+
+(* ---------- structure ------------------------------------------------------ *)
+
+let test_structure () =
+  let t = q1_tree () in
+  check cint "size" 6 (Xqtree.size t);
+  check cint "var nodes" 5 (List.length (Xqtree.var_nodes t));
+  check cbool "find" true (Xqtree.find t "N1.1.2.1" <> None);
+  check cbool "find missing" true (Xqtree.find t "N9" = None);
+  check cbool "ancestors" true
+    (List.map (fun n -> n.Xqtree.label) (Xqtree.ancestors t "N1.1.2.1")
+    = [ "N1"; "N1.1"; "N1.1.2" ]);
+  check cbool "visible vars" true (Xqtree.visible_vars t "N1.1.2" = [ "c" ]);
+  check cbool "base var" true (Xqtree.base_var t "N1.1.2.2" = Some "i")
+
+let test_absolute_path () =
+  let t = q1_tree () in
+  match Xqtree.absolute_path t "N1.1.1" with
+  | Some (None, p) ->
+    check cstr "composed path" "/site/categories/category/name" (Path_expr.to_string p)
+  | _ -> Alcotest.fail "no absolute path"
+
+let test_collapse_helpers () =
+  let t = q1_tree () in
+  let cat = Option.get (Xqtree.find t "N1.1") in
+  check cbool "category collapses with cname" true (Xqtree.is_collapse_parent t cat);
+  check cbool "collapse child is cname" true
+    (match Xqtree.collapse_child cat with
+    | Some c -> c.Xqtree.label = "N1.1.1"
+    | None -> false);
+  check cbool "collapse_parent of cname" true
+    (match Xqtree.collapse_parent t "N1.1.1" with
+    | Some p -> p.Xqtree.label = "N1.1"
+    | None -> false);
+  (* desc is not 1-labeled: no collapse *)
+  check cbool "desc does not collapse" true (Xqtree.collapse_parent t "N1.1.2.2" = None)
+
+let test_path_steps () =
+  check cbool "single step" true (Xqtree.path_steps (path "name") = Some 1);
+  check cbool "chain" true (Xqtree.path_steps (path "a/b/c") = Some 3);
+  check cbool "alternation same length" true (Xqtree.path_steps (path "(a|b)/c") = Some 2);
+  check cbool "descendant unbounded" true (Xqtree.path_steps (path "a//b") = None)
+
+(* ---------- evaluation ------------------------------------------------------ *)
+
+let test_to_ast_eval () =
+  let t = q1_tree () in
+  let store = Xl_xml.Store.of_docs [ auction_doc () ] in
+  let out = Eval.run_to_string (Eval.make_ctx store) (Xqtree.to_ast t) in
+  (* both categories appear; items grouped by the learned join *)
+  check cbool "music category has Drum" true
+    (let re_music = "<cname><name>music</name></cname><item><iname><name>Drum</name>" in
+     let contains hay needle =
+       let lh = String.length hay and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains out re_music);
+  check cbool "book category has Potter" true
+    (let contains hay needle =
+       let lh = String.length hay and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains out "<cname><name>book</name></cname><item><iname><name>Potter</name>")
+
+let test_to_ast_equals_handwritten () =
+  let t = q1_tree () in
+  let store = Xl_xml.Store.of_docs [ auction_doc () ] in
+  let ctx = Eval.make_ctx store in
+  let handwritten =
+    Parser.parse
+      {|<i_list>{
+          for $c in /site/categories/category
+          return <category>{
+            <cname>{for $cn in $c/name return $cn}</cname>,
+            for $i in /site/regions/(europe|africa)/item
+            where data($i/incategory/@category) = data($c/@id)
+            return <item>{
+              <iname>{for $in in $i/name return $in}</iname>,
+              for $d in $i/description return <desc>{$d}</desc>}</item>}</category>
+        }</i_list>|}
+  in
+  check cstr "XQ-Tree composes to the same query"
+    (Eval.run_to_string ctx handwritten)
+    (Eval.run_to_string ctx (Xqtree.to_ast t))
+
+let test_listing () =
+  let listing = Xqtree.to_listing (q1_tree ()) in
+  check cbool "mentions every node" true
+    (List.for_all
+       (fun l ->
+         let contains hay needle =
+           let lh = String.length hay and ln = String.length needle in
+           let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+           go 0
+         in
+         contains listing l)
+       [ "N1:-"; "N1.1:-"; "N1.1.1:-"; "N1.1.2:-"; "N1.1.2.1:-"; "N1.1.2.2:-" ])
+
+(* ---------- conditions ------------------------------------------------------- *)
+
+let test_cond_to_expr () =
+  let c =
+    Cond.Relay
+      {
+        relay_var = "o";
+        relay_doc = None;
+        relay_path = path "/site/closed_auctions/closed_auction";
+        links = [ (Cond.ep ~path:(sp "@id") "i", sp "itemref/@item") ];
+        relay_conds = [ (sp "price", Ast.Lt, Value.Num 300.) ];
+      }
+  in
+  let e = Cond.to_expr c in
+  check cbool "relay becomes a quantifier" true
+    (match e with Ast.Some_ ([ ("o", _) ], _) -> true | _ -> false);
+  check cbool "vars of relay" true (Cond.vars c = [ "i" ]);
+  let j = Cond.Join (Cond.ep "a", Cond.ep ~path:(sp "x/y") "b") in
+  check cbool "vars of join" true (Cond.vars j = [ "a"; "b" ]);
+  check cstr "join prints" "data($a) = data($b/x/y)" (Cond.to_string j);
+  check cbool "neg wraps" true
+    (match Cond.to_expr (Cond.Neg j) with Ast.Not _ -> true | _ -> false)
+
+(* ---------- func specs --------------------------------------------------------- *)
+
+let test_func_spec () =
+  let open Func_spec in
+  let f = Bin (Ast.Add, Fn ("count", [ Hole 0 ]), Fn ("count", [ Hole 1 ])) in
+  check cint "terminals" 5 (terminals f);
+  check cint "arity" 2 (arity f);
+  check cbool "holes" true (holes f = [ 0; 1 ]);
+  let e = to_expr f ~fill:(fun i -> Ast.int i) in
+  check cbool "instantiation" true
+    (match e with Ast.Arith (Ast.Add, Ast.Call ("count", _), Ast.Call ("count", _)) -> true | _ -> false);
+  (* the paper's example: multiply(plus(30, 40), 2) has 5 terminals *)
+  let paper = Bin (Ast.Mul, Bin (Ast.Add, Const (Value.Num 30.), Const (Value.Num 40.)), Const (Value.Num 2.)) in
+  check cint "paper example" 5 (terminals paper)
+
+(* ---------- classes -------------------------------------------------------------- *)
+
+let x0_tree () =
+  Xqtree.make ~var:"i" ~source:(Xqtree.Abs (None, path "/site/regions//item")) "N1"
+
+let x0star_tree () =
+  Xqtree.make ~tag:"result" ~var:"i" ~emit_var:true
+    ~source:(Xqtree.Abs (None, path "/site/regions//item"))
+    "N1"
+    ~children:
+      [
+        Xqtree.make ~tag:"cname" ~var:"c"
+          ~source:(Xqtree.Abs (None, path "/site/categories/category/name"))
+          "N1.1";
+      ]
+
+let test_classify () =
+  check cbool "X0" true (Classes.classify (x0_tree ()) = Some Classes.X0);
+  check cbool "X0*" true (Classes.classify (x0star_tree ()) = Some Classes.X0_star);
+  check cbool "q1 is X1*+" true (Classes.classify (q1_tree ()) = Some Classes.X1_star_plus);
+  check cbool "class inclusion" true (Classes.in_class (x0_tree ()) Classes.X1_star_plus);
+  check cbool "not downward" false (Classes.in_class (q1_tree ()) Classes.X0_star)
+
+let test_classify_extended () =
+  (* a Value condition pushes the tree out of X1*+ into X1*+E *)
+  let t =
+    Xqtree.make ~tag:"r" ~var:"p"
+      ~source:(Xqtree.Abs (None, path "/site/people/person"))
+      ~conds:[ Cond.Value (Cond.ep ~path:(sp "@id") "p", Ast.Eq, Value.Str "person0") ]
+      "N1"
+  in
+  check cbool "explicit predicate needs the extension" true
+    (Classes.classify t = Some Classes.X1_star_plus_E)
+
+let test_construct_classifier () =
+  let open Classes in
+  check cbool "plain constructs learnable" true
+    (learnable_with_extension [ Regular_path; Join_condition; Order_by; Aggregation ]);
+  check cbool "namespace blocks" false
+    (learnable_with_extension [ Regular_path; Namespace_pattern ]);
+  check cbool "recursion blocks" false
+    (learnable_with_extension [ Regular_path; Recursive_udf ]);
+  check cbool "typed blocks" false
+    (learnable_with_extension [ Regular_path; Typed_operation ]);
+  check cbool "blocker identified" true
+    (blocking_construct [ Regular_path; Recursive_udf ] = Some Recursive_udf)
+
+let () =
+  Alcotest.run "xl_xqtree"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "navigation" `Quick test_structure;
+          Alcotest.test_case "absolute path" `Quick test_absolute_path;
+          Alcotest.test_case "collapse helpers" `Quick test_collapse_helpers;
+          Alcotest.test_case "path steps" `Quick test_path_steps;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "to_ast evaluates" `Quick test_to_ast_eval;
+          Alcotest.test_case "matches handwritten query" `Quick test_to_ast_equals_handwritten;
+          Alcotest.test_case "listing" `Quick test_listing;
+        ] );
+      ("conditions", [ Alcotest.test_case "to_expr and vars" `Quick test_cond_to_expr ]);
+      ("func-specs", [ Alcotest.test_case "terminals/holes" `Quick test_func_spec ]);
+      ( "classes",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "extension" `Quick test_classify_extended;
+          Alcotest.test_case "construct classifier" `Quick test_construct_classifier;
+        ] );
+    ]

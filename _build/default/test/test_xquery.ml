@@ -1,0 +1,268 @@
+(* Unit and property tests for the XQuery engine (xl_xquery). *)
+
+open Xl_xquery
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let _cint = Alcotest.int
+let cstr = Alcotest.string
+
+let xml =
+  {|<site>
+      <regions>
+        <africa><item id="i3"><name>Drum</name><price>80</price></item></africa>
+        <europe>
+          <item id="i7"><name>Potter</name><price>50</price></item>
+          <item id="i6"><name>Encyclopedia</name><price>700</price></item>
+        </europe>
+      </regions>
+      <people>
+        <person id="p1"><name>Ann</name><age>31</age></person>
+        <person id="p2"><name>Bo</name><age>25</age></person>
+      </people>
+      <sales>
+        <sale item="i7" buyer="p1"/>
+        <sale item="i3" buyer="p2"/>
+      </sales>
+    </site>|}
+
+let doc () = Xl_xml.Xml_parser.parse_doc ~uri:"test.xml" xml
+let ctx () = Eval.ctx_of_doc (doc ())
+
+let run q = Eval.run_to_string (ctx ()) (Parser.parse q)
+
+(* ---------- paths ----------------------------------------------------------- *)
+
+let test_absolute_path () =
+  check cstr "simple chain" "<name>Drum</name>" (run "/site/regions/africa/item/name")
+
+let test_descendant_path () =
+  check cstr "//name collects all"
+    "<name>Drum</name><name>Potter</name><name>Encyclopedia</name><name>Ann</name><name>Bo</name>"
+    (run "//name")
+
+let test_alternation_path () =
+  check cstr "alternation"
+    "<name>Drum</name><name>Potter</name><name>Encyclopedia</name>"
+    (run "/site/regions/(africa|europe)/item/name")
+
+let test_wildcard_path () =
+  check cstr "star step" "<name>Ann</name><name>Bo</name>" (run "/site/people/*/name")
+
+let test_attribute_path () =
+  check cstr "attributes atomize on output" "i3i7i6" (run "//item/@id")
+
+let test_positional_path () =
+  check cstr "first" "<item id=\"i7\"><name>Potter</name><price>50</price></item>"
+    (run "/site/regions/europe/item[1]");
+  check cstr "last" "<name>Encyclopedia</name>" (run "/site/regions/europe/item[last()]/name");
+  check cstr "nth" "<name>Encyclopedia</name>" (run "/site/regions/europe/item[2]/name")
+
+(* ---------- FLWOR ------------------------------------------------------------ *)
+
+let test_flwor_where () =
+  check cstr "filter on value" "<cheap><name>Potter</name></cheap>"
+    (run "for $i in /site/regions/europe/item where data($i/price) < 300 return <cheap>{$i/name}</cheap>")
+
+let test_flwor_join () =
+  check cstr "value join"
+    "<bought><name>Ann</name><name>Potter</name></bought><bought><name>Bo</name><name>Drum</name></bought>"
+    (run
+       "for $p in /site/people/person, $s in /site/sales/sale where $s/@buyer = $p/@id \
+        return <bought>{$p/name}{for $i in //item where $i/@id = $s/@item return $i/name}</bought>")
+
+let test_flwor_let () =
+  check cstr "let binding" "130" (run "let $a := /site/regions/africa/item/price return data($a) + 50")
+
+let test_order_by () =
+  check cstr "ascending" "<name>Drum</name><name>Encyclopedia</name><name>Potter</name>"
+    (run "for $n in //item/name order by data($n) return $n");
+  check cstr "descending" "<name>Potter</name><name>Encyclopedia</name><name>Drum</name>"
+    (run "for $n in //item/name order by data($n) descending return $n");
+  check cstr "numeric key" "<name>Potter</name><name>Drum</name><name>Encyclopedia</name>"
+    (run "for $i in //item order by data($i/price) return $i/name")
+
+let test_quantifiers () =
+  check cstr "some true" "true"
+    (run "if (some $i in //item satisfies data($i/price) > 600) then \"true\" else \"false\"");
+  check cstr "every false" "false"
+    (run "if (every $i in //item satisfies data($i/price) > 600) then \"true\" else \"false\"")
+
+(* ---------- comparisons and arithmetic ---------------------------------------- *)
+
+let test_general_comparison () =
+  (* existential semantics: some item price < 60 *)
+  check cstr "existential" "yes" (run "if (//item/price < 60) then \"yes\" else \"no\"");
+  check cstr "numeric vs string promotion" "yes"
+    (run "if (/site/regions/africa/item/price = 80) then \"yes\" else \"no\"")
+
+let test_is_comparison () =
+  check cstr "is: identity" "yes"
+    (run "if (/site/regions/europe/item[1] is /site/regions/europe/item[1]) then \"yes\" else \"no\"");
+  check cstr "is: distinct nodes" "no"
+    (run "if (/site/regions/europe/item[1] is /site/regions/europe/item[2]) then \"yes\" else \"no\"");
+  check cstr "is: equal values are not identical" "no"
+    (run "if (<a>x</a> is <a>x</a>) then \"yes\" else \"no\"")
+
+let test_arithmetic () =
+  check cstr "mul" "160" (run "data(/site/regions/africa/item/price) * 2");
+  check cstr "precedence" "7" (run "1 + 2 * 3");
+  check cstr "div" "40" (run "80 div 2");
+  check cstr "mod" "2" (run "80 mod 3")
+
+(* ---------- functions ----------------------------------------------------------- *)
+
+let test_functions () =
+  check cstr "count" "3" (run "count(//item)");
+  check cstr "sum" "830" (run "sum(//item/price)");
+  check cstr "avg" "28" (run "avg(//person/age)");
+  check cstr "min/max" "2556" (run "(min(//age), max(//age) + 25)");
+  check cstr "empty" "true" (run "if (empty(//nothing)) then \"true\" else \"false\"");
+  check cstr "exists" "true" (run "if (exists(//item)) then \"true\" else \"false\"");
+  check cstr "contains" "yes" (run "if (contains(/site/regions/europe/item[2]/name, \"cyclo\")) then \"yes\" else \"no\"");
+  check cstr "starts-with" "yes" (run "if (starts-with(/site/people/person[1]/name, \"An\")) then \"yes\" else \"no\"");
+  check cstr "string-length" "4" (run "string-length(\"abcd\")");
+  check cstr "concat" "ab80" (run "concat(\"a\", \"b\", /site/regions/africa/item/price)");
+  check cstr "distinct" "8050" (run "distinct((80, 50, 80))");
+  check cstr "name" "item" (run "name(/site/regions/africa/item)");
+  check cstr "not" "true" (run "if (not(empty(//item))) then \"true\" else \"false\"")
+
+let test_more_functions () =
+  check cstr "substring" "bcd" (run "substring(\"abcdef\", 2, 3)");
+  check cstr "substring to end" "cdef" (run "substring(\"abcdef\", 3)");
+  check cstr "substring out of range" "" (run "substring(\"ab\", 9)");
+  check cstr "upper-case" "DRUM" (run "upper-case(/site/regions/africa/item/name)");
+  check cstr "lower-case" "potter" (run "lower-case(/site/regions/europe/item[1]/name)");
+  check cstr "normalize-space" "a b c" (run "normalize-space(\" a\tb\n c \")");
+  check cstr "string-join" "i3-i7-i6" (run "string-join(//item/@id, \"-\")");
+  check cstr "ceiling/abs" "32" (run "(ceiling(2.1), abs(0 - 2))");
+  check cstr "boolean" "true" (run "if (boolean(//item)) then \"true\" else \"false\"");
+  check cstr "reverse" "i6i7i3" (run "reverse(//item/@id)")
+
+let test_union_operator () =
+  check cstr "union merges in document order" "<name>Drum</name><name>Potter</name><name>Encyclopedia</name><name>Ann</name><name>Bo</name>"
+    (run "//item/name union //person/name");
+  check cstr "union dedups" "3" (run "count(//item union //item)");
+  check cstr "union printer roundtrip" (run "//item/name union //person/name")
+    (Eval.run_to_string (ctx ())
+       (Parser.parse (Printer.to_string (Parser.parse "//item/name union //person/name"))))
+
+let test_element_construction () =
+  check cstr "attrs and nesting" "<r n=\"3\"><inner>80</inner></r>"
+    (run "<r n=\"{count(//item)}\"><inner>{data(/site/regions/africa/item/price)}</inner></r>");
+  check cstr "atoms joined with space" "<r>1 2 3</r>" (run "<r>{(1, 2, 3)}</r>")
+
+let test_document_function () =
+  let d1 = Xl_xml.Xml_parser.parse_doc ~uri:"a.xml" "<a><x>1</x></a>" in
+  let d2 = Xl_xml.Xml_parser.parse_doc ~uri:"b.xml" "<b><x>2</x></b>" in
+  let store = Xl_xml.Store.of_docs [ d1; d2 ] in
+  let c = Eval.make_ctx store in
+  check cstr "default document" "<x>1</x>" (Eval.run_to_string c (Parser.parse "/a/x"));
+  check cstr "named document" "<x>2</x>"
+    (Eval.run_to_string c (Parser.parse "document(\"b.xml\")/b/x"))
+
+(* ---------- parser details --------------------------------------------------------- *)
+
+let test_parse_errors () =
+  let fails s = match Parser.parse s with exception Parser.Parse_error _ -> true | _ -> false in
+  check cbool "unbalanced" true (fails "for $x in");
+  check cbool "trailing" true (fails "1 + 2 extra");
+  check cbool "bad path" true (fails "/site/");
+  check cbool "bare name" true (fails "name")
+
+let test_parse_comments () =
+  check cstr "xquery comments" "3" (run "(: a comment (: nested :) :) count(//item)")
+
+let test_printer_roundtrip () =
+  let queries =
+    [
+      "for $i in /site/regions/(africa|europe)/item where data($i/price) < 300 return <a>{$i/name}</a>";
+      "some $x in //item satisfies data($x/price) > 600";
+      "count(//item) + sum(//item/price) * 2";
+      "for $p in //person order by data($p/age) descending return $p/name";
+      "if (empty(//zzz)) then <yes/> else <no/>";
+    ]
+  in
+  List.iter
+    (fun q ->
+      let ast = Parser.parse q in
+      let printed = Printer.to_string ast in
+      let reparsed = Parser.parse printed in
+      let c = ctx () in
+      check cstr ("roundtrip: " ^ q) (Eval.run_to_string c ast) (Eval.run_to_string c reparsed))
+    queries
+
+(* ---------- values ------------------------------------------------------------------ *)
+
+let test_value_semantics () =
+  check cbool "to_bool empty" false (Value.to_bool []);
+  check cbool "to_bool zero" false (Value.to_bool (Value.of_float 0.));
+  check cbool "to_bool string" true (Value.to_bool (Value.of_string "x"));
+  check cbool "atom_equal numeric promotion" true
+    (Value.atom_equal (Value.Str "80") (Value.Num 80.));
+  check cbool "atom_compare string fallback" true
+    (Value.atom_compare (Value.Str "abc") (Value.Str "abd") < 0);
+  check cstr "atom_to_string integer" "42" (Value.atom_to_string (Value.Num 42.))
+
+let test_free_vars () =
+  let ast = Parser.parse "for $x in //item where $x/@id = $y return $x" in
+  check cbool "bound excluded, free kept" true (Ast.free_vars ast = [ "y" ])
+
+(* ---------- property: parse/print/parse fixpoint -------------------------------------- *)
+
+let prop_eval_deterministic =
+  QCheck2.Test.make ~name:"evaluation is deterministic" ~count:30
+    (QCheck2.Gen.oneofl
+       [
+         "//name"; "count(//item)"; "for $i in //item return $i/@id";
+         "sum(//item/price) div count(//item)";
+       ])
+    (fun q -> String.equal (run q) (run q))
+
+let () =
+  Alcotest.run "xl_xquery"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "absolute" `Quick test_absolute_path;
+          Alcotest.test_case "descendant" `Quick test_descendant_path;
+          Alcotest.test_case "alternation" `Quick test_alternation_path;
+          Alcotest.test_case "wildcard" `Quick test_wildcard_path;
+          Alcotest.test_case "attributes" `Quick test_attribute_path;
+          Alcotest.test_case "positional" `Quick test_positional_path;
+        ] );
+      ( "flwor",
+        [
+          Alcotest.test_case "where" `Quick test_flwor_where;
+          Alcotest.test_case "join" `Quick test_flwor_join;
+          Alcotest.test_case "let" `Quick test_flwor_let;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "general" `Quick test_general_comparison;
+          Alcotest.test_case "is" `Quick test_is_comparison;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "builtins" `Quick test_functions;
+          Alcotest.test_case "string/number builtins" `Quick test_more_functions;
+          Alcotest.test_case "union operator" `Quick test_union_operator;
+          Alcotest.test_case "construction" `Quick test_element_construction;
+          Alcotest.test_case "document()" `Quick test_document_function;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "printer roundtrip" `Quick test_printer_roundtrip;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "semantics" `Quick test_value_semantics;
+          Alcotest.test_case "free variables" `Quick test_free_vars;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_eval_deterministic ]);
+    ]
