@@ -1,0 +1,20 @@
+.PHONY: build test bench bench-check clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Produce the machine-readable perf baseline and fail if it can't be
+# written (or if the hash-join fast path stops beating the nested loop).
+bench-check:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- perf-json
+	test -s BENCH_perf.json
+
+clean:
+	dune clean

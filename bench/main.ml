@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- fig16-xmark  -- interaction counts, XMark
      dune exec bench/main.exe -- fig16-xmp    -- interaction counts, XMP
      dune exec bench/main.exe -- ablation     -- rules R1/R2 on/off
-     dune exec bench/main.exe -- perf         -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- perf         -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- perf-json    -- machine-readable baseline
+                                                 (writes BENCH_perf.json) *)
 
 let line = String.make 78 '-'
 
@@ -278,6 +280,165 @@ let perf () =
     results;
   print_newline ()
 
+(* ---------- machine-readable perf baseline ------------------------------ *)
+
+(* [perf-json] writes BENCH_perf.json: wall-clock micro-benchmarks of the
+   evaluation building blocks (including the Q1 join query with the hash
+   join on and off) plus the end-to-end Figure-16 learning suites.  The
+   file is the perf baseline the next optimization PR diffs against. *)
+
+(* ns/run by adaptive repetition: double the iteration count until the
+   measured batch takes at least [min_time] seconds. *)
+let time_ns ?(min_time = 0.2) (f : unit -> unit) : float * int =
+  f ();
+  (* warmup: fill evaluator caches, trigger first GC growth *)
+  let rec measure iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < min_time && iters < 1_000_000 then measure (iters * 2)
+    else (dt *. 1e9 /. float_of_int iters, iters)
+  in
+  measure 1
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let perf_json () =
+  let micro = ref [] in
+  let bench name f =
+    let ns, runs = time_ns f in
+    Printf.printf "%-28s %12.0f ns/run  (%d runs)\n%!" name ns runs;
+    micro := (name, ns, runs) :: !micro;
+    ns
+  in
+  (* data set for the micro-benchmarks: larger than tiny_scale so the
+     join benchmark has enough items for the asymptotics to show *)
+  let scale =
+    {
+      Xl_workload.Xmark_gen.categories = 24;
+      items_per_region = 30;
+      people = 30;
+      open_auctions = 20;
+      closed_auctions = 25;
+    }
+  in
+  let doc = Xl_workload.Xmark_gen.generate scale in
+  let xml_text = Xl_xml.Serialize.node_to_string (Xl_xml.Doc.root doc) in
+  let store = Xl_xml.Store.of_docs [ doc ] in
+  let ctx = Xl_xquery.Eval.make_ctx store in
+  let q1_join =
+    Xl_xquery.Parser.parse
+      {|for $c in /site/categories/category
+        return <category>{$c/name}{
+          for $i in /site/regions/(europe|africa)/item
+          where $i/incategory/@category = $c/@id
+          return <item>{$i/name}</item>}</category>|}
+  in
+  ignore (bench "xmark-generate" (fun () -> ignore (Xl_workload.Xmark_gen.generate scale)));
+  ignore (bench "xml-parse" (fun () -> ignore (Xl_xml.Xml_parser.parse xml_text)));
+  ignore (bench "store-nodes" (fun () -> ignore (Xl_xml.Store.nodes store)));
+  ignore (bench "data-graph-build" (fun () -> ignore (Xl_core.Data_graph.build store)));
+  ignore
+    (bench "path-eval-deep" (fun () ->
+         ignore
+           (Xl_xquery.Eval.run ctx
+              (Xl_xquery.Parser.parse "/site/regions/europe/item/description"))));
+  ctx.Xl_xquery.Eval.use_hash_join <- true;
+  let hash_ns = bench "q1-eval-hash-join" (fun () -> ignore (Xl_xquery.Eval.run ctx q1_join)) in
+  ctx.Xl_xquery.Eval.use_hash_join <- false;
+  let nested_ns =
+    bench "q1-eval-nested-loop" (fun () -> ignore (Xl_xquery.Eval.run ctx q1_join))
+  in
+  ctx.Xl_xquery.Eval.use_hash_join <- true;
+  let speedup = nested_ns /. hash_ns in
+  Printf.printf "=> Q1 join: hash %.0f ns vs nested %.0f ns (%.1fx)\n%!" hash_ns
+    nested_ns speedup;
+  (* end-to-end Figure-16 suites: one Learn.run per scenario, default
+     strategy (no adversarial rerun), recording stats + wall time *)
+  let run_suite scenarios =
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      List.map
+        (fun (name, sc) ->
+          match Xl_core.Learn.run sc with
+          | r ->
+            let s = r.Xl_core.Learn.stats in
+            Printf.sprintf
+              "{\"name\":\"%s\",\"dd\":%d,\"mq\":%d,\"ce\":%d,\"cb\":%d,\"ob\":%d,\"reduced\":%d,\"verified\":%b}"
+              (json_escape name) s.Xl_core.Stats.dd s.Xl_core.Stats.mq
+              s.Xl_core.Stats.ce s.Xl_core.Stats.cb s.Xl_core.Stats.ob
+              (Xl_core.Stats.reduced_total s) r.Xl_core.Learn.verified
+          | exception e ->
+            Printf.sprintf "{\"name\":\"%s\",\"error\":\"%s\"}" (json_escape name)
+              (json_escape (Printexc.to_string e)))
+        scenarios
+    in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  print_endline "running fig16 suites...";
+  let xmark_rows, xmark_s = run_suite (Xl_workload.Xmark_scenarios.all ()) in
+  let xmp_rows, xmp_s = run_suite (Xl_workload.Xmp_scenarios.all ()) in
+  Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" xmark_s xmp_s;
+  let micro_json =
+    String.concat ",\n    "
+      (List.rev_map
+         (fun (name, ns, runs) ->
+           Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f,\"runs\":%d}"
+             (json_escape name) ns runs)
+         !micro)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": "xlearner-perf/1",
+  "micro": [
+    %s
+  ],
+  "q1_join": {
+    "hash_ns_per_run": %.1f,
+    "nested_ns_per_run": %.1f,
+    "speedup": %.2f
+  },
+  "fig16": {
+    "xmark": { "wall_s": %.3f, "scenarios": [
+      %s
+    ] },
+    "xmp": { "wall_s": %.3f, "scenarios": [
+      %s
+    ] },
+    "total_wall_s": %.3f
+  }
+}
+|}
+      micro_json hash_ns nested_ns speedup xmark_s
+      (String.concat ",\n      " xmark_rows)
+      xmp_s
+      (String.concat ",\n      " xmp_rows)
+      (xmark_s +. xmp_s)
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_perf.json\n%!";
+  if speedup <= 1.0 then begin
+    Printf.eprintf "FAIL: hash join (%.0f ns) not faster than nested loop (%.0f ns)\n"
+      hash_ns nested_ns;
+    exit 1
+  end
+
 (* ---------- driver ------------------------------------------------------ *)
 
 let () =
@@ -290,6 +451,7 @@ let () =
     | "reuse" -> reuse ()
     | "sgml" -> sgml ()
     | "perf" -> perf ()
+    | "perf-json" -> perf_json ()
     | "all" ->
       fig15 ();
       fig16_xmark ();
@@ -300,7 +462,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | all)\n"
         other;
       exit 2
   in

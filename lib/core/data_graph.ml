@@ -16,29 +16,12 @@ type t = {
   max_depth : int;
 }
 
-let node_value (n : Node.t) : string option =
-  match n.Node.kind with
-  | Node.Attribute -> Some n.Node.value
-  | Node.Element ->
-    (* direct text only: a "value node" in the sense of Figure 10 *)
-    let texts = List.filter Node.is_text n.Node.children in
-    let elems = List.filter Node.is_element n.Node.children in
-    if elems = [] && texts <> [] then
-      Some (String.concat "" (List.map (fun t -> t.Node.value) texts))
-    else None
-  | Node.Text -> Some n.Node.value
-  | Node.Document -> None
+let node_value = Node.direct_value
 
 let build ?(max_depth = 3) (store : Store.t) : t =
-  let by_value = Hashtbl.create 4096 in
-  List.iter
-    (fun n ->
-      match node_value n with
-      | Some v when v <> "" ->
-        let cur = Option.value ~default:[] (Hashtbl.find_opt by_value v) in
-        Hashtbl.replace by_value v (n :: cur)
-      | _ -> ())
-    (Store.nodes store);
+  (* the value index lives on the store now: shared with the query
+     evaluator's hash joins and built at most once per store epoch *)
+  let by_value = Store.value_index store in
   { store; by_value; reach_cache = Hashtbl.create 1024; max_depth }
 
 (** Nodes sharing value [v] — the v-equality neighbours. *)

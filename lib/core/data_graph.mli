@@ -16,7 +16,9 @@ val node_value : Node.t -> string option
 (** The direct value of a value-bearing node. *)
 
 val build : ?max_depth:int -> Store.t -> t
-(** [max_depth] bounds the join-path length (default 3). *)
+(** [max_depth] bounds the join-path length (default 3).  The value index
+    is {!Store.value_index}: shared with the store (and the evaluator's
+    hash joins) rather than rebuilt per graph. *)
 
 val with_value : t -> string -> Node.t list
 (** The v-equality neighbours of a value. *)

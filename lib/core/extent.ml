@@ -21,26 +21,29 @@ let select_by_dfa (ctx : Xl_xquery.Eval.ctx) (dfa : Xl_automata.Dfa.t)
   let alphabet = ctx.Xl_xquery.Eval.alphabet in
   let live = Xl_xquery.Eval.liveness dfa in
   let out = ref [] in
-  let sym n = Xl_automata.Alphabet.intern alphabet (Node.symbol n) in
+  (* find-only: an unseen symbol cannot be in the DFA's alphabet, and
+     interning it here would invalidate the evaluator's compiled-path
+     cache (the alphabet-growth bug) *)
+  let sym n = Xl_automata.Alphabet.find alphabet (Node.symbol n) in
   let rec visit q n =
     List.iter
       (fun a ->
-        let s = sym a in
-        if s < Xl_automata.Dfa.alphabet_size dfa then begin
+        match sym a with
+        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
           let q' = Xl_automata.Dfa.step dfa q s in
           if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out
-        end)
+        | _ -> ())
       n.Node.attributes;
     List.iter
       (fun c ->
-        let s = sym c in
-        if s < Xl_automata.Dfa.alphabet_size dfa then begin
+        match sym c with
+        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
           let q' = Xl_automata.Dfa.step dfa q s in
           if live.(q') then begin
             if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
             if Node.is_element c then visit q' c
           end
-        end)
+        | _ -> ())
       n.Node.children
   in
   visit dfa.Xl_automata.Dfa.start base;

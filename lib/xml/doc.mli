@@ -13,6 +13,11 @@ type t = {
   by_id : (int, Node.t) Hashtbl.t;
 }
 
+val fresh_id : unit -> int
+(** Next process-wide node id — for callers (the query evaluator's
+    element constructor) that build node trees directly instead of going
+    through {!of_frag}. *)
+
 val of_frag : ?uri:string -> Frag.t -> t
 (** Build and index a document.  Raises [Invalid_argument] if the
     fragment's root is a text node. *)

@@ -70,6 +70,22 @@ let rec string_value n =
   | Element | Document ->
     String.concat "" (List.map string_value n.children)
 
+(** The direct value of a value-bearing node (Figure 10's notion): an
+    attribute's value, an element's concatenated text when it has text
+    children and no element children, a text node's content.  [None] for
+    documents and mixed/element-only elements. *)
+let direct_value n =
+  match n.kind with
+  | Attribute -> Some n.value
+  | Element ->
+    let texts = List.filter is_text n.children in
+    let elems = List.filter is_element n.children in
+    if elems = [] && texts <> [] then
+      Some (String.concat "" (List.map (fun t -> t.value) texts))
+    else None
+  | Text -> Some n.value
+  | Document -> None
+
 (** Typed view used by general comparisons: numeric when parseable. *)
 let numeric_value n =
   match float_of_string_opt (String.trim (string_value n)) with

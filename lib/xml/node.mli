@@ -55,6 +55,11 @@ val tag_path : t -> string list
 val string_value : t -> string
 (** Concatenated text content of the subtree. *)
 
+val direct_value : t -> string option
+(** The direct value of a value-bearing node (Figure 10): an attribute's
+    value, an element's own text when it has text children and no element
+    children, a text node's content.  [None] otherwise. *)
+
 val numeric_value : t -> float option
 (** The string value parsed as a number, when possible. *)
 

@@ -2,20 +2,47 @@
 
     Resolves the [document("uri")] function of the query engine and gives
     the learner a single universe of nodes spanning several documents
-    (XMP scenarios join [bib.xml] with [reviews.xml]). *)
+    (XMP scenarios join [bib.xml] with [reviews.xml]).
 
-type t = {
-  mutable docs : (string * Doc.t) list;  (** insertion order preserved *)
-  mutable default : Doc.t option;
+    The store carries persistent indexes built lazily, once per
+    registration epoch: the flattened element/attribute node universe, an
+    id->node table, a tag-symbol index and a value index.  The value
+    index is shared with {!Xl_core.Data_graph} so building the data graph
+    does not re-scan every document.  Registering a new document bumps
+    [generation] and drops the indexes; readers rebuild on demand, so a
+    store that is filled once and then only queried — the learner's usage
+    pattern — indexes exactly once. *)
+
+type index = {
+  univ : Node.t list;
+      (** element/attribute nodes, document order within each document,
+          documents in registration order — the extent universe *)
+  by_id : (int, Node.t) Hashtbl.t;  (** every node, text and doc included *)
+  by_tag : (string, Node.t list) Hashtbl.t;
+      (** tag-path symbol ([Node.symbol]) -> nodes, document order *)
+  by_value : (string, Node.t list) Hashtbl.t;
+      (** direct value -> value-bearing nodes (v-equality neighbours) *)
 }
 
-let create () = { docs = []; default = None }
+type t = {
+  mutable docs_rev : (string * Doc.t) list;  (** reverse registration order *)
+  mutable docs_fwd : (string * Doc.t) list option;  (** cached forward order *)
+  mutable default : Doc.t option;
+  mutable generation : int;  (** bumped on every [add] *)
+  mutable index : index option;  (** built lazily, dropped on [add] *)
+}
+
+let create () =
+  { docs_rev = []; docs_fwd = None; default = None; generation = 0; index = None }
 
 (** [add ?default store doc] registers [doc] under its URI.  The first
     document added becomes the default (the target of paths that start at
     the plain document root), unless overridden with [~default:true]. *)
 let add ?(default = false) t doc =
-  t.docs <- t.docs @ [ (Doc.uri doc, doc) ];
+  t.docs_rev <- (Doc.uri doc, doc) :: t.docs_rev;
+  t.docs_fwd <- None;
+  t.index <- None;
+  t.generation <- t.generation + 1;
   if default || t.default = None then t.default <- Some doc
 
 let of_docs docs =
@@ -23,30 +50,95 @@ let of_docs docs =
   List.iter (fun d -> add t d) docs;
   t
 
+let generation t = t.generation
+
 let default t =
   match t.default with
   | Some d -> d
   | None -> invalid_arg "Store.default: empty store"
 
+let assoc_docs t =
+  match t.docs_fwd with
+  | Some l -> l
+  | None ->
+    let l = List.rev t.docs_rev in
+    t.docs_fwd <- Some l;
+    l
+
 let find t uri =
-  match List.assoc_opt uri t.docs with
+  let docs = assoc_docs t in
+  match List.assoc_opt uri docs with
   | Some d -> Some d
   | None ->
     (* tolerate "file:///..." or path prefixes around the registered name *)
     List.find_map
       (fun (u, d) ->
         if Filename.basename u = Filename.basename uri then Some d else None)
-      t.docs
+      docs
 
 let find_exn t uri =
   match find t uri with
   | Some d -> d
   | None -> invalid_arg (Printf.sprintf "Store.find_exn: no document %S" uri)
 
-let docs t = List.map snd t.docs
+let docs t = List.map snd (assoc_docs t)
+
+let build_index t : index =
+  let univ = List.concat_map Doc.nodes (docs t) in
+  let by_id = Hashtbl.create 4096 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace by_id d.Doc.doc_node.Node.id d.Doc.doc_node;
+      List.iter
+        (fun n -> Hashtbl.replace by_id n.Node.id n)
+        (Doc.all_nodes d))
+    (docs t);
+  let by_tag = Hashtbl.create 256 in
+  List.iter
+    (fun n ->
+      let s = Node.symbol n in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_tag s) in
+      Hashtbl.replace by_tag s (n :: cur))
+    univ;
+  (* buckets were built by prepending: restore document order *)
+  Hashtbl.filter_map_inplace (fun _ ns -> Some (List.rev ns)) by_tag;
+  (* value index: same construction (and hence same bucket order) as the
+     data graph historically used, so learner behaviour is unchanged *)
+  let by_value = Hashtbl.create 4096 in
+  List.iter
+    (fun n ->
+      match Node.direct_value n with
+      | Some v when v <> "" ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_value v) in
+        Hashtbl.replace by_value v (n :: cur)
+      | _ -> ())
+    univ;
+  { univ; by_id; by_tag; by_value }
+
+let index t =
+  match t.index with
+  | Some ix -> ix
+  | None ->
+    let ix = build_index t in
+    t.index <- Some ix;
+    ix
 
 (** Every element/attribute node of every document, document order within
     each document, documents in registration order. *)
-let nodes t = List.concat_map Doc.nodes (docs t)
+let nodes t = (index t).univ
 
-let find_node_by_id t id = List.find_map (fun d -> Doc.find_by_id d id) (docs t)
+let find_node_by_id t id = Hashtbl.find_opt (index t).by_id id
+
+(** Nodes whose tag-path symbol ([Node.symbol]) is [s], document order:
+    elements by tag, attributes by ["@name"]. *)
+let nodes_with_tag t s =
+  Option.value ~default:[] (Hashtbl.find_opt (index t).by_tag s)
+
+(** Value-bearing nodes whose direct value is [v] — the v-equality
+    neighbours of the data graph. *)
+let with_value t v =
+  Option.value ~default:[] (Hashtbl.find_opt (index t).by_value v)
+
+(** The raw value index, shared with the data graph.  Treat as read-only:
+    it lives until the next [add]. *)
+let value_index t = (index t).by_value

@@ -2,7 +2,11 @@
 
     Resolves the query engine's [document("uri")] function and gives the
     learner a single node universe spanning several documents (the XMP
-    scenarios join [bib.xml] with [reviews.xml] and [prices.xml]). *)
+    scenarios join [bib.xml] with [reviews.xml] and [prices.xml]).
+
+    Carries persistent indexes — flattened node universe, id->node,
+    nodes-by-tag and the v-equality value index — built lazily once per
+    registration epoch and dropped whenever a document is added. *)
 
 type t
 
@@ -27,6 +31,23 @@ val docs : t -> Doc.t list
 (** Registration order. *)
 
 val nodes : t -> Node.t list
-(** Every element/attribute node of every document. *)
+(** Every element/attribute node of every document, document order within
+    each document, documents in registration order.  Cached. *)
 
 val find_node_by_id : t -> int -> Node.t option
+(** Any node (text and document nodes included) by id, via the id index. *)
+
+val generation : t -> int
+(** Bumped on every [add]; lets callers invalidate store-derived caches. *)
+
+val nodes_with_tag : t -> string -> Node.t list
+(** Nodes whose {!Node.symbol} is the argument, document order: elements
+    by tag, attributes by ["@name"]. *)
+
+val with_value : t -> string -> Node.t list
+(** Value-bearing nodes with the given direct value — the v-equality
+    neighbours of the data graph. *)
+
+val value_index : t -> (string, Node.t list) Hashtbl.t
+(** The raw value index (shared with {!Xl_core.Data_graph}).  Read-only;
+    valid until the next [add]. *)

@@ -4,7 +4,21 @@
     context's alphabet and evaluated by walking the tree while tracking
     the automaton state, with dead-state pruning.  This is what makes
     "selection by regular path expression" cheap enough to recompute
-    extents repeatedly during learning. *)
+    extents repeatedly during learning.
+
+    Two optional fast paths (on by default, switchable per context for
+    A/B measurement) accelerate the hot shapes of the Figure-16 suites:
+
+    - [use_tag_index]: document-rooted child-tag chains are answered from
+      the store's nodes-by-tag index instead of a full tree walk;
+    - [use_hash_join]: an equality [where] clause whose build side is a
+      path over a [for] variable with a closed binding sequence executes
+      as a hash join — the build side is indexed once per (sequence, key)
+      pair and cached on the context, the probe side streams.
+
+    FLWOR tuple streams are lazy ([Seq]-based), so [where] filters tuples
+    as they are produced instead of after a full cross-product
+    materialization, and quantifiers short-circuit. *)
 
 open Xl_xml
 
@@ -13,12 +27,41 @@ type compiled_path = {
   live : bool array;  (** states from which a final state is reachable *)
 }
 
+(** Build side of a hash join, cached per (source sequence, key path). *)
+type join_index = {
+  items : Value.item array;  (** the build sequence, original order *)
+  buckets : (string, int list) Hashtbl.t;
+      (** {!Value.atom_hash_keys} key -> ascending indices into [items] *)
+  built_at : int;  (** {!Store.generation} at build time *)
+}
+
+(** A planned hash join for one FLWOR: bind [jp_var] (the [jp_binding]-th
+    [for] binding, whose closed source is [jp_source]) by probing the
+    index of [jp_key] with the values of [jp_probe]; [jp_residual] is
+    what remains of the [where] clause. *)
+type join_plan = {
+  jp_binding : int;
+  jp_var : string;
+  jp_source : Ast.expr;
+  jp_key : Ast.expr;
+  jp_probe : Ast.expr;
+  jp_residual : Ast.expr option;
+}
+
 type ctx = {
   store : Store.t;
   alphabet : Xl_automata.Alphabet.t;
   cache : (Path_expr.t, compiled_path) Hashtbl.t;
   mutable constructed : int;  (** count of constructed elements (stats) *)
+  mutable use_hash_join : bool;
+  mutable use_tag_index : bool;
+  join_cache : (Ast.expr * Ast.expr, join_index) Hashtbl.t;
+  plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
 }
+
+(** Initial value of the per-context fast-path switches — tests flip this
+    to compare optimized and naive evaluation end to end. *)
+let default_fast_paths = ref true
 
 let liveness (dfa : Xl_automata.Dfa.t) : bool array =
   let n = Xl_automata.Dfa.state_count dfa in
@@ -46,7 +89,19 @@ let intern_doc_symbols alphabet doc =
 let make_ctx (store : Store.t) : ctx =
   let alphabet = Xl_automata.Alphabet.create () in
   List.iter (intern_doc_symbols alphabet) (Store.docs store);
-  { store; alphabet; cache = Hashtbl.create 32; constructed = 0 }
+  (* constructed text nodes must already be interned when a path walks a
+     constructed tree: interning mid-walk invalidates every cached DFA *)
+  ignore (Xl_automata.Alphabet.intern alphabet "#text");
+  {
+    store;
+    alphabet;
+    cache = Hashtbl.create 32;
+    constructed = 0;
+    use_hash_join = !default_fast_paths;
+    use_tag_index = !default_fast_paths;
+    join_cache = Hashtbl.create 16;
+    plan_cache = Hashtbl.create 16;
+  }
 
 let ctx_of_doc doc = make_ctx (Store.of_docs [ doc ])
 
@@ -78,60 +133,324 @@ let compile_path (ctx : ctx) (p : Path_expr.t) : compiled_path =
     Hashtbl.replace ctx.cache p c;
     c
 
+(** The symbol word of a pure child-tag chain (e.g. [/site/people/person]
+    or [.../@id]), if the path is one — the shape the nodes-by-tag index
+    can answer directly. *)
+let tag_chain (p : Path_expr.t) : string list option =
+  let rec go acc p =
+    match p with
+    | Path_expr.Step (Path_expr.Child, test) -> (
+      match Path_expr.test_symbol test with
+      | Some s -> Some (s :: acc)
+      | None -> None)
+    | Path_expr.Seq (a, b) -> (
+      match go acc b with Some acc -> go acc a | None -> None)
+    | _ -> None
+  in
+  go [] p
+
 (** Nodes reachable from [from] by the regular path [p] — [from]'s own
     symbol is not consumed.  Results in document order. *)
 let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
-  let { dfa; live } = compile_path ctx p in
-  let out = ref [] in
-  let sym n =
-    match Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) with
-    | Some a -> a
-    | None -> Xl_automata.Alphabet.intern ctx.alphabet (Node.symbol n)
+  let indexed =
+    if
+      ctx.use_tag_index
+      && from.Node.kind = Node.Document
+      && (match Store.find_node_by_id ctx.store from.Node.id with
+         | Some n -> Node.equal n from
+         | None -> false)
+    then
+      match tag_chain p with
+      | Some (_ :: _ as syms) ->
+        (* the index only covers elements and attributes: a text() target
+           must take the tree walk *)
+        let last = List.nth syms (List.length syms - 1) in
+        if String.equal last "#text" then None else Some (syms, last)
+      | _ -> None
+    else None
   in
-  let rec visit q n =
-    (* try attributes *)
-    List.iter
-      (fun a ->
-        let q' = Xl_automata.Dfa.step dfa q (sym a) in
-        if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out)
-      n.Node.attributes;
-    (* children: text and elements *)
-    List.iter
-      (fun c ->
-        let s = sym c in
-        if s < Xl_automata.Dfa.alphabet_size dfa then begin
-          let q' = Xl_automata.Dfa.step dfa q s in
-          if live.(q') then begin
-            if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
-            if Node.is_element c then visit q' c
-          end
-        end)
-      n.Node.children
-  in
-  visit dfa.Xl_automata.Dfa.start from;
-  List.sort Node.compare_order (List.rev !out)
+  match indexed with
+  | Some (syms, last) ->
+    (* document-rooted tag chain: look up candidates by the final symbol
+       and keep those with the exact tag path inside this document *)
+    List.filter
+      (fun n -> Node.tag_path n = syms && Node.equal (Node.root n) from)
+      (Store.nodes_with_tag ctx.store last)
+    |> List.sort_uniq Node.compare_order
+  | None ->
+    let { dfa; live } = compile_path ctx p in
+    let out = ref [] in
+    (* find-only: a symbol unseen by the alphabet cannot be in the DFA's
+       alphabet, so it can never match — and interning it here would
+       silently invalidate every cached DFA on the next compile *)
+    let sym n = Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) in
+    let rec visit q n =
+      (* try attributes *)
+      List.iter
+        (fun a ->
+          match sym a with
+          | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
+            let q' = Xl_automata.Dfa.step dfa q s in
+            if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out
+          | _ -> ())
+        n.Node.attributes;
+      (* children: text and elements *)
+      List.iter
+        (fun c ->
+          match sym c with
+          | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
+            let q' = Xl_automata.Dfa.step dfa q s in
+            if live.(q') then begin
+              if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
+              if Node.is_element c then visit q' c
+            end
+          | _ -> ())
+        n.Node.children
+    in
+    visit dfa.Xl_automata.Dfa.start from;
+    List.sort Node.compare_order (List.rev !out)
 
-(* atomized-sequence construction content: adjacent atoms joined by a
-   space, nodes copied *)
-let rec item_to_frags (it : Value.item) : Frag.t list =
+(* ---------- element construction ---------------------------------------- *)
+
+(* Constructed content: adjacent atoms joined by a space, nodes copied.
+   Construction builds the node tree directly — same ids, Dewey numbering
+   and text splitting as the old Frag round-trip through [Doc.of_frag],
+   without serializing copied subtrees or allocating a document and its
+   id table (constructed trees are never registered in the store). *)
+
+type kid =
+  | K_text of string
+  | K_copy of Node.t  (** element to deep-copy *)
+
+let rec item_kids (it : Value.item) : kid list =
   match it with
-  | Value.Atom a -> [ Frag.T (Value.atom_to_string a) ]
+  | Value.Atom a -> [ K_text (Value.atom_to_string a) ]
   | Value.Node n -> (
     match n.Node.kind with
-    | Node.Text -> [ Frag.T n.Node.value ]
-    | Node.Attribute -> [ Frag.T n.Node.value ]
-    | Node.Element -> [ Serialize.node_to_frag n ]
-    | Node.Document -> List.concat_map item_to_frags (Value.of_nodes n.Node.children))
+    | Node.Text | Node.Attribute -> [ K_text n.Node.value ]
+    | Node.Element -> [ K_copy n ]
+    | Node.Document -> List.concat_map item_kids (Value.of_nodes n.Node.children))
 
-let sequence_to_frags (v : Value.t) : Frag.t list =
+let content_kids (v : Value.t) : kid list =
   (* merge adjacent atoms with a single space, XQuery-style *)
   let rec go = function
     | [] -> []
     | Value.Atom a :: (Value.Atom _ :: _ as rest) ->
-      Frag.T (Value.atom_to_string a ^ " ") :: go rest
-    | it :: rest -> item_to_frags it @ go rest
+      K_text (Value.atom_to_string a ^ " ") :: go rest
+    | it :: rest -> item_kids it @ go rest
   in
   go v
+
+let fresh_node kind name value dewey =
+  {
+    Node.id = Doc.fresh_id ();
+    kind;
+    name;
+    value;
+    parent = None;
+    children = [];
+    attributes = [];
+    dewey;
+  }
+
+(* Deep copy with fresh ids, renumbering Dewey codes under [dewey] with
+   the shared attribute/child counter [Doc.of_frag] uses. *)
+let rec copy_element dewey (src : Node.t) : Node.t =
+  let n = fresh_node Node.Element src.Node.name "" dewey in
+  let k = ref 0 in
+  let attrs =
+    List.map
+      (fun (a : Node.t) ->
+        incr k;
+        let c =
+          fresh_node Node.Attribute a.Node.name a.Node.value (Dewey.child dewey !k)
+        in
+        c.Node.parent <- Some n;
+        c)
+      src.Node.attributes
+  in
+  let kids =
+    List.map
+      (fun (c : Node.t) ->
+        incr k;
+        let d = Dewey.child dewey !k in
+        let cc =
+          if Node.is_text c then fresh_node Node.Text "" c.Node.value d
+          else copy_element d c
+        in
+        cc.Node.parent <- Some n;
+        cc)
+      src.Node.children
+  in
+  n.Node.attributes <- attrs;
+  n.Node.children <- kids;
+  n
+
+let construct_element (ctx : ctx) tag (attrs : (string * string) list)
+    (kids : kid list) : Node.t =
+  (* intern constructed symbols now, not lazily during a later path walk
+     (interning mid-walk invalidates every compiled DFA) *)
+  ignore (Xl_automata.Alphabet.intern ctx.alphabet tag);
+  List.iter
+    (fun (name, _) -> ignore (Xl_automata.Alphabet.intern ctx.alphabet ("@" ^ name)))
+    attrs;
+  let dewey = Dewey.root in
+  let n = fresh_node Node.Element tag "" dewey in
+  let k = ref 0 in
+  let attr_nodes =
+    List.map
+      (fun (name, value) ->
+        incr k;
+        let a = fresh_node Node.Attribute name value (Dewey.child dewey !k) in
+        a.Node.parent <- Some n;
+        a)
+      attrs
+  in
+  let kid_nodes =
+    List.map
+      (fun kid ->
+        incr k;
+        let d = Dewey.child dewey !k in
+        let c =
+          match kid with
+          | K_text s -> fresh_node Node.Text "" s d
+          | K_copy src -> copy_element d src
+        in
+        c.Node.parent <- Some n;
+        c)
+      kids
+  in
+  n.Node.attributes <- attr_nodes;
+  n.Node.children <- kid_nodes;
+  n
+
+(* ---------- hash-join planning ------------------------------------------ *)
+
+let rec flatten_conjuncts (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.And (a, b) -> flatten_conjuncts a @ flatten_conjuncts b
+  | e -> [ e ]
+
+(* Conservatively side-effect-free: no exceptions (arithmetic on empty
+   sequences raises), no construction counter.  The join may skip
+   evaluating such expressions on tuples it prunes, so anything skippable
+   must be unobservable. *)
+let rec pure_expr (e : Ast.expr) : bool =
+  match e with
+  | Ast.Literal _ | Ast.Var _ | Ast.Doc_root _ -> true
+  | Ast.Path (e, _) | Ast.Simple (e, _) | Ast.Not e -> pure_expr e
+  | Ast.Sequence es -> List.for_all pure_expr es
+  | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) | Ast.Union (a, b) ->
+    pure_expr a && pure_expr b
+  | Ast.If (c, t, f) -> pure_expr c && pure_expr t && pure_expr f
+  | Ast.Some_ (bs, body) | Ast.Every (bs, body) ->
+    List.for_all (fun (_, e) -> pure_expr e) bs && pure_expr body
+  | Ast.Call (name, args) ->
+    List.mem name
+      [
+        "count"; "data"; "string"; "empty"; "exists"; "not"; "contains";
+        "starts-with"; "distinct"; "distinct-values"; "true"; "false";
+      ]
+    && List.for_all pure_expr args
+  | Ast.Flwor _ | Ast.Elem _ | Ast.Attr_c _ | Ast.Text_c _ | Ast.Arith _ ->
+    false
+
+(** Plan a hash join for [f], if its [where] clause supports one that is
+    observationally equivalent to the nested-loop evaluation:
+
+    - the join conjunct is an equality whose build side mentions exactly
+      one variable, bound by a [for] binding with a closed, pure source
+      sequence, and whose probe side only mentions variables available
+      before that binding expands (outer/free variables or earlier [for]
+      variables of this FLWOR);
+    - conjuncts left of the join conjunct, and the sources of [for]
+      bindings right of the build binding, are pure — they are the
+      evaluations the join may skip on pruned tuples. *)
+let plan_hash_join (f : Ast.flwor) : join_plan option =
+  match f.Ast.where with
+  | None -> None
+  | Some w ->
+    let for_vars = List.map fst f.Ast.for_ in
+    let let_vars = List.map fst f.Ast.let_ in
+    let all_vars = for_vars @ let_vars in
+    if List.length (List.sort_uniq String.compare all_vars) <> List.length all_vars
+    then None (* shadowing inside one FLWOR: stay on the naive path *)
+    else
+      let bindings = Array.of_list f.Ast.for_ in
+      let n = Array.length bindings in
+      let binding_index v =
+        let rec go i = if i >= n then None else if String.equal (fst bindings.(i)) v then Some i else go (i + 1) in
+        go 0
+      in
+      let orient build probe =
+        if not (pure_expr build && pure_expr probe) then None
+        else
+          match Ast.free_vars build with
+          | [ v ] -> (
+            match binding_index v with
+            | None -> None
+            | Some i ->
+              let _, src = bindings.(i) in
+              let probe_ok =
+                List.for_all
+                  (fun fv ->
+                    (not (List.mem fv let_vars))
+                    && (match binding_index fv with
+                       | Some j -> j < i
+                       | None -> true (* outer/free: bound in env or a runtime error either way *)))
+                  (Ast.free_vars probe)
+              in
+              let later_pure =
+                Array.for_all (fun (_, e) -> pure_expr e)
+                  (Array.sub bindings (i + 1) (n - i - 1))
+              in
+              if
+                Ast.free_vars src = [] && pure_expr src && probe_ok && later_pure
+              then
+                Some
+                  {
+                    jp_binding = i;
+                    jp_var = v;
+                    jp_source = src;
+                    jp_key = build;
+                    jp_probe = probe;
+                    jp_residual = None;
+                  }
+              else None)
+          | _ -> None
+      in
+      let conjs = flatten_conjuncts w in
+      let rec scan skipped = function
+        | [] -> None
+        | c :: rest -> (
+          let plan =
+            match c with
+            | Ast.Cmp (Ast.Eq, l, r) -> (
+              match orient l r with Some p -> Some p | None -> orient r l)
+            | _ -> None
+          in
+          match plan with
+          | Some p ->
+            let residual =
+              match List.rev_append skipped rest with
+              | [] -> None
+              | e :: es ->
+                Some (List.fold_left (fun a b -> Ast.And (a, b)) e es)
+            in
+            Some { p with jp_residual = residual }
+          | None ->
+            (* a pruned tuple skips this conjunct too: it must be pure *)
+            if pure_expr c then scan (c :: skipped) rest else None)
+      in
+      scan [] conjs
+
+let flwor_plan (ctx : ctx) (f : Ast.flwor) : join_plan option =
+  match Hashtbl.find_opt ctx.plan_cache f with
+  | Some p -> p
+  | None ->
+    let p = plan_hash_join f in
+    Hashtbl.replace ctx.plan_cache f p;
+    p
 
 exception Type_error of string
 
@@ -164,12 +483,11 @@ let rec eval (ctx : ctx) (env : Env.t) (e : Ast.expr) : Value.t =
           match c with
           | Ast.Attr_c (name, e) ->
             (attrs @ [ (name, Value.string_value (eval ctx env e)) ], kids)
-          | _ -> (attrs, kids @ sequence_to_frags (eval ctx env c)))
+          | _ -> (attrs, kids @ content_kids (eval ctx env c)))
         ([], []) contents
     in
     ctx.constructed <- ctx.constructed + 1;
-    let doc = Doc.of_frag ~uri:"#constructed" (Frag.E (tag, attrs, kids)) in
-    [ Value.Node (Doc.root doc) ]
+    [ Value.Node (construct_element ctx tag attrs kids) ]
   | Ast.Attr_c (_, e) ->
     (* attribute outside an element constructor: atomize *)
     [ Value.Atom (Value.Str (Value.string_value (eval ctx env e))) ]
@@ -186,71 +504,129 @@ let rec eval (ctx : ctx) (env : Env.t) (e : Ast.expr) : Value.t =
   | Ast.Union (a, b) ->
     Value.document_order (eval ctx env a @ eval ctx env b)
 
+(** The build-side index for [p], shared across probes through the
+    context and rebuilt only when the store changes. *)
+and join_index_of (ctx : ctx) (p : join_plan) : join_index =
+  let key = (p.jp_source, p.jp_key) in
+  let gen = Store.generation ctx.store in
+  match Hashtbl.find_opt ctx.join_cache key with
+  | Some ji when ji.built_at = gen -> ji
+  | _ ->
+    let items = Array.of_list (eval ctx Env.empty p.jp_source) in
+    let buckets = Hashtbl.create ((2 * Array.length items) + 1) in
+    Array.iteri
+      (fun i item ->
+        let v = eval ctx (Env.bind Env.empty p.jp_var [ item ]) p.jp_key in
+        let keys =
+          List.sort_uniq String.compare
+            (List.concat_map Value.atom_hash_keys (Value.atomize v))
+        in
+        List.iter
+          (fun k ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt buckets k) in
+            Hashtbl.replace buckets k (i :: cur))
+          keys)
+      items;
+    Hashtbl.filter_map_inplace (fun _ is -> Some (List.rev is)) buckets;
+    let ji = { items; buckets; built_at = gen } in
+    Hashtbl.replace ctx.join_cache key ji;
+    ji
+
+(** Expand the build binding of [p] under [env]: only the items whose key
+    values meet the probe values, in original sequence order — exactly
+    the tuples the nested loop would keep for the join conjunct. *)
+and probe_join (ctx : ctx) (env : Env.t) (p : join_plan) : Env.t Seq.t =
+  let ji = join_index_of ctx p in
+  let keys =
+    List.sort_uniq String.compare
+      (List.concat_map Value.atom_hash_keys
+         (Value.atomize (eval ctx env p.jp_probe)))
+  in
+  let idxs =
+    List.sort_uniq Int.compare
+      (List.concat_map
+         (fun k -> Option.value ~default:[] (Hashtbl.find_opt ji.buckets k))
+         keys)
+  in
+  Seq.map (fun i -> Env.bind env p.jp_var [ ji.items.(i) ]) (List.to_seq idxs)
+
 and eval_flwor ctx env (f : Ast.flwor) : Value.t =
-  (* expand for-bindings into a tuple stream *)
-  let tuples =
+  let plan = if ctx.use_hash_join then flwor_plan ctx f else None in
+  (* expand for-bindings into a lazy tuple stream *)
+  let expand i (v, e) (envs : Env.t Seq.t) : Env.t Seq.t =
+    match plan with
+    | Some p when p.jp_binding = i ->
+      Seq.concat_map (fun env -> probe_join ctx env p) envs
+    | _ ->
+      Seq.concat_map
+        (fun env ->
+          Seq.map (fun item -> Env.bind env v [ item ])
+            (List.to_seq (eval ctx env e)))
+        envs
+  in
+  let tuples, _ =
     List.fold_left
-      (fun envs (v, e) ->
-        List.concat_map
-          (fun env ->
-            List.map (fun item -> Env.bind env v [ item ]) (eval ctx env e))
-          envs)
-      [ env ] f.Ast.for_
+      (fun (envs, i) b -> (expand i b envs, i + 1))
+      (Seq.return env, 0) f.Ast.for_
   in
   let tuples =
-    List.map
+    Seq.map
       (fun env ->
         List.fold_left (fun env (v, e) -> Env.bind env v (eval ctx env e)) env f.Ast.let_)
       tuples
   in
+  let where = match plan with Some p -> p.jp_residual | None -> f.Ast.where in
   let tuples =
-    match f.Ast.where with
+    match where with
     | None -> tuples
-    | Some w -> List.filter (fun env -> Value.to_bool (eval ctx env w)) tuples
+    | Some w -> Seq.filter (fun env -> Value.to_bool (eval ctx env w)) tuples
   in
-  let tuples =
-    match f.Ast.order_by with
-    | [] -> tuples
-    | keys ->
-      let decorated =
-        List.map
-          (fun env ->
-            (List.map (fun k -> (Value.atomize (eval ctx env k.Ast.key), k.Ast.descending)) keys, env))
-          tuples
+  match f.Ast.order_by with
+  | [] ->
+    List.of_seq
+      (Seq.concat_map (fun env -> List.to_seq (eval ctx env f.Ast.return)) tuples)
+  | keys ->
+    let decorated =
+      List.map
+        (fun env ->
+          (List.map (fun k -> (Value.atomize (eval ctx env k.Ast.key), k.Ast.descending)) keys, env))
+        (List.of_seq tuples)
+    in
+    let cmp_keys (ka, _) (kb, _) =
+      let rec go a b =
+        match a, b with
+        | [], [] -> 0
+        | (xa, desc) :: ra, (xb, _) :: rb ->
+          let c =
+            match xa, xb with
+            | [], [] -> 0
+            | [], _ -> -1
+            | _, [] -> 1
+            | a0 :: _, b0 :: _ -> Value.atom_compare a0 b0
+          in
+          if c <> 0 then if desc then -c else c else go ra rb
+        | _ -> 0
       in
-      let cmp_keys (ka, _) (kb, _) =
-        let rec go a b =
-          match a, b with
-          | [], [] -> 0
-          | (xa, desc) :: ra, (xb, _) :: rb ->
-            let c =
-              match xa, xb with
-              | [], [] -> 0
-              | [], _ -> -1
-              | _, [] -> 1
-              | a0 :: _, b0 :: _ -> Value.atom_compare a0 b0
-            in
-            if c <> 0 then if desc then -c else c else go ra rb
-          | _ -> 0
-        in
-        go ka kb
-      in
-      List.map snd (List.stable_sort cmp_keys decorated)
-  in
-  List.concat_map (fun env -> eval ctx env f.Ast.return) tuples
+      go ka kb
+    in
+    let sorted = List.map snd (List.stable_sort cmp_keys decorated) in
+    List.concat_map (fun env -> eval ctx env f.Ast.return) sorted
 
 and eval_quant ctx env bs body ~exists : bool =
+  (* lazy expansion: [some] stops at the first witness, [every] at the
+     first counterexample *)
   let tuples =
     List.fold_left
       (fun envs (v, e) ->
-        List.concat_map
+        Seq.concat_map
           (fun env ->
-            List.map (fun item -> Env.bind env v [ item ]) (eval ctx env e))
+            Seq.map (fun item -> Env.bind env v [ item ])
+              (List.to_seq (eval ctx env e)))
           envs)
-      [ env ] bs
+      (Seq.return env) bs
   in
-  if exists then List.exists (fun env -> Value.to_bool (eval ctx env body)) tuples
-  else List.for_all (fun env -> Value.to_bool (eval ctx env body)) tuples
+  if exists then Seq.exists (fun env -> Value.to_bool (eval ctx env body)) tuples
+  else Seq.for_all (fun env -> Value.to_bool (eval ctx env body)) tuples
 
 and general_compare op (va : Value.t) (vb : Value.t) : bool =
   match op with

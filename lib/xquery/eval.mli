@@ -4,11 +4,36 @@
     context's alphabet and evaluated by walking the tree while tracking
     the automaton state, with dead-state pruning — what makes "selection
     by regular path expression" cheap enough to recompute extents
-    repeatedly during learning. *)
+    repeatedly during learning.
+
+    Two fast paths (on by default; see {!default_fast_paths} and the
+    per-context switches) serve the hot shapes of the Figure-16 suites:
+    document-rooted child-tag chains answer from the store's nodes-by-tag
+    index, and eligible equality [where] clauses run as cached hash joins
+    instead of nested loops.  FLWOR tuple streams are lazy. *)
 
 type compiled_path = {
   dfa : Xl_automata.Dfa.t;
   live : bool array;  (** states from which a final state is reachable *)
+}
+
+(** Build side of a hash join, cached per (source sequence, key path). *)
+type join_index = {
+  items : Value.item array;  (** the build sequence, original order *)
+  buckets : (string, int list) Hashtbl.t;
+      (** {!Value.atom_hash_keys} key -> ascending indices into [items] *)
+  built_at : int;  (** {!Xl_xml.Store.generation} at build time *)
+}
+
+(** A planned hash join for one FLWOR (see {!plan_hash_join} in the
+    implementation for the eligibility rules). *)
+type join_plan = {
+  jp_binding : int;  (** index of the build binding in [for_] *)
+  jp_var : string;
+  jp_source : Ast.expr;  (** closed source sequence of the build binding *)
+  jp_key : Ast.expr;  (** build-side key, mentions only [jp_var] *)
+  jp_probe : Ast.expr;  (** probe-side key, evaluable before the build *)
+  jp_residual : Ast.expr option;  (** rest of the [where] clause *)
 }
 
 type ctx = {
@@ -16,7 +41,18 @@ type ctx = {
   alphabet : Xl_automata.Alphabet.t;
   cache : (Path_expr.t, compiled_path) Hashtbl.t;
   mutable constructed : int;  (** constructed-element counter *)
+  mutable use_hash_join : bool;
+      (** execute eligible equality [where] clauses as hash joins *)
+  mutable use_tag_index : bool;
+      (** answer doc-rooted tag chains from the nodes-by-tag index *)
+  join_cache : (Ast.expr * Ast.expr, join_index) Hashtbl.t;
+  plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
 }
+
+val default_fast_paths : bool ref
+(** Initial value of a new context's fast-path switches (default [true]).
+    The parity tests flip it to compare optimized and naive evaluation
+    end to end. *)
 
 val liveness : Xl_automata.Dfa.t -> bool array
 (** Per-state "can still accept" flags, for pruning tree walks. *)
@@ -34,7 +70,8 @@ val compile_path : ctx -> Path_expr.t -> compiled_path
 
 val eval_path : ctx -> Path_expr.t -> Xl_xml.Node.t -> Xl_xml.Node.t list
 (** Nodes reachable from the base by the regular path (the base's own
-    symbol is not consumed), document order. *)
+    symbol is not consumed), document order.  Never interns: symbols
+    outside the alphabet simply cannot match. *)
 
 exception Type_error of string
 

@@ -68,6 +68,24 @@ let atom_compare a b =
   | Some x, Some y -> Float.compare x y
   | _ -> String.compare (atom_to_string a) (atom_to_string b)
 
+(** Hash keys realizing {!atom_equal} exactly: two atoms share a key iff
+    they are equal under the general-comparison rules.  Both-numeric
+    atoms meet on the bit pattern of their (zero-normalized) float; pairs
+    that are not both numeric meet on the string form.  A numeric atom
+    carries both keys because it string-compares against non-numeric
+    atoms ([Bool true] vs [Str "true"]).  Equal strings parse to equal
+    floats, so the string key never over-matches a both-numeric pair; NaN
+    (equal to nothing) gets no keys. *)
+let atom_hash_keys (a : atom) : string list =
+  match numeric_of_atom a with
+  | Some x when Float.is_nan x -> []
+  | Some x ->
+    [
+      "N" ^ Int64.to_string (Int64.bits_of_float (x +. 0.));
+      "S" ^ atom_to_string a;
+    ]
+  | None -> [ "S" ^ atom_to_string a ]
+
 let item_equal a b =
   match a, b with
   | Node n, Node m -> Xl_xml.Node.equal n m

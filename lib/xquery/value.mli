@@ -38,6 +38,10 @@ val to_bool : t -> bool
 val atom_equal : atom -> atom -> bool
 (** Equality with numeric promotion (general-comparison semantics). *)
 
+val atom_hash_keys : atom -> string list
+(** Keys such that two atoms share one iff {!atom_equal} holds — the
+    basis of the evaluator's hash joins.  At most two keys per atom. *)
+
 val atom_compare : atom -> atom -> int
 (** Numeric when both sides parse as numbers, else lexicographic. *)
 

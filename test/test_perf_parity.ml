@@ -1,0 +1,135 @@
+(* Parity tests for the evaluator fast paths: the indexed / hash-join
+   evaluation must be observationally equivalent to the naive nested-loop
+   walk — same node sequences (ids and order) on every benchmark query,
+   and identical learner interaction counts across the Figure-16 suites. *)
+
+open Xl_xquery
+module Xml = Xl_xml
+
+(* A result fingerprint that is stable across evaluation strategies:
+   store-resident nodes print as their id (identity + order check),
+   constructed nodes — whose ids are fresh per evaluation — print as
+   their serialized form. *)
+let fingerprint (store : Xml.Store.t) (v : Value.t) : string =
+  String.concat "|"
+    (List.map
+       (fun (it : Value.item) ->
+         match it with
+         | Value.Node n -> (
+           match Xml.Store.find_node_by_id store n.Xml.Node.id with
+           | Some m when Xml.Node.equal m n -> Printf.sprintf "#%d" n.Xml.Node.id
+           | _ -> "C:" ^ Xml.Serialize.node_to_string n)
+         | Value.Atom a -> "A:" ^ Value.atom_to_string a)
+       v)
+
+let fast_ctx store =
+  let c = Eval.make_ctx store in
+  c.Eval.use_hash_join <- true;
+  c.Eval.use_tag_index <- true;
+  c
+
+let naive_ctx store =
+  let c = Eval.make_ctx store in
+  c.Eval.use_hash_join <- false;
+  c.Eval.use_tag_index <- false;
+  c
+
+(* Evaluate every query under both strategies and compare fingerprints
+   (or exception messages, when both raise). *)
+let check_query_parity ~suite (store : Xml.Store.t)
+    (queries : (string * string) list) =
+  let fast = fast_ctx store and naive = naive_ctx store in
+  List.iter
+    (fun (qid, text) ->
+      let label = Printf.sprintf "%s/%s" suite qid in
+      let ast = Parser.parse text in
+      let run ctx =
+        match Eval.run ctx ast with
+        | v -> Ok (fingerprint store v)
+        | exception e -> Error (Printexc.to_string e)
+      in
+      match (run fast, run naive) with
+      | Ok a, Ok b -> Alcotest.(check string) label b a
+      | Error a, Error b -> Alcotest.(check string) (label ^ " (raises)") b a
+      | Ok _, Error e ->
+        Alcotest.failf "%s: naive evaluation raised %s but fast path succeeded"
+          label e
+      | Error e, Ok _ ->
+        Alcotest.failf "%s: fast path raised %s but naive evaluation succeeded"
+          label e)
+    queries
+
+let test_xmark_parity () =
+  List.iter
+    (fun seed ->
+      let doc =
+        Xl_workload.Xmark_gen.generate ~seed Xl_workload.Xmark_gen.tiny_scale
+      in
+      let store = Xml.Store.of_docs [ doc ] in
+      check_query_parity
+        ~suite:(Printf.sprintf "xmark-seed%d" seed)
+        store
+        (List.map
+           (fun (q : Xl_workload.Xmark_queries.query) -> (q.id, q.text))
+           Xl_workload.Xmark_queries.all))
+    [ 1; 2; 3 ]
+
+let test_xmp_parity () =
+  let store = Xl_workload.Xmp_data.store () in
+  check_query_parity ~suite:"xmp" store
+    (List.map
+       (fun (q : Xl_workload.Xmp_queries.query) -> (q.id, q.text))
+       Xl_workload.Xmp_queries.all)
+
+(* The learner drives the evaluator on every membership/equivalence
+   query; identical interaction counts under both strategies show the
+   fast paths never change what the teacher observes. *)
+let stats_row (name : string) (r : Xl_core.Learn.result) : string =
+  let s = r.Xl_core.Learn.stats in
+  Printf.sprintf "%s dd=%d(%d) mq=%d eq=%d ce=%d cb=%d(%d) ob=%d r=(%d,%d,%d) auto=%d restarts=%d verified=%b"
+    name s.Xl_core.Stats.dd s.Xl_core.Stats.dd_terminals s.Xl_core.Stats.mq
+    s.Xl_core.Stats.eq s.Xl_core.Stats.ce s.Xl_core.Stats.cb
+    s.Xl_core.Stats.cb_terminals s.Xl_core.Stats.ob s.Xl_core.Stats.reduced_r1
+    s.Xl_core.Stats.reduced_r2 s.Xl_core.Stats.reduced_both
+    s.Xl_core.Stats.auto_known s.Xl_core.Stats.restarts
+    r.Xl_core.Learn.verified
+
+let run_learner_suite ~fast_paths : string list =
+  let prev = !Eval.default_fast_paths in
+  Eval.default_fast_paths := fast_paths;
+  Fun.protect
+    ~finally:(fun () -> Eval.default_fast_paths := prev)
+    (fun () ->
+      List.map
+        (fun (suite, name, sc) ->
+          let label = suite ^ "-" ^ name in
+          match Xl_core.Learn.run sc with
+          | r -> stats_row label r
+          | exception e -> label ^ " FAILED " ^ Printexc.to_string e)
+        (List.map (fun (n, sc) -> ("xmark", n, sc)) (Xl_workload.Xmark_scenarios.all ())
+        @ List.map (fun (n, sc) -> ("xmp", n, sc)) (Xl_workload.Xmp_scenarios.all ())))
+
+let test_learner_parity () =
+  let fast = run_learner_suite ~fast_paths:true in
+  let naive = run_learner_suite ~fast_paths:false in
+  Alcotest.(check int) "same number of scenarios" (List.length naive)
+    (List.length fast);
+  List.iter2
+    (fun f n -> Alcotest.(check string) "interaction counts" n f)
+    fast naive
+
+let () =
+  Alcotest.run "perf-parity"
+    [
+      ( "query-results",
+        [
+          Alcotest.test_case "xmark tiny instances, 3 seeds" `Quick
+            test_xmark_parity;
+          Alcotest.test_case "xmp use-case store" `Quick test_xmp_parity;
+        ] );
+      ( "learner",
+        [
+          Alcotest.test_case "fig16 suites, fast vs naive" `Slow
+            test_learner_parity;
+        ] );
+    ]

@@ -152,6 +152,33 @@ let test_element_construction () =
     (run "<r n=\"{count(//item)}\"><inner>{data(/site/regions/africa/item/price)}</inner></r>");
   check cstr "atoms joined with space" "<r>1 2 3</r>" (run "<r>{(1, 2, 3)}</r>")
 
+(* regression: element construction with fresh tags must not invalidate
+   compiled path DFAs on later evaluations — constructed symbols are
+   interned at construction time, never mid-walk *)
+let test_dfa_cache_stability () =
+  let c = ctx () in
+  let q =
+    Parser.parse
+      "<fresh-wrapper>{for $p in /site/people/person return <fresh-entry>{$p/name}</fresh-entry>}</fresh-wrapper>"
+  in
+  ignore (Eval.run c q);
+  let p =
+    Path_expr.seq
+      [
+        Path_expr.child (Path_expr.Tag "site");
+        Path_expr.child (Path_expr.Tag "people");
+        Path_expr.child (Path_expr.Tag "person");
+      ]
+  in
+  let c1 = Eval.compile_path c p in
+  let size1 = Xl_automata.Alphabet.size c.Eval.alphabet in
+  ignore (Eval.run c q);
+  ignore (Eval.run c q);
+  check _cint "alphabet stable across repeated construction" size1
+    (Xl_automata.Alphabet.size c.Eval.alphabet);
+  let c2 = Eval.compile_path c p in
+  check cbool "compiled DFA stays physically cached" true (c1 == c2)
+
 let test_document_function () =
   let d1 = Xl_xml.Xml_parser.parse_doc ~uri:"a.xml" "<a><x>1</x></a>" in
   let d2 = Xl_xml.Xml_parser.parse_doc ~uri:"b.xml" "<b><x>2</x></b>" in
@@ -251,6 +278,7 @@ let () =
           Alcotest.test_case "string/number builtins" `Quick test_more_functions;
           Alcotest.test_case "union operator" `Quick test_union_operator;
           Alcotest.test_case "construction" `Quick test_element_construction;
+          Alcotest.test_case "dfa cache stability" `Quick test_dfa_cache_stability;
           Alcotest.test_case "document()" `Quick test_document_function;
         ] );
       ( "parser",
