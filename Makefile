@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-check clean
+.PHONY: build test bench bench-par bench-check clean
 
 build:
 	dune build
@@ -9,8 +9,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Figure-16 suites on the domain pool.  Worker count: XLEARNER_JOBS if
+# set, else recommended_domain_count - 1 (floor 1); override per run
+# with e.g. `make bench-par XLEARNER_JOBS=4`.
+bench-par:
+	dune exec bench/main.exe -- fig16-xmark fig16-xmp
+
 # Produce the machine-readable perf baseline and fail if it can't be
-# written (or if the hash-join fast path stops beating the nested loop).
+# written, if the hash-join fast path stops beating the nested loop, or
+# if the fig16 scenario rows differ between the sequential and parallel
+# runs (perf-json runs both and diffs them; no speedup ratio is
+# asserted — CI core counts vary).
 bench-check:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- perf-json

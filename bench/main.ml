@@ -9,7 +9,27 @@
      dune exec bench/main.exe -- ablation     -- rules R1/R2 on/off
      dune exec bench/main.exe -- perf         -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- perf-json    -- machine-readable baseline
-                                                 (writes BENCH_perf.json) *)
+                                                 (writes BENCH_perf.json)
+
+   The Figure-16 suites and the perf-json baseline fan their independent
+   learn-and-verify scenario runs across OCaml 5 domains (Xl_exec.Pool).
+   Worker count: -j N / --jobs N, else the XLEARNER_JOBS environment
+   variable, else Domain.recommended_domain_count () - 1 (floor 1).
+   Results are collected per scenario and printed in suite order, so the
+   output is byte-identical whatever the worker count. *)
+
+module Pool = Xl_exec.Pool
+
+let jobs_override : int option ref = ref None
+let pool () = Pool.create ?domains:!jobs_override ()
+
+(* a suite's scenarios share one store; freeze its lazy indexes while the
+   store is still visible to a single domain (Pool's confinement rule) *)
+let prepare_scenarios scenarios =
+  List.iter
+    (fun (_, sc) -> Xl_xml.Store.prepare sc.Xl_core.Scenario.store)
+    scenarios;
+  scenarios
 
 let line = String.make 78 '-'
 
@@ -43,62 +63,68 @@ let header () =
     "Ours: D&D(#t) MQ CE CB(#t) OB Reduced(R1,R2,Both)" "Paper" "verified";
   Printf.printf "%s\n" line
 
+(* One Figure-16 row, computed inside a pool worker: the default run, the
+   adversarial worst-case rerun, and the fully formatted output line.
+   Printing happens on the main domain, in scenario order — the parallel
+   table is byte-identical to the sequential one. *)
+let fig16_row paper_rows (name, sc) : string * bool =
+  let paper =
+    match
+      List.find_opt
+        (fun (r : Xl_workload.Paper_reference.fig16_row) ->
+          String.equal r.Xl_workload.Paper_reference.id name)
+        paper_rows
+    with
+    | Some r -> Xl_workload.Paper_reference.fig16_row_to_string r
+    | None -> "-"
+  in
+  match Xl_core.Learn.run sc with
+  | r ->
+    (* the paper's bracketed worst case: re-run with the adversarial
+       counterexample strategy and report its CE when it differs *)
+    let worst_ce =
+      match
+        Xl_core.Learn.run
+          ~config:
+            { Xl_core.Learn.default_config with strategy = Xl_core.Oracle.Worst }
+          sc
+      with
+      | w ->
+        let ce = w.Xl_core.Learn.stats.Xl_core.Stats.ce in
+        if ce > r.Xl_core.Learn.stats.Xl_core.Stats.ce then
+          Printf.sprintf "[%d]" ce
+        else ""
+      | exception _ -> ""
+    in
+    let s = r.Xl_core.Learn.stats in
+    let ours =
+      Printf.sprintf "%d(%d)\t%d\t%d%s\t%d(%d)\t%d\t%d(%d,%d,%d)"
+        s.Xl_core.Stats.dd s.Xl_core.Stats.dd_terminals s.Xl_core.Stats.mq
+        s.Xl_core.Stats.ce worst_ce s.Xl_core.Stats.cb
+        s.Xl_core.Stats.cb_terminals s.Xl_core.Stats.ob
+        (Xl_core.Stats.reduced_total s)
+        s.Xl_core.Stats.reduced_r1 s.Xl_core.Stats.reduced_r2
+        s.Xl_core.Stats.reduced_both
+    in
+    ( Printf.sprintf "%-5s %-52s | %-40s %b" name ours paper
+        r.Xl_core.Learn.verified,
+      r.Xl_core.Learn.verified )
+  | exception e ->
+    (Printf.sprintf "%-5s FAILED: %s" name (Printexc.to_string e), false)
+
 let run_suite ~title scenarios paper_rows =
   print_endline line;
   Printf.printf "Figure 16 — The Number of Interactions for Learning (%s)\n" title;
   print_endline line;
   header ();
-  let verified_count = ref 0 and total = ref 0 in
-  List.iter
-    (fun (name, sc) ->
-      incr total;
-      let paper =
-        match
-          List.find_opt
-            (fun (r : Xl_workload.Paper_reference.fig16_row) ->
-              String.equal r.Xl_workload.Paper_reference.id name)
-            paper_rows
-        with
-        | Some r -> Xl_workload.Paper_reference.fig16_row_to_string r
-        | None -> "-"
-      in
-      match Xl_core.Learn.run sc with
-      | r ->
-        if r.Xl_core.Learn.verified then incr verified_count;
-        (* the paper's bracketed worst case: re-run with the adversarial
-           counterexample strategy and report its CE when it differs *)
-        let worst_ce =
-          match
-            Xl_core.Learn.run
-              ~config:
-                { Xl_core.Learn.default_config with strategy = Xl_core.Oracle.Worst }
-              sc
-          with
-          | w ->
-            let ce = w.Xl_core.Learn.stats.Xl_core.Stats.ce in
-            if ce > r.Xl_core.Learn.stats.Xl_core.Stats.ce then
-              Printf.sprintf "[%d]" ce
-            else ""
-          | exception _ -> ""
-        in
-        let s = r.Xl_core.Learn.stats in
-        let ours =
-          Printf.sprintf "%d(%d)\t%d\t%d%s\t%d(%d)\t%d\t%d(%d,%d,%d)"
-            s.Xl_core.Stats.dd s.Xl_core.Stats.dd_terminals s.Xl_core.Stats.mq
-            s.Xl_core.Stats.ce worst_ce s.Xl_core.Stats.cb
-            s.Xl_core.Stats.cb_terminals s.Xl_core.Stats.ob
-            (Xl_core.Stats.reduced_total s)
-            s.Xl_core.Stats.reduced_r1 s.Xl_core.Stats.reduced_r2
-            s.Xl_core.Stats.reduced_both
-        in
-        Printf.printf "%-5s %-52s | %-40s %b\n%!" name ours paper
-          r.Xl_core.Learn.verified
-      | exception e ->
-        Printf.printf "%-5s FAILED: %s\n%!" name (Printexc.to_string e))
-    scenarios;
+  let rows = Pool.map (pool ()) (fig16_row paper_rows) (prepare_scenarios scenarios) in
+  List.iter (fun (row, _) -> print_endline row) rows;
+  let verified_count =
+    List.length (List.filter (fun (_, v) -> v) rows)
+  in
   Printf.printf
     "\n=> %d/%d learned queries verified equivalent to the target on the instance\n\n"
-    !verified_count !total
+    verified_count (List.length rows)
 
 let fig16_xmark () =
   run_suite ~title:"XMark"
@@ -367,11 +393,14 @@ let perf_json () =
   Printf.printf "=> Q1 join: hash %.0f ns vs nested %.0f ns (%.1fx)\n%!" hash_ns
     nested_ns speedup;
   (* end-to-end Figure-16 suites: one Learn.run per scenario, default
-     strategy (no adversarial rerun), recording stats + wall time *)
-  let run_suite scenarios =
+     strategy (no adversarial rerun), recording stats + wall time.  Each
+     suite runs twice — on one worker and on the configured pool — both
+     to measure the realized speedup and to prove (make bench-check) that
+     the per-scenario rows do not depend on the worker count. *)
+  let run_suite ~on scenarios =
     let t0 = Unix.gettimeofday () in
     let rows =
-      List.map
+      Pool.map on
         (fun (name, sc) ->
           match Xl_core.Learn.run sc with
           | r ->
@@ -388,10 +417,23 @@ let perf_json () =
     in
     (rows, Unix.gettimeofday () -. t0)
   in
-  print_endline "running fig16 suites...";
-  let xmark_rows, xmark_s = run_suite (Xl_workload.Xmark_scenarios.all ()) in
-  let xmp_rows, xmp_s = run_suite (Xl_workload.Xmp_scenarios.all ()) in
+  let xmark_scenarios = prepare_scenarios (Xl_workload.Xmark_scenarios.all ()) in
+  let xmp_scenarios = prepare_scenarios (Xl_workload.Xmp_scenarios.all ()) in
+  print_endline "running fig16 suites (sequential)...";
+  let seq = Pool.create ~domains:1 () in
+  let xmark_rows, xmark_s = run_suite ~on:seq xmark_scenarios in
+  let xmp_rows, xmp_s = run_suite ~on:seq xmp_scenarios in
   Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" xmark_s xmp_s;
+  let par = pool () in
+  Printf.printf "running fig16 suites (parallel, %d jobs)...\n%!" (Pool.domains par);
+  let par_xmark_rows, par_xmark_s = run_suite ~on:par xmark_scenarios in
+  let par_xmp_rows, par_xmp_s = run_suite ~on:par xmp_scenarios in
+  Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" par_xmark_s par_xmp_s;
+  let rows_match = xmark_rows = par_xmark_rows && xmp_rows = par_xmp_rows in
+  let seq_total = xmark_s +. xmp_s and par_total = par_xmark_s +. par_xmp_s in
+  Printf.printf
+    "=> fig16 wall: sequential %.2f s, parallel %.2f s (%.2fx on %d jobs), rows match: %b\n%!"
+    seq_total par_total (seq_total /. par_total) (Pool.domains par) rows_match;
   let micro_json =
     String.concat ",\n    "
       (List.rev_map
@@ -419,7 +461,14 @@ let perf_json () =
     "xmp": { "wall_s": %.3f, "scenarios": [
       %s
     ] },
-    "total_wall_s": %.3f
+    "total_wall_s": %.3f,
+    "parallel": {
+      "jobs": %d,
+      "sequential_wall_s": %.3f,
+      "parallel_wall_s": %.3f,
+      "speedup": %.2f,
+      "rows_match": %b
+    }
   }
 }
 |}
@@ -427,12 +476,18 @@ let perf_json () =
       (String.concat ",\n      " xmark_rows)
       xmp_s
       (String.concat ",\n      " xmp_rows)
-      (xmark_s +. xmp_s)
+      (xmark_s +. xmp_s) (Pool.domains par) seq_total par_total
+      (seq_total /. par_total) rows_match
   in
   let oc = open_out "BENCH_perf.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote BENCH_perf.json\n%!";
+  if not rows_match then begin
+    Printf.eprintf
+      "FAIL: fig16 scenario rows differ between sequential and parallel runs\n";
+    exit 1
+  end;
   if speedup <= 1.0 then begin
     Printf.eprintf "FAIL: hash join (%.0f ns) not faster than nested loop (%.0f ns)\n"
       hash_ns nested_ns;
@@ -443,6 +498,29 @@ let perf_json () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* worker-count override: -j N, --jobs N or --jobs=N (else the
+     XLEARNER_JOBS environment variable, see Xl_exec.Pool.default_jobs) *)
+  let rec parse_jobs acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        jobs_override := Some n;
+        parse_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad job count %S (expected a positive integer)\n" n;
+        exit 2)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some n when n > 0 ->
+        jobs_override := Some n;
+        parse_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad job count in %S\n" arg;
+        exit 2)
+    | arg :: rest -> parse_jobs (arg :: acc) rest
+  in
+  let args = parse_jobs [] args in
   let run = function
     | "fig15" -> fig15 ()
     | "fig16-xmark" -> fig16_xmark ()

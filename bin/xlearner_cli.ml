@@ -65,9 +65,9 @@ let learn_cmd =
     | Some sc ->
       let config =
         {
-          Xl_core.Learn.rules = { Xl_core.Plearner.r1 = not no_r1; r2 = not no_r2 };
+          Xl_core.Learn.default_config with
+          rules = { Xl_core.Plearner.r1 = not no_r1; r2 = not no_r2 };
           strategy = (if worst then Xl_core.Oracle.Worst else Xl_core.Oracle.Best);
-          max_rounds = 400;
         }
       in
       let tr = Xl_core.Trace.create () in

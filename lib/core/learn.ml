@@ -33,10 +33,19 @@ type config = {
   rules : Plearner.config;
   strategy : Oracle.strategy;
   max_rounds : int;  (** bound on equivalence-query rounds per task *)
+  fast_paths : bool;
+      (** evaluator fast paths (tag index, hash join) for this run's
+          context — per run, not a process global, so parity sweeps can
+          run optimized and naive scenarios concurrently *)
 }
 
 let default_config =
-  { rules = Plearner.default_config; strategy = Oracle.Best; max_rounds = 400 }
+  {
+    rules = Plearner.default_config;
+    strategy = Oracle.Best;
+    max_rounds = 400;
+    fast_paths = true;
+  }
 
 type node_result = {
   task_label : string;
@@ -433,7 +442,10 @@ let dd_of_tree (tree : Xqtree.t) (stats : Stats.t) =
 
 let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
     (scenario : Scenario.t) : result =
-  let oracle, oracle_teacher = Oracle.create ~strategy:config.strategy scenario in
+  let oracle, oracle_teacher =
+    Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
+      scenario
+  in
   let teacher = wrap_teacher (Option.value ~default:oracle_teacher teacher) in
   let ctx = Oracle.eval_ctx oracle in
   let dg = Data_graph.build scenario.Scenario.store in

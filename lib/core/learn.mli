@@ -14,6 +14,10 @@ type config = {
   rules : Plearner.config;
   strategy : Oracle.strategy;
   max_rounds : int;  (** bound on equivalence-query rounds per task *)
+  fast_paths : bool;
+      (** evaluator fast paths for this run's context (default [true]);
+          the parity sweep sets [false] to learn against the naive
+          nested-loop evaluator *)
 }
 
 val default_config : config

@@ -143,8 +143,8 @@ let condition_box (o : t) ~label ~context ~negative_example =
 
 let order_box (o : t) ~label = Task.order_by (task_of_label o label)
 
-let create ?(strategy = Best) (scenario : Scenario.t) : t * Teacher.t =
-  let ctx = Xl_xquery.Eval.make_ctx scenario.Scenario.store in
+let create ?(strategy = Best) ?fast_paths (scenario : Scenario.t) : t * Teacher.t =
+  let ctx = Xl_xquery.Eval.make_ctx ?fast_paths scenario.Scenario.store in
   (* the alphabet must cover the source schema, for R1 and shared DFAs *)
   List.iter
     (fun dtd ->

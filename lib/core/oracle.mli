@@ -15,7 +15,10 @@ type strategy =
 
 type t
 
-val create : ?strategy:strategy -> Scenario.t -> t * Teacher.t
+val create :
+  ?strategy:strategy -> ?fast_paths:bool -> Scenario.t -> t * Teacher.t
+(** [fast_paths] is forwarded to {!Xl_xquery.Eval.make_ctx} for the
+    shared evaluation context (default [true]). *)
 
 val target_extent : t -> string -> Teacher.context -> Node.t list
 (** EXT_{e,context} of the task at a label. *)

@@ -1,0 +1,78 @@
+(** Fixed-size domain pool: chunked work-stealing over an atomic cursor.
+
+    See the interface for the scheduling model and the
+    domain-confinement contract tasks must respect. *)
+
+type t = { size : int }
+
+let clamp lo hi v = max lo (min hi v)
+
+let default_jobs () =
+  match Sys.getenv_opt "XLEARNER_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> clamp 1 64 n
+    | _ -> clamp 1 64 (Domain.recommended_domain_count () - 1))
+  | None -> clamp 1 64 (Domain.recommended_domain_count () - 1)
+
+let create ?domains () =
+  let size = match domains with Some n -> max 1 n | None -> default_jobs () in
+  { size }
+
+let domains t = t.size
+
+(* set while a domain is executing pool tasks: a nested [map] from inside
+   a task must not spawn another layer of domains *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_map f arr = Array.map f arr
+
+let parallel_map ~workers ~chunk f (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    Domain.DLS.set inside_worker true;
+    let rec loop () =
+      if Atomic.get failure = None then begin
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo < n then begin
+          let hi = min n (lo + chunk) in
+          (try
+             for i = lo to hi - 1 do
+               results.(i) <- Some (f arr.(i))
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  (* the calling domain is the last worker, so a 1-worker pool never
+     spawns and [workers] domains never means [workers + 1] threads *)
+  worker ();
+  Domain.DLS.set inside_worker false;
+  Array.iter Domain.join spawned;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    Array.map
+      (function Some v -> v | None -> assert false (* all claimed or raised *))
+      results
+
+let map ?(chunk = 1) t f xs =
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
+  let arr = Array.of_list xs in
+  let workers = min t.size (Array.length arr) in
+  let out =
+    if workers <= 1 || Domain.DLS.get inside_worker then sequential_map f arr
+    else parallel_map ~workers ~chunk f arr
+  in
+  Array.to_list out
+
+let iter ?chunk t f xs = ignore (map ?chunk t (fun x -> f x) xs)

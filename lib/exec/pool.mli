@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for embarrassingly parallel suites.
+
+    The Figure-16 experiments are independent learn-and-verify runs, one
+    per scenario; {!map} schedules them across OCaml 5 domains.  Work is
+    distributed by chunked work-stealing over a single atomic cursor:
+    each worker repeatedly claims the next [chunk] indices, so uneven
+    scenario costs (Q7 dominates the XMark suite) balance automatically.
+
+    Results are collected positionally — [map pool f xs] returns exactly
+    [List.map f xs], in input order, whatever the execution interleaving.
+    Domains are spawned per call and joined before the call returns, so a
+    raising task can never leak a running domain.
+
+    Domain-confinement contract for tasks: a task may freely use mutable
+    state it creates (evaluation contexts, alphabets, oracles, data
+    graphs), but shared inputs must be read-only for the duration of the
+    call.  In this codebase that means forcing {!Xl_xml.Store.prepare} on
+    any store shared by several tasks before fanning out, and never
+    passing one {!Xl_core.Session.t} to two concurrent runs. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used by {!create} when [~domains] is not given: the
+    [XLEARNER_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count () - 1], with a floor of 1
+    (so a sequential fallback always exists) and a cap of 64. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] workers ([default_jobs ()] when omitted, floor
+    1).  Creation is cheap; domains are only spawned inside {!map} /
+    {!iter} calls that have more than one item and more than one
+    worker. *)
+
+val domains : t -> int
+(** The pool's worker count. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs] computed on the pool's domains.
+    [chunk] (default 1) is the number of consecutive indices a worker
+    claims per steal — raise it for many tiny tasks.
+
+    If any task raises, the first exception (by completion order) is
+    re-raised with its backtrace after all domains have been joined;
+    remaining unclaimed work is abandoned.
+
+    Calls from inside a pool task (nested [map]) run sequentially in the
+    calling domain instead of spawning domains, so accidental nesting
+    degrades to [List.map] rather than oversubscribing or deadlocking. *)
+
+val iter : ?chunk:int -> t -> ('a -> unit) -> 'a list -> unit
+(** [iter pool f xs] is [map pool f xs] with the results dropped. *)

@@ -95,6 +95,9 @@ let text = {|
 <!ELEMENT type (#PCDATA)>
 |}
 
-let dtd : Xl_schema.Dtd.t Lazy.t = lazy (Xl_schema.Dtd_parser.parse ~root:"site" text)
+(* parsed eagerly at module initialization (it is a few KB of text): a
+   [lazy] here would be forced concurrently by parallel suite runs, and a
+   racy [Lazy.force] raises [Lazy.Undefined] on OCaml 5 *)
+let dtd : Xl_schema.Dtd.t = Xl_schema.Dtd_parser.parse ~root:"site" text
 
-let get () = Lazy.force dtd
+let get () = dtd

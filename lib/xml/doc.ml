@@ -2,8 +2,9 @@
 
     [of_frag] materializes a {!Frag.t} into a {!Node.t} tree, assigning
     fresh node ids and Dewey codes.  Node ids are unique across all
-    documents built in a process, so nodes from several documents can live
-    in one extent or data graph. *)
+    documents built in a process — the counter is atomic, so documents
+    built concurrently on several domains still draw disjoint ids — and
+    nodes from several documents can live in one extent or data graph. *)
 
 type t = {
   uri : string;
@@ -12,11 +13,9 @@ type t = {
   by_id : (int, Node.t) Hashtbl.t;
 }
 
-let next_node_id = ref 0
+let next_node_id = Atomic.make 1
 
-let fresh_id () =
-  incr next_node_id;
-  !next_node_id
+let fresh_id () = Atomic.fetch_and_add next_node_id 1
 
 let make_node kind name value =
   {

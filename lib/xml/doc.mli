@@ -16,7 +16,8 @@ type t = {
 val fresh_id : unit -> int
 (** Next process-wide node id — for callers (the query evaluator's
     element constructor) that build node trees directly instead of going
-    through {!of_frag}. *)
+    through {!of_frag}.  Backed by an [Atomic.t], so allocation is safe
+    from any domain and concurrently built documents never share ids. *)
 
 val of_frag : ?uri:string -> Frag.t -> t
 (** Build and index a document.  Raises [Invalid_argument] if the

@@ -123,6 +123,15 @@ let index t =
     t.index <- Some ix;
     ix
 
+(** Force the forward document list and the indexes now.  A store shared
+    by several domains must be prepared before the fan-out: the lazy
+    caches are filled by plain mutation, so the first access must happen
+    while only one domain can see the store.  After [prepare] (and until
+    the next [add]) every reader is a pure lookup. *)
+let prepare t =
+  ignore (assoc_docs t);
+  ignore (index t)
+
 (** Every element/attribute node of every document, document order within
     each document, documents in registration order. *)
 let nodes t = (index t).univ

@@ -40,6 +40,13 @@ val find_node_by_id : t -> int -> Node.t option
 val generation : t -> int
 (** Bumped on every [add]; lets callers invalidate store-derived caches. *)
 
+val prepare : t -> unit
+(** Build the lazy indexes now.  Required before sharing the store with
+    several domains (the parallel Figure-16 runner): index construction
+    fills caches by plain mutation, so it must happen while the store is
+    still confined to one domain.  Idempotent; a later [add] re-imposes
+    the obligation. *)
+
 val nodes_with_tag : t -> string -> Node.t list
 (** Nodes whose {!Node.symbol} is the argument, document order: elements
     by tag, attributes by ["@name"]. *)

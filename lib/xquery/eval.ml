@@ -59,10 +59,6 @@ type ctx = {
   plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
 }
 
-(** Initial value of the per-context fast-path switches — tests flip this
-    to compare optimized and naive evaluation end to end. *)
-let default_fast_paths = ref true
-
 let liveness (dfa : Xl_automata.Dfa.t) : bool array =
   let n = Xl_automata.Dfa.state_count dfa in
   let live = Array.copy dfa.Xl_automata.Dfa.finals in
@@ -86,7 +82,7 @@ let intern_doc_symbols alphabet doc =
     (fun n -> ignore (Xl_automata.Alphabet.intern alphabet (Node.symbol n)))
     (Doc.all_nodes doc)
 
-let make_ctx (store : Store.t) : ctx =
+let make_ctx ?(fast_paths = true) (store : Store.t) : ctx =
   let alphabet = Xl_automata.Alphabet.create () in
   List.iter (intern_doc_symbols alphabet) (Store.docs store);
   (* constructed text nodes must already be interned when a path walks a
@@ -97,13 +93,13 @@ let make_ctx (store : Store.t) : ctx =
     alphabet;
     cache = Hashtbl.create 32;
     constructed = 0;
-    use_hash_join = !default_fast_paths;
-    use_tag_index = !default_fast_paths;
+    use_hash_join = fast_paths;
+    use_tag_index = fast_paths;
     join_cache = Hashtbl.create 16;
     plan_cache = Hashtbl.create 16;
   }
 
-let ctx_of_doc doc = make_ctx (Store.of_docs [ doc ])
+let ctx_of_doc ?fast_paths doc = make_ctx ?fast_paths (Store.of_docs [ doc ])
 
 (* intern every tag literal of the path so Any_elem expansion and
    compilation agree on the alphabet *)

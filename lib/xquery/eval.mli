@@ -6,8 +6,9 @@
     by regular path expression" cheap enough to recompute extents
     repeatedly during learning.
 
-    Two fast paths (on by default; see {!default_fast_paths} and the
-    per-context switches) serve the hot shapes of the Figure-16 suites:
+    Two fast paths (on by default; see {!make_ctx}'s [?fast_paths] and
+    the per-context switches) serve the hot shapes of the Figure-16
+    suites:
     document-rooted child-tag chains answer from the store's nodes-by-tag
     index, and eligible equality [where] clauses run as cached hash joins
     instead of nested loops.  FLWOR tuple streams are lazy. *)
@@ -49,18 +50,17 @@ type ctx = {
   plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
 }
 
-val default_fast_paths : bool ref
-(** Initial value of a new context's fast-path switches (default [true]).
-    The parity tests flip it to compare optimized and naive evaluation
-    end to end. *)
-
 val liveness : Xl_automata.Dfa.t -> bool array
 (** Per-state "can still accept" flags, for pruning tree walks. *)
 
-val make_ctx : Xl_xml.Store.t -> ctx
-(** Interns every symbol of every document in the store. *)
+val make_ctx : ?fast_paths:bool -> Xl_xml.Store.t -> ctx
+(** Interns every symbol of every document in the store.  [fast_paths]
+    (default [true]) sets both per-context switches; the parity tests
+    pass [false] to compare optimized and naive evaluation end to end.
+    There is deliberately no global default: contexts with different
+    settings can now coexist, including on concurrent domains. *)
 
-val ctx_of_doc : Xl_xml.Doc.t -> ctx
+val ctx_of_doc : ?fast_paths:bool -> Xl_xml.Doc.t -> ctx
 
 val intern_path_symbols : Xl_automata.Alphabet.t -> Path_expr.t -> unit
 (** Intern a path's literal tags so wildcard expansion and compilation

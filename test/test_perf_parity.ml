@@ -1,10 +1,18 @@
 (* Parity tests for the evaluator fast paths: the indexed / hash-join
    evaluation must be observationally equivalent to the naive nested-loop
    walk — same node sequences (ids and order) on every benchmark query,
-   and identical learner interaction counts across the Figure-16 suites. *)
+   and identical learner interaction counts across the Figure-16 suites.
+
+   The sweeps fan out on a {!Xl_exec.Pool}: each work item (a query, or a
+   whole scenario run) is checked inside a worker domain and reduced to a
+   comparable string; the Alcotest assertions run afterwards on the main
+   domain.  Stores shared by several work items are [Store.prepare]d
+   before the fan-out, per the pool's domain-confinement contract. *)
 
 open Xl_xquery
 module Xml = Xl_xml
+
+let pool = Xl_exec.Pool.create ()
 
 (* A result fingerprint that is stable across evaluation strategies:
    store-resident nodes print as their id (identity + order check),
@@ -22,33 +30,30 @@ let fingerprint (store : Xml.Store.t) (v : Value.t) : string =
          | Value.Atom a -> "A:" ^ Value.atom_to_string a)
        v)
 
-let fast_ctx store =
-  let c = Eval.make_ctx store in
-  c.Eval.use_hash_join <- true;
-  c.Eval.use_tag_index <- true;
-  c
-
-let naive_ctx store =
-  let c = Eval.make_ctx store in
-  c.Eval.use_hash_join <- false;
-  c.Eval.use_tag_index <- false;
-  c
-
-(* Evaluate every query under both strategies and compare fingerprints
-   (or exception messages, when both raise). *)
+(* Evaluate every query under both strategies — concurrently, one worker
+   per query, each with its own pair of contexts (evaluation contexts
+   carry mutable caches and must stay domain-confined) — then compare
+   fingerprints (or exception messages, when both raise). *)
 let check_query_parity ~suite (store : Xml.Store.t)
     (queries : (string * string) list) =
-  let fast = fast_ctx store and naive = naive_ctx store in
+  Xml.Store.prepare store;
+  let outcomes =
+    Xl_exec.Pool.map pool
+      (fun (qid, text) ->
+        let label = Printf.sprintf "%s/%s" suite qid in
+        let ast = Parser.parse text in
+        let run ~fast_paths =
+          let ctx = Eval.make_ctx ~fast_paths store in
+          match Eval.run ctx ast with
+          | v -> Ok (fingerprint store v)
+          | exception e -> Error (Printexc.to_string e)
+        in
+        (label, run ~fast_paths:true, run ~fast_paths:false))
+      queries
+  in
   List.iter
-    (fun (qid, text) ->
-      let label = Printf.sprintf "%s/%s" suite qid in
-      let ast = Parser.parse text in
-      let run ctx =
-        match Eval.run ctx ast with
-        | v -> Ok (fingerprint store v)
-        | exception e -> Error (Printexc.to_string e)
-      in
-      match (run fast, run naive) with
+    (fun (label, fast, naive) ->
+      match (fast, naive) with
       | Ok a, Ok b -> Alcotest.(check string) label b a
       | Error a, Error b -> Alcotest.(check string) (label ^ " (raises)") b a
       | Ok _, Error e ->
@@ -57,7 +62,7 @@ let check_query_parity ~suite (store : Xml.Store.t)
       | Error e, Ok _ ->
         Alcotest.failf "%s: fast path raised %s but naive evaluation succeeded"
           label e)
-    queries
+    outcomes
 
 let test_xmark_parity () =
   List.iter
@@ -94,24 +99,32 @@ let stats_row (name : string) (r : Xl_core.Learn.result) : string =
     s.Xl_core.Stats.auto_known s.Xl_core.Stats.restarts
     r.Xl_core.Learn.verified
 
-let run_learner_suite ~fast_paths : string list =
-  let prev = !Eval.default_fast_paths in
-  Eval.default_fast_paths := fast_paths;
-  Fun.protect
-    ~finally:(fun () -> Eval.default_fast_paths := prev)
-    (fun () ->
-      List.map
-        (fun (suite, name, sc) ->
-          let label = suite ^ "-" ^ name in
-          match Xl_core.Learn.run sc with
-          | r -> stats_row label r
-          | exception e -> label ^ " FAILED " ^ Printexc.to_string e)
-        (List.map (fun (n, sc) -> ("xmark", n, sc)) (Xl_workload.Xmark_scenarios.all ())
-        @ List.map (fun (n, sc) -> ("xmp", n, sc)) (Xl_workload.Xmp_scenarios.all ())))
+let fig16_scenarios () =
+  let scenarios =
+    List.map (fun (n, sc) -> ("xmark", n, sc)) (Xl_workload.Xmark_scenarios.all ())
+    @ List.map (fun (n, sc) -> ("xmp", n, sc)) (Xl_workload.Xmp_scenarios.all ())
+  in
+  (* the scenarios of one suite share a store; freeze its lazy indexes
+     while still single-domain *)
+  List.iter
+    (fun (_, _, sc) -> Xml.Store.prepare sc.Xl_core.Scenario.store)
+    scenarios;
+  scenarios
+
+let run_learner_suite ~fast_paths scenarios : string list =
+  let config = { Xl_core.Learn.default_config with fast_paths } in
+  Xl_exec.Pool.map pool
+    (fun (suite, name, sc) ->
+      let label = suite ^ "-" ^ name in
+      match Xl_core.Learn.run ~config sc with
+      | r -> stats_row label r
+      | exception e -> label ^ " FAILED " ^ Printexc.to_string e)
+    scenarios
 
 let test_learner_parity () =
-  let fast = run_learner_suite ~fast_paths:true in
-  let naive = run_learner_suite ~fast_paths:false in
+  let scenarios = fig16_scenarios () in
+  let fast = run_learner_suite ~fast_paths:true scenarios in
+  let naive = run_learner_suite ~fast_paths:false scenarios in
   Alcotest.(check int) "same number of scenarios" (List.length naive)
     (List.length fast);
   List.iter2
