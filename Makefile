@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-check clean
+.PHONY: build test bench bench-par bench-check obs-demo clean
 
 build:
 	dune build
@@ -24,6 +24,11 @@ bench-check:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- perf-json
 	test -s BENCH_perf.json
+
+# One XMP learning session with telemetry on: writes a JSONL trace
+# (spans + metrics + the teacher dialog) and prints the summary table.
+obs-demo:
+	dune exec bin/xlearner_cli.exe -- learn xmp Q5 --trace xlearner_trace.jsonl
 
 clean:
 	dune clean

@@ -19,9 +19,14 @@
    output is byte-identical whatever the worker count. *)
 
 module Pool = Xl_exec.Pool
+module Obs = Xl_obs.Obs
 
 let jobs_override : int option ref = ref None
 let pool () = Pool.create ?domains:!jobs_override ()
+
+(* --trace PATH (or XLEARNER_TRACE=PATH): enable telemetry and write the
+   JSONL trace + summary table when the selected benchmarks finish *)
+let trace_path : string option ref = ref None
 
 (* a suite's scenarios share one store; freeze its lazy indexes while the
    store is still visible to a single domain (Pool's confinement rule) *)
@@ -343,6 +348,11 @@ let json_escape s =
   Buffer.contents b
 
 let perf_json () =
+  (* micro-benchmarks run with telemetry off: the span buffer over
+     thousands of timed iterations would distort the numbers it measures.
+     Telemetry switches on at the fig16 boundary below, so the telemetry
+     block (and any --trace output) attributes the learning suites. *)
+  Obs.set_enabled false;
   let micro = ref [] in
   let bench name f =
     let ns, runs = time_ns f in
@@ -404,12 +414,9 @@ let perf_json () =
         (fun (name, sc) ->
           match Xl_core.Learn.run sc with
           | r ->
-            let s = r.Xl_core.Learn.stats in
-            Printf.sprintf
-              "{\"name\":\"%s\",\"dd\":%d,\"mq\":%d,\"ce\":%d,\"cb\":%d,\"ob\":%d,\"reduced\":%d,\"verified\":%b}"
-              (json_escape name) s.Xl_core.Stats.dd s.Xl_core.Stats.mq
-              s.Xl_core.Stats.ce s.Xl_core.Stats.cb s.Xl_core.Stats.ob
-              (Xl_core.Stats.reduced_total s) r.Xl_core.Learn.verified
+            Printf.sprintf "{\"name\":\"%s\",\"verified\":%b,\"stats\":%s}"
+              (json_escape name) r.Xl_core.Learn.verified
+              (Xl_core.Stats.to_json r.Xl_core.Learn.stats)
           | exception e ->
             Printf.sprintf "{\"name\":\"%s\",\"error\":\"%s\"}" (json_escape name)
               (json_escape (Printexc.to_string e)))
@@ -419,6 +426,8 @@ let perf_json () =
   in
   let xmark_scenarios = prepare_scenarios (Xl_workload.Xmark_scenarios.all ()) in
   let xmp_scenarios = prepare_scenarios (Xl_workload.Xmp_scenarios.all ()) in
+  Obs.reset ();
+  Obs.set_enabled true;
   print_endline "running fig16 suites (sequential)...";
   let seq = Pool.create ~domains:1 () in
   let xmark_rows, xmark_s = run_suite ~on:seq xmark_scenarios in
@@ -427,7 +436,9 @@ let perf_json () =
   let par = pool () in
   Printf.printf "running fig16 suites (parallel, %d jobs)...\n%!" (Pool.domains par);
   let par_xmark_rows, par_xmark_s = run_suite ~on:par xmark_scenarios in
+  let par_xmark_stats = Pool.stats par in
   let par_xmp_rows, par_xmp_s = run_suite ~on:par xmp_scenarios in
+  let par_xmp_stats = Pool.stats par in
   Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" par_xmark_s par_xmp_s;
   let rows_match = xmark_rows = par_xmark_rows && xmp_rows = par_xmp_rows in
   let seq_total = xmark_s +. xmp_s and par_total = par_xmark_s +. par_xmp_s in
@@ -441,6 +452,25 @@ let perf_json () =
            Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f,\"runs\":%d}"
              (json_escape name) ns runs)
          !micro)
+  in
+  (* telemetry block: per-phase span totals + metric snapshot over the
+     fig16 suites, and the parallel pool's per-worker scheduling stats *)
+  let worker_stats_json stats =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun (s : Pool.worker_stat) ->
+              Printf.sprintf "{\"tasks\":%d,\"busy_ns\":%d}" s.Pool.tasks
+                s.Pool.busy_ns)
+            stats))
+  in
+  let telemetry_json =
+    Printf.sprintf
+      "{\n    \"obs\": %s,\n    \"pool\": {\"jobs\":%d,\"xmark_workers\":[%s],\"xmp_workers\":[%s]}\n  }"
+      (Obs.telemetry_json ~indent:"    " ())
+      (Pool.domains par)
+      (worker_stats_json par_xmark_stats)
+      (worker_stats_json par_xmp_stats)
   in
   let json =
     Printf.sprintf
@@ -469,7 +499,8 @@ let perf_json () =
       "speedup": %.2f,
       "rows_match": %b
     }
-  }
+  },
+  "telemetry": %s
 }
 |}
       micro_json hash_ns nested_ns speedup xmark_s
@@ -477,7 +508,7 @@ let perf_json () =
       xmp_s
       (String.concat ",\n      " xmp_rows)
       (xmark_s +. xmp_s) (Pool.domains par) seq_total par_total
-      (seq_total /. par_total) rows_match
+      (seq_total /. par_total) rows_match telemetry_json
   in
   let oc = open_out "BENCH_perf.json" in
   output_string oc json;
@@ -518,9 +549,19 @@ let () =
       | _ ->
         Printf.eprintf "bad job count in %S\n" arg;
         exit 2)
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse_jobs acc rest
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+      trace_path := Some (String.sub arg 8 (String.length arg - 8));
+      parse_jobs acc rest
     | arg :: rest -> parse_jobs (arg :: acc) rest
   in
   let args = parse_jobs [] args in
+  (match !trace_path with
+  | None -> trace_path := Sys.getenv_opt "XLEARNER_TRACE"
+  | Some _ -> ());
+  if !trace_path <> None then Obs.set_enabled true;
   let run = function
     | "fig15" -> fig15 ()
     | "fig16-xmark" -> fig16_xmark ()
@@ -544,4 +585,10 @@ let () =
         other;
       exit 2
   in
-  match args with [] -> run "all" | args -> List.iter run args
+  (match args with [] -> run "all" | args -> List.iter run args);
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+    Obs.write_jsonl path;
+    Printf.printf "wrote trace %s\n" path;
+    print_string (Obs.summary_table ())

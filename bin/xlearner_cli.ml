@@ -53,10 +53,21 @@ let learn_cmd =
   let interactive =
     Arg.(value & flag & info [ "interactive"; "i" ] ~doc:"Answer the learner's queries on stdin")
   in
-  let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the interaction transcript")
+  let transcript =
+    Arg.(value & flag & info [ "transcript" ] ~doc:"Print the interaction transcript")
   in
-  let run suite query show_query show_tree no_r1 no_r2 worst interactive trace =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~env:(Cmd.Env.info "XLEARNER_TRACE")
+          ~doc:
+            "Enable telemetry and write a JSONL trace (spans, metrics and \
+             the teacher dialog) to $(docv); also prints a summary table")
+  in
+  let run suite query show_query show_tree no_r1 no_r2 worst interactive
+      transcript trace_file =
     let scenarios = suite_scenarios suite in
     match List.assoc_opt query scenarios with
     | None ->
@@ -70,13 +81,14 @@ let learn_cmd =
           strategy = (if worst then Xl_core.Oracle.Worst else Xl_core.Oracle.Best);
         }
       in
+      if trace_file <> None then Xl_obs.Obs.set_enabled true;
       let tr = Xl_core.Trace.create () in
       let wrap_teacher t =
         let t = if interactive then Interactive.teacher t else t in
-        if trace then Xl_core.Trace.wrap tr t else t
+        if transcript || trace_file <> None then Xl_core.Trace.wrap tr t else t
       in
       let r = Xl_core.Learn.run ~config ~wrap_teacher sc in
-      if trace then begin
+      if transcript then begin
         print_endline "interaction transcript:";
         print_endline (Xl_core.Trace.to_string tr);
         print_newline ()
@@ -92,13 +104,22 @@ let learn_cmd =
       if show_query then begin
         print_endline "\nlearned query:";
         print_endline r.Xl_core.Learn.query_text
-      end
+      end;
+      match trace_file with
+      | None -> ()
+      | Some path ->
+        (* teacher-dialog records interleave with the spans by the shared
+           sequence counter *)
+        Xl_obs.Obs.write_jsonl ~extra:(Xl_core.Trace.to_jsonl_events tr) path;
+        Printf.printf "\nwrote trace %s (%d dialog events)\n" path
+          (Xl_core.Trace.length tr);
+        print_string (Xl_obs.Obs.summary_table ())
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Run a learning scenario and report the interaction counts")
     Term.(
       const run $ suite $ query $ show_query $ show_tree $ no_r1 $ no_r2 $ worst
-      $ interactive $ trace)
+      $ interactive $ transcript $ trace_file)
 
 (* ---- generate ----------------------------------------------------------- *)
 

@@ -12,6 +12,10 @@ type teacher = {
       (** [None] = hypothesis accepted; [Some w] = counterexample word *)
 }
 
+(* telemetry: rounds and final observation-table size, per learn call *)
+let h_table_rows = Xl_obs.Obs.Histogram.make "lstar_table_rows"
+let c_rounds = Xl_obs.Obs.Counter.make "lstar_rounds"
+
 type stats = {
   mutable membership_queries : int;  (** distinct words asked *)
   mutable equivalence_queries : int;
@@ -141,6 +145,7 @@ let conjecture tbl : Dfa.t =
     [max_rounds] bounds the equivalence-query loop as a safety net. *)
 let learn ?(init = []) ?(max_rounds = 200) ~alphabet_size (teacher : teacher) :
     Dfa.t * stats =
+  Xl_obs.Obs.span ~name:"lstar.learn" (fun () ->
   let tbl =
     {
       alphabet_size;
@@ -154,15 +159,26 @@ let learn ?(init = []) ?(max_rounds = 200) ~alphabet_size (teacher : teacher) :
   List.iter (add_access tbl) init;
   let rec loop round =
     if round > max_rounds then failwith "Lstar.learn: too many rounds";
-    close_and_make_consistent tbl;
-    let hyp = conjecture tbl in
-    tbl.stats.hypotheses <- tbl.stats.hypotheses + 1;
-    tbl.stats.equivalence_queries <- tbl.stats.equivalence_queries + 1;
-    match teacher.equivalence hyp with
-    | None -> (Dfa.minimize hyp, tbl.stats)
-    | Some ce ->
+    Xl_obs.Obs.Counter.incr c_rounds;
+    (* one round = close/make-consistent, conjecture, equivalence query;
+       the span nests the teacher's extent evaluation under it *)
+    let outcome =
+      Xl_obs.Obs.span ~name:"lstar.round" (fun () ->
+          close_and_make_consistent tbl;
+          let hyp = conjecture tbl in
+          tbl.stats.hypotheses <- tbl.stats.hypotheses + 1;
+          tbl.stats.equivalence_queries <- tbl.stats.equivalence_queries + 1;
+          match teacher.equivalence hyp with
+          | None -> Ok (Dfa.minimize hyp)
+          | Some ce -> Error ce)
+    in
+    match outcome with
+    | Ok dfa ->
+      Xl_obs.Obs.Histogram.observe h_table_rows (List.length tbl.s);
+      (dfa, tbl.stats)
+    | Error ce ->
       tbl.stats.counterexamples <- tbl.stats.counterexamples + 1;
       add_access tbl ce;
       loop (round + 1)
   in
-  loop 1
+  loop 1)

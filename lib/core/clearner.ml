@@ -23,15 +23,19 @@ type t = {
   mutable refinements : int;  (** positive examples that shrank ĉ *)
 }
 
+(* telemetry: size of ĉ₀, the term-search starting point *)
+let h_candidates = Xl_obs.Obs.Histogram.make "clearner_candidates"
+
 (** Initialize from the dropped example: ĉ₀ = all candidate predicates
     holding in the assignment a₀ = context(e) ∪ bindings(e).
     [endpoints] are the variable/node pairs of the dropped example. *)
 let create (dg : Data_graph.t) (context : Teacher.context)
     ~(endpoints : (string * Xl_xml.Node.t) list) : t =
   let hypothesis =
-    List.concat_map
-      (fun (ve, e) -> Cond_enum.candidates dg context ~ve e)
-      endpoints
+    Xl_obs.Obs.span ~name:"clearner.candidates" (fun () ->
+        List.concat_map
+          (fun (ve, e) -> Cond_enum.candidates dg context ~ve e)
+          endpoints)
   in
   (* dedupe across endpoints *)
   let hypothesis =
@@ -39,6 +43,7 @@ let create (dg : Data_graph.t) (context : Teacher.context)
       (fun acc c -> if List.exists (Cond.equal c) acc then acc else acc @ [ c ])
       [] hypothesis
   in
+  Xl_obs.Obs.Histogram.observe h_candidates (List.length hypothesis);
   { context; hypothesis; initial_size = List.length hypothesis; refinements = 0 }
 
 let hypothesis t = t.hypothesis

@@ -19,10 +19,11 @@ type t = {
 let node_value = Node.direct_value
 
 let build ?(max_depth = 3) (store : Store.t) : t =
-  (* the value index lives on the store now: shared with the query
-     evaluator's hash joins and built at most once per store epoch *)
-  let by_value = Store.value_index store in
-  { store; by_value; reach_cache = Hashtbl.create 1024; max_depth }
+  Xl_obs.Obs.span ~name:"data_graph.build" (fun () ->
+      (* the value index lives on the store now: shared with the query
+         evaluator's hash joins and built at most once per store epoch *)
+      let by_value = Store.value_index store in
+      { store; by_value; reach_cache = Hashtbl.create 1024; max_depth })
 
 (** Nodes sharing value [v] — the v-equality neighbours. *)
 let with_value t v = Option.value ~default:[] (Hashtbl.find_opt t.by_value v)

@@ -442,9 +442,12 @@ let dd_of_tree (tree : Xqtree.t) (stats : Stats.t) =
 
 let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
     (scenario : Scenario.t) : result =
+  Xl_obs.Obs.span ~name:"learn.scenario" ~detail:scenario.Scenario.name
+  @@ fun () ->
   let oracle, oracle_teacher =
-    Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
-      scenario
+    Xl_obs.Obs.span ~name:"oracle.init" (fun () ->
+        Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
+          scenario)
   in
   let teacher = wrap_teacher (Option.value ~default:oracle_teacher teacher) in
   let ctx = Oracle.eval_ctx oracle in
@@ -461,7 +464,9 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
   in
   let stats = Stats.create () in
   let tree = scenario.Scenario.target in
-  let bindings = choose_drops oracle scenario in
+  let bindings =
+    Xl_obs.Obs.span ~name:"learn.drops" (fun () -> choose_drops oracle scenario)
+  in
   (* the alphabet is stable once the drop phase has interned all target
      path symbols; the schema path DFA can now be shared by every task *)
   let schema_dfas =
@@ -473,23 +478,26 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
   let results =
     List.map
       (fun task ->
-        learn_task ~config ~stats ~teacher ~ctx ~dg ~schemas ~schema_dfas ~tree
-          ~session:(Option.map (fun s -> (s, scenario.Scenario.name)) session)
-          ~bindings task)
+        Xl_obs.Obs.span ~name:"learn.task" ~detail:(Task.label task) (fun () ->
+            learn_task ~config ~stats ~teacher ~ctx ~dg ~schemas ~schema_dfas
+              ~tree
+              ~session:(Option.map (fun s -> (s, scenario.Scenario.name)) session)
+              ~bindings task))
       (Task.tasks_of tree)
   in
   let learned = rebuild tree results in
   let query_text = Xl_xquery.Printer.to_string (Xqtree.to_ast learned) in
   let verified =
-    let out t =
-      let v = Xl_xquery.Eval.run ctx (Xqtree.to_ast t) in
-      String.concat "\n"
-        (List.map
-           (function
-             | Xl_xquery.Value.Node n -> Serialize.node_to_string n
-             | Xl_xquery.Value.Atom a -> Xl_xquery.Value.atom_to_string a)
-           v)
-    in
-    String.equal (out learned) (out tree)
+    Xl_obs.Obs.span ~name:"learn.verify" (fun () ->
+        let out t =
+          let v = Xl_xquery.Eval.run ctx (Xqtree.to_ast t) in
+          String.concat "\n"
+            (List.map
+               (function
+                 | Xl_xquery.Value.Node n -> Serialize.node_to_string n
+                 | Xl_xquery.Value.Atom a -> Xl_xquery.Value.atom_to_string a)
+               v)
+        in
+        String.equal (out learned) (out tree))
   in
   { scenario; stats; node_results = results; learned; query_text; verified }

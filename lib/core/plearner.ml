@@ -26,6 +26,11 @@ type r2_state =
   | Any_last
   | Off
 
+(* telemetry: how membership queries were discharged, across all tasks *)
+let c_mq_auto = Xl_obs.Obs.Counter.make "mq_auto_answered"
+let c_mq_user = Xl_obs.Obs.Counter.make "mq_user"
+let c_mq_reused = Xl_obs.Obs.Counter.make "mq_reused"
+
 exception Restart
 
 type t = {
@@ -109,6 +114,7 @@ let membership (t : t) (word : int list) : bool =
       (* an answer from an earlier session replaces an interaction *)
       Hashtbl.remove t.preloaded s;
       t.stats.Stats.auto_known <- t.stats.Stats.auto_known + 1;
+      Xl_obs.Obs.Counter.incr c_mq_reused;
       t.on_reuse ()
     end;
     ans
@@ -134,6 +140,7 @@ let membership (t : t) (word : int list) : bool =
             t.stats.Stats.reduced_both <- t.stats.Stats.reduced_both + 1
         end;
         let ans = if r1 then false else r2_ans in
+        Xl_obs.Obs.Counter.incr c_mq_auto;
         (* R1 answers are schema-sound and may be memoized; R2 answers
            are assumptions and must stay revisable *)
         if r1 then Hashtbl.replace t.answers s ans;
@@ -141,6 +148,7 @@ let membership (t : t) (word : int list) : bool =
       end
       else begin
         t.stats.Stats.mq <- t.stats.Stats.mq + 1;
+        Xl_obs.Obs.Counter.incr c_mq_user;
         let ans = t.ask s in
         Hashtbl.replace t.answers s ans;
         if ans then t.known_positive <- s :: t.known_positive;

@@ -66,3 +66,16 @@ let to_row t =
   Printf.sprintf "%d(%d)\t%d\t%d\t%d(%d)\t%d\t%d(%d,%d,%d)" t.dd t.dd_terminals
     t.mq t.ce t.cb t.cb_terminals t.ob (reduced_total t) t.reduced_r1 t.reduced_r2
     t.reduced_both
+
+(** The record as a single-line JSON object; derived fields
+    [reduced_total] and [user_interactions] are included so consumers
+    need not re-encode the accounting identities. *)
+let to_json t =
+  Printf.sprintf
+    "{\"dd\":%d,\"dd_terminals\":%d,\"mq\":%d,\"eq\":%d,\"ce\":%d,\"cb\":%d,\
+     \"cb_terminals\":%d,\"ob\":%d,\"reduced_r1\":%d,\"reduced_r2\":%d,\
+     \"reduced_both\":%d,\"reduced_total\":%d,\"auto_known\":%d,\
+     \"restarts\":%d,\"user_interactions\":%d}"
+    t.dd t.dd_terminals t.mq t.eq t.ce t.cb t.cb_terminals t.ob t.reduced_r1
+    t.reduced_r2 t.reduced_both (reduced_total t) t.auto_known t.restarts
+    (user_interactions t)

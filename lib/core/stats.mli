@@ -31,3 +31,7 @@ val add : into:t -> t -> unit
 val to_row : t -> string
 (** Figure 16 row format:
     [D&D(#t)  MQ  CE  CB(#t)  OB  Reduced(R1,R2,Both)]. *)
+
+val to_json : t -> string
+(** The record as a single-line JSON object (all counters plus the
+    derived [reduced_total] and [user_interactions]). *)

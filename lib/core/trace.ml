@@ -3,7 +3,14 @@
     Wraps a teacher so every interaction is recorded as a human-readable
     line — the console analogue of the paper's Figure 5 dialogs.  Useful
     for demos, debugging scenarios, and documenting how few questions a
-    session really asks. *)
+    session really asks.
+
+    Every record is stamped with the global {!Xl_obs.Obs} sequence number
+    and a wall-clock timestamp, so a transcript can be merged into a span
+    trace ({!to_jsonl_events} + [Obs.write_jsonl ~extra]) with the dialog
+    correctly interleaved between the spans that caused it. *)
+
+module Obs = Xl_obs.Obs
 
 type event =
   | Membership of { label : string; rel_path : string list; answer : bool }
@@ -15,12 +22,18 @@ type event =
   | Condition_box of { label : string; cond : string; negative : bool }
   | Order_box of { label : string; keys : int }
 
-type t = { mutable events : event list }
+type record = { seq : int; ts_ns : int; event : event }
 
-let create () = { events = [] }
-let push t e = t.events <- e :: t.events
-let events t = List.rev t.events
-let length t = List.length t.events
+type t = { mutable records : record list }
+
+let create () = { records = [] }
+
+let push t e =
+  t.records <- { seq = Obs.next_seq (); ts_ns = Obs.now_ns (); event = e } :: t.records
+
+let records t = List.rev t.records
+let events t = List.rev_map (fun r -> r.event) t.records
+let length t = List.length t.records
 
 let describe_node (n : Xl_xml.Node.t) =
   let value = Xl_xml.Node.string_value n in
@@ -82,3 +95,41 @@ let event_to_string = function
 
 let to_string (t : t) : string =
   String.concat "\n" (List.map event_to_string (events t))
+
+(* ---- JSONL ---- *)
+
+let bool b = if b then "true" else "false"
+
+let record_to_json { seq; ts_ns; event } : string =
+  match event with
+  | Membership { label; rel_path; answer } ->
+    Obs.event_json ~seq ~ts_ns ~kind:"mq" ~name:label
+      ~detail:(String.concat "/" rel_path)
+      ~fields:[ ("answer", bool answer) ]
+      ()
+  | Equivalence { label; extent_size; outcome } ->
+    let outcome_fields =
+      match outcome with
+      | `Accepted -> [ ("outcome", {|"accepted"|}) ]
+      | `Positive_ce d ->
+        [ ("outcome", {|"positive_ce"|}); ("counterexample", Obs.json_string d) ]
+      | `Negative_ce d ->
+        [ ("outcome", {|"negative_ce"|}); ("counterexample", Obs.json_string d) ]
+    in
+    Obs.event_json ~seq ~ts_ns ~kind:"eq" ~name:label
+      ~fields:(("extent_size", string_of_int extent_size) :: outcome_fields)
+      ()
+  | Condition_box { label; cond; negative } ->
+    Obs.event_json ~seq ~ts_ns ~kind:"cb" ~name:label ~detail:cond
+      ~fields:[ ("negative", bool negative) ]
+      ()
+  | Order_box { label; keys } ->
+    Obs.event_json ~seq ~ts_ns ~kind:"ob" ~name:label
+      ~fields:[ ("keys", string_of_int keys) ]
+      ()
+
+let to_jsonl_events (t : t) : (int * string) list =
+  List.map (fun r -> (r.seq, record_to_json r)) (records t)
+
+let to_jsonl (t : t) : string =
+  String.concat "\n" (List.map snd (to_jsonl_events t))

@@ -1,6 +1,7 @@
 (** Session transcripts — the console analogue of the paper's Figure 5
     dialogs.  Wrap a teacher and every interaction is recorded as a
-    readable line. *)
+    readable line, stamped with the global {!Xl_obs.Obs} sequence number
+    and timestamp so transcripts merge into span traces. *)
 
 type event =
   | Membership of { label : string; rel_path : string list; answer : bool }
@@ -12,13 +13,33 @@ type event =
   | Condition_box of { label : string; cond : string; negative : bool }
   | Order_box of { label : string; keys : int }
 
+type record = {
+  seq : int;  (** global [Obs.next_seq] stamp, interleaves with spans *)
+  ts_ns : int;  (** [Obs.now_ns] at record time *)
+  event : event;
+}
+
 type t
 
 val create : unit -> t
 val wrap : t -> Teacher.t -> Teacher.t
+
 val events : t -> event list
 (** Chronological. *)
+
+val records : t -> record list
+(** Chronological, with sequence/timestamp stamps. *)
 
 val length : t -> int
 val event_to_string : event -> string
 val to_string : t -> string
+
+val record_to_json : record -> string
+(** One record as a single-line JSON object, using the shared
+    {!Xl_obs.Obs.event_json} encoding (kinds [mq], [eq], [cb], [ob]). *)
+
+val to_jsonl_events : t -> (int * string) list
+(** [(seq, json line)] pairs, ready for [Obs.write_jsonl ~extra]. *)
+
+val to_jsonl : t -> string
+(** The transcript alone as JSONL (one event per line). *)

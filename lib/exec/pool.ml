@@ -3,7 +3,17 @@
     See the interface for the scheduling model and the
     domain-confinement contract tasks must respect. *)
 
-type t = { size : int }
+module Obs = Xl_obs.Obs
+
+type worker_stat = { tasks : int; busy_ns : int }
+
+type t = { size : int; mutable last_stats : worker_stat array }
+
+(* scheduling metrics: how evenly a map spread its work (observed once
+   per worker at join, so the pool itself adds no hot-path telemetry) *)
+let h_tasks_per_worker = Obs.Histogram.make "pool_tasks_per_worker"
+let h_idle_us = Obs.Histogram.make "pool_worker_idle_us"
+let c_tasks = Obs.Counter.make "pool_tasks"
 
 let clamp lo hi v = max lo (min hi v)
 
@@ -17,9 +27,10 @@ let default_jobs () =
 
 let create ?domains () =
   let size = match domains with Some n -> max 1 n | None -> default_jobs () in
-  { size }
+  { size; last_stats = [||] }
 
 let domains t = t.size
+let stats t = t.last_stats
 
 (* set while a domain is executing pool tasks: a nested [map] from inside
    a task must not spawn another layer of domains *)
@@ -27,18 +38,32 @@ let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let sequential_map f arr = Array.map f arr
 
-let parallel_map ~workers ~chunk f (arr : 'a array) : 'b array =
+let record_stats (stats : worker_stat array) ~wall_ns =
+  Array.iter
+    (fun s ->
+      Obs.Counter.add c_tasks s.tasks;
+      Obs.Histogram.observe h_tasks_per_worker s.tasks;
+      Obs.Histogram.observe h_idle_us (max 0 (wall_ns - s.busy_ns) / 1000))
+    stats
+
+let parallel_map ~workers ~chunk ~(record : worker_stat array -> unit) f
+    (arr : 'a array) : 'b array =
   let n = Array.length arr in
   let results = Array.make n None in
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
-  let worker () =
+  (* per-worker accounting: each worker writes only its own slot, read
+     after the join, so the arrays need no synchronization *)
+  let tasks = Array.make workers 0 in
+  let busy = Array.make workers 0 in
+  let worker wi =
     Domain.DLS.set inside_worker true;
     let rec loop () =
       if Atomic.get failure = None then begin
         let lo = Atomic.fetch_and_add cursor chunk in
         if lo < n then begin
           let hi = min n (lo + chunk) in
+          let t0 = Obs.now_ns () in
           (try
              for i = lo to hi - 1 do
                results.(i) <- Some (f arr.(i))
@@ -46,18 +71,24 @@ let parallel_map ~workers ~chunk f (arr : 'a array) : 'b array =
            with e ->
              let bt = Printexc.get_raw_backtrace () in
              ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          busy.(wi) <- busy.(wi) + (Obs.now_ns () - t0);
+          tasks.(wi) <- tasks.(wi) + (hi - lo);
           loop ()
         end
       end
     in
-    loop ()
+    loop ();
+    Domain.DLS.set inside_worker false;
+    (* merge-at-join: this worker's span buffer moves into the global
+       list before the domain dies (one lock acquisition per worker) *)
+    Obs.flush_domain ()
   in
-  let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  let spawned = Array.init (workers - 1) (fun wi -> Domain.spawn (fun () -> worker wi)) in
   (* the calling domain is the last worker, so a 1-worker pool never
      spawns and [workers] domains never means [workers + 1] threads *)
-  worker ();
-  Domain.DLS.set inside_worker false;
+  worker (workers - 1);
   Array.iter Domain.join spawned;
+  record (Array.init workers (fun i -> { tasks = tasks.(i); busy_ns = busy.(i) }));
   match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
@@ -70,8 +101,27 @@ let map ?(chunk = 1) t f xs =
   let arr = Array.of_list xs in
   let workers = min t.size (Array.length arr) in
   let out =
-    if workers <= 1 || Domain.DLS.get inside_worker then sequential_map f arr
-    else parallel_map ~workers ~chunk f arr
+    if workers <= 1 || Domain.DLS.get inside_worker then begin
+      let t0 = Obs.now_ns () in
+      let out = sequential_map f arr in
+      let wall = Obs.now_ns () - t0 in
+      (* a nested map shares [t] with the outer parallel call: only the
+         outermost map may write the pool's stats slot *)
+      if not (Domain.DLS.get inside_worker) then begin
+        let stats = [| { tasks = Array.length arr; busy_ns = wall } |] in
+        t.last_stats <- stats;
+        record_stats stats ~wall_ns:wall
+      end;
+      out
+    end
+    else begin
+      let t0 = Obs.now_ns () in
+      parallel_map ~workers ~chunk
+        ~record:(fun stats ->
+          t.last_stats <- stats;
+          record_stats stats ~wall_ns:(Obs.now_ns () - t0))
+        f arr
+    end
   in
   Array.to_list out
 

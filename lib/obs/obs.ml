@@ -1,0 +1,415 @@
+(** Domain-safe telemetry: spans, a metrics registry, and exporters.
+
+    See the interface for the collection model.  Implementation notes:
+
+    - the enabled flag is a plain [bool ref]: it is written before any
+      domain fan-out (the spawn publishes it) and only read afterwards,
+      so the hot-path check is one load and one branch;
+    - span buffers are [Domain.DLS] values — recording a span is a list
+      cons into domain-local state, no lock, no atomic;
+    - counters and histogram buckets are [Atomic.t] cells, so updates
+      from concurrent pool workers never lose increments and never
+      block. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let seq_counter = Atomic.make 0
+let next_seq () = Atomic.fetch_and_add seq_counter 1
+
+(* ---------- spans ------------------------------------------------------- *)
+
+type span_rec = {
+  sp_name : string;
+  sp_detail : string option;
+  sp_t0_ns : int;
+  sp_dur_ns : int;
+  sp_seq : int;
+  sp_depth : int;
+  sp_domain : int;
+}
+
+type span_total = {
+  st_name : string;
+  st_count : int;
+  st_total_ns : int;
+  st_max_ns : int;
+}
+
+type dbuf = { mutable buf_spans : span_rec list; mutable buf_depth : int }
+
+let buf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf_spans = []; buf_depth = 0 })
+
+let merge_mutex = Mutex.create ()
+let merged : span_rec list ref = ref []
+
+let flush_domain () =
+  if !enabled_flag then begin
+    let buf = Domain.DLS.get buf_key in
+    match buf.buf_spans with
+    | [] -> ()
+    | spans ->
+      buf.buf_spans <- [];
+      Mutex.protect merge_mutex (fun () ->
+          merged := List.rev_append spans !merged)
+  end
+
+let span ~name ?detail f =
+  if not !enabled_flag then f ()
+  else begin
+    let buf = Domain.DLS.get buf_key in
+    let seq = next_seq () in
+    let depth = buf.buf_depth in
+    buf.buf_depth <- depth + 1;
+    let t0 = now_ns () in
+    let record () =
+      let dur = now_ns () - t0 in
+      buf.buf_depth <- depth;
+      buf.buf_spans <-
+        {
+          sp_name = name;
+          sp_detail = detail;
+          sp_t0_ns = t0;
+          sp_dur_ns = dur;
+          sp_seq = seq;
+          sp_depth = depth;
+          sp_domain = (Domain.self () :> int);
+        }
+        :: buf.buf_spans
+    in
+    match f () with
+    | v ->
+      record ();
+      v
+    | exception e ->
+      record ();
+      raise e
+  end
+
+let spans () =
+  flush_domain ();
+  let all = Mutex.protect merge_mutex (fun () -> !merged) in
+  List.sort (fun a b -> compare a.sp_seq b.sp_seq) all
+
+let span_totals () =
+  let tbl : (string, span_total ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.sp_name with
+      | Some t ->
+        t :=
+          {
+            !t with
+            st_count = !t.st_count + 1;
+            st_total_ns = !t.st_total_ns + r.sp_dur_ns;
+            st_max_ns = max !t.st_max_ns r.sp_dur_ns;
+          }
+      | None ->
+        Hashtbl.replace tbl r.sp_name
+          (ref
+             {
+               st_name = r.sp_name;
+               st_count = 1;
+               st_total_ns = r.sp_dur_ns;
+               st_max_ns = r.sp_dur_ns;
+             }))
+    (spans ());
+  Hashtbl.fold (fun _ t acc -> !t :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.st_name b.st_name)
+
+(* ---------- metrics registry -------------------------------------------- *)
+
+module Counter = struct
+  type t = { c_name : string; cell : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let reg_mutex = Mutex.create ()
+
+  let make name =
+    Mutex.protect reg_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
+
+  let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.cell n)
+  let incr c = add c 1
+  let value c = Atomic.get c.cell
+  let name c = c.c_name
+
+  let all () =
+    Mutex.protect reg_mutex (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) registry [])
+    |> List.sort (fun a b -> String.compare a.c_name b.c_name)
+
+  let reset () = List.iter (fun c -> Atomic.set c.cell 0) (all ())
+end
+
+module Histogram = struct
+  let bucket_count = 63
+
+  type t = { h_name : string; h_buckets : int Atomic.t array; h_sum : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let reg_mutex = Mutex.create ()
+
+  let make name =
+    Mutex.protect reg_mutex (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              h_name = name;
+              h_buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name h;
+          h)
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+      min (bucket_count - 1) (bits 0 v)
+    end
+
+  let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+  let observe h v =
+    if !enabled_flag then begin
+      ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add h.h_sum v)
+    end
+
+  let count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.h_buckets
+  let sum h = Atomic.get h.h_sum
+  let buckets h = Array.map Atomic.get h.h_buckets
+  let name h = h.h_name
+
+  let all () =
+    Mutex.protect reg_mutex (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
+    |> List.sort (fun a b -> String.compare a.h_name b.h_name)
+
+  let reset () =
+    List.iter
+      (fun h ->
+        Array.iter (fun c -> Atomic.set c 0) h.h_buckets;
+        Atomic.set h.h_sum 0)
+      (all ())
+end
+
+(* ---------- JSON -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let event_json ~seq ~ts_ns ~kind ~name ?detail ~fields () =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"seq":%d,"ts_ns":%d,"kind":%s,"name":%s|} seq ts_ns
+       (json_string kind) (json_string name));
+  (match detail with
+  | Some d -> Buffer.add_string b (Printf.sprintf {|,"detail":%s|} (json_string d))
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf {|,%s:%s|} (json_string k) v))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---------- exporters --------------------------------------------------- *)
+
+let span_events () =
+  List.map
+    (fun r ->
+      ( r.sp_seq,
+        event_json ~seq:r.sp_seq ~ts_ns:r.sp_t0_ns ~kind:"span" ~name:r.sp_name
+          ?detail:r.sp_detail
+          ~fields:
+            [
+              ("dur_ns", string_of_int r.sp_dur_ns);
+              ("depth", string_of_int r.sp_depth);
+              ("domain", string_of_int r.sp_domain);
+            ]
+          () ))
+    (spans ())
+
+let histogram_buckets_json h =
+  let bs = Histogram.buckets h in
+  let parts = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        parts :=
+          Printf.sprintf {|{"lo":%d,"count":%d}|} (Histogram.bucket_lo i) c
+          :: !parts)
+    bs;
+  "[" ^ String.concat "," (List.rev !parts) ^ "]"
+
+let snapshot_events () =
+  let counters =
+    List.map
+      (fun c ->
+        event_json ~seq:(next_seq ()) ~ts_ns:(now_ns ()) ~kind:"counter"
+          ~name:(Counter.name c)
+          ~fields:[ ("value", string_of_int (Counter.value c)) ]
+          ())
+      (Counter.all ())
+  in
+  let histograms =
+    List.map
+      (fun h ->
+        event_json ~seq:(next_seq ()) ~ts_ns:(now_ns ()) ~kind:"histogram"
+          ~name:(Histogram.name h)
+          ~fields:
+            [
+              ("count", string_of_int (Histogram.count h));
+              ("sum", string_of_int (Histogram.sum h));
+              ("buckets", histogram_buckets_json h);
+            ]
+          ())
+      (Histogram.all ())
+  in
+  counters @ histograms
+
+let write_jsonl ?(extra = []) path =
+  let events = span_events () @ extra in
+  let events = List.sort (fun (a, _) (b, _) -> compare a b) events in
+  let oc = open_out path in
+  List.iter
+    (fun (_, line) ->
+      output_string oc line;
+      output_char oc '\n')
+    events;
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (snapshot_events ());
+  close_out oc
+
+let summary_table () =
+  let b = Buffer.create 1024 in
+  let totals =
+    List.sort
+      (fun a b -> compare b.st_total_ns a.st_total_ns)
+      (span_totals ())
+  in
+  Buffer.add_string b "telemetry summary\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-26s %8s %14s %14s %14s\n" "span" "count" "total ms"
+       "mean us" "max ms");
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf "%-26s %8d %14.2f %14.1f %14.2f\n" t.st_name t.st_count
+           (float_of_int t.st_total_ns /. 1e6)
+           (float_of_int t.st_total_ns /. 1e3 /. float_of_int t.st_count)
+           (float_of_int t.st_max_ns /. 1e6)))
+    totals;
+  let counters = List.filter (fun c -> Counter.value c <> 0) (Counter.all ()) in
+  if counters <> [] then begin
+    Buffer.add_string b (Printf.sprintf "%-26s %14s\n" "counter" "value");
+    List.iter
+      (fun c ->
+        Buffer.add_string b
+          (Printf.sprintf "%-26s %14d\n" (Counter.name c) (Counter.value c)))
+      counters
+  end;
+  let histograms =
+    List.filter (fun h -> Histogram.count h <> 0) (Histogram.all ())
+  in
+  if histograms <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-26s %8s %12s  %s\n" "histogram" "count" "sum"
+         "buckets lo:count");
+    List.iter
+      (fun h ->
+        let bs = Histogram.buckets h in
+        let parts = ref [] in
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              parts := Printf.sprintf "%d:%d" (Histogram.bucket_lo i) c :: !parts)
+          bs;
+        Buffer.add_string b
+          (Printf.sprintf "%-26s %8d %12d  %s\n" (Histogram.name h)
+             (Histogram.count h) (Histogram.sum h)
+             (String.concat " " (List.rev !parts))))
+      histograms
+  end;
+  Buffer.contents b
+
+let telemetry_json ?(indent = "") () =
+  let nl = "\n" ^ indent in
+  let spans_json =
+    List.map
+      (fun t ->
+        Printf.sprintf
+          {|{"name":%s,"count":%d,"total_ns":%d,"max_ns":%d}|}
+          (json_string t.st_name) t.st_count t.st_total_ns t.st_max_ns)
+      (span_totals ())
+  in
+  let counters_json =
+    List.filter_map
+      (fun c ->
+        if Counter.value c = 0 then None
+        else
+          Some
+            (Printf.sprintf {|{"name":%s,"value":%d}|}
+               (json_string (Counter.name c))
+               (Counter.value c)))
+      (Counter.all ())
+  in
+  let histograms_json =
+    List.filter_map
+      (fun h ->
+        if Histogram.count h = 0 then None
+        else
+          Some
+            (Printf.sprintf {|{"name":%s,"count":%d,"sum":%d,"buckets":%s}|}
+               (json_string (Histogram.name h))
+               (Histogram.count h) (Histogram.sum h)
+               (histogram_buckets_json h)))
+      (Histogram.all ())
+  in
+  let arr items =
+    match items with
+    | [] -> "[]"
+    | _ -> "[" ^ nl ^ "  " ^ String.concat ("," ^ nl ^ "  ") items ^ nl ^ "]"
+  in
+  Printf.sprintf {|{%s"spans": %s,%s"counters": %s,%s"histograms": %s%s}|}
+    (nl ^ "  ") (arr spans_json) (nl ^ "  ") (arr counters_json) (nl ^ "  ")
+    (arr histograms_json) nl
+
+let reset () =
+  let buf = Domain.DLS.get buf_key in
+  buf.buf_spans <- [];
+  buf.buf_depth <- 0;
+  Mutex.protect merge_mutex (fun () -> merged := []);
+  Counter.reset ();
+  Histogram.reset ()

@@ -1,0 +1,152 @@
+(** Domain-safe telemetry: spans, a metrics registry, and exporters.
+
+    The learning pipeline is measured in three currencies — queries,
+    milliseconds, and nodes touched — and this module collects all three
+    without perturbing the computation it observes:
+
+    - {b Spans} ({!span}) record wall-clock timing of named phases into
+      per-domain buffers (a [Domain.DLS] list, no lock on the hot path).
+      Buffers merge into a global list under a mutex when a pool worker
+      joins ({!flush_domain}, called by [Xl_exec.Pool]) or when an
+      exporter runs.
+    - {b Metrics} ({!Counter}, {!Histogram}) are registered once by name
+      and updated with atomics, so concurrent domains never lose an
+      increment.  Histograms use log-scale (power-of-two) buckets.
+    - {b Exporters} render everything as JSONL trace events (one JSON
+      object per line, ordered by the global sequence counter), a
+      human-readable summary table, or the [telemetry] JSON block of
+      [BENCH_perf.json].
+
+    When telemetry is disabled (the default) every instrumentation point
+    reduces to a single flag check: {!span} tail-calls its thunk without
+    allocating, and counter/histogram updates are dropped.  Instrumented
+    code therefore behaves identically — and costs nearly nothing — with
+    tracing on or off. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enable/disable collection.  Call before spawning domains: workers
+    read the flag without synchronization (the spawn publishes it). *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds ([Unix.gettimeofday] based, so microsecond
+    resolution).  Monotonic in practice at span granularity. *)
+
+val next_seq : unit -> int
+(** The global event sequence number (atomic).  Shared with
+    [Xl_core.Trace] so teacher-dialog events interleave correctly with
+    spans in a merged JSONL trace. *)
+
+val span : name:string -> ?detail:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] and, when enabled, records its wall-clock
+    duration into this domain's buffer.  [detail] carries per-instance
+    attribution (a scenario name, a task label) without splitting the
+    aggregate: totals group by [name] only.  Nesting is tracked with a
+    per-domain depth counter; an exception is recorded and re-raised. *)
+
+(** Named monotonic counters.  [make] is idempotent per name. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) the counter [name].  Registration takes a
+      lock — call it once at module initialization, not on hot paths. *)
+
+  val add : t -> int -> unit
+  (** Atomic add, dropped when telemetry is disabled. *)
+
+  val incr : t -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Named log-scale histograms: bucket 0 holds values [<= 0], bucket [i]
+    ([i >= 1]) holds values in [[2^(i-1), 2^i)]. *)
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> int -> unit
+  (** Atomic bucket increment, dropped when telemetry is disabled. *)
+
+  val bucket_of : int -> int
+  (** The bucket index a value lands in. *)
+
+  val bucket_lo : int -> int
+  (** Inclusive lower bound of bucket [i] ([0] for bucket 0). *)
+
+  val count : t -> int
+  val sum : t -> int
+  val buckets : t -> int array
+  val name : t -> string
+end
+
+(** One recorded span, as stored in the buffers. *)
+type span_rec = {
+  sp_name : string;
+  sp_detail : string option;
+  sp_t0_ns : int;
+  sp_dur_ns : int;
+  sp_seq : int;
+  sp_depth : int;  (** span-nesting depth within its domain *)
+  sp_domain : int;
+}
+
+(** Per-name span aggregate. *)
+type span_total = {
+  st_name : string;
+  st_count : int;
+  st_total_ns : int;
+  st_max_ns : int;
+}
+
+val flush_domain : unit -> unit
+(** Merge this domain's span buffer into the global list.  Called by
+    [Xl_exec.Pool] when a worker finishes (spans recorded on a spawned
+    domain that never flushes are lost with the domain). *)
+
+val spans : unit -> span_rec list
+(** All merged spans (flushes the calling domain first), ascending
+    sequence order. *)
+
+val span_totals : unit -> span_total list
+(** Aggregates grouped by span name, sorted by name. *)
+
+(* ---- JSON / JSONL ---- *)
+
+val json_escape : string -> string
+val json_string : string -> string
+(** [json_string s] is [s] escaped and quoted. *)
+
+val event_json :
+  seq:int -> ts_ns:int -> kind:string -> name:string ->
+  ?detail:string -> fields:(string * string) list -> unit -> string
+(** One trace event as a single-line JSON object:
+    [{"seq":…,"ts_ns":…,"kind":…,"name":…,"detail":…,…fields}].
+    [fields] values are pre-rendered JSON.  This is the one encoding
+    shared by span export and [Trace.to_jsonl]. *)
+
+val span_events : unit -> (int * string) list
+(** Every merged span as [(seq, json line)], ascending sequence order. *)
+
+val snapshot_events : unit -> string list
+(** Counter and histogram snapshot lines (kind ["counter"] /
+    ["histogram"]), stamped with fresh sequence numbers. *)
+
+val write_jsonl : ?extra:(int * string) list -> string -> unit
+(** Write the JSONL trace to a file: merged spans and [extra] events
+    (e.g. [Trace.to_jsonl_events]) interleaved by sequence number,
+    followed by the metrics snapshot. *)
+
+val summary_table : unit -> string
+(** Human-readable summary: span totals (sorted by total time),
+    counters, and histograms. *)
+
+val telemetry_json : ?indent:string -> unit -> string
+(** The [telemetry] block for [BENCH_perf.json]: a JSON object with
+    [spans], [counters] and [histograms] arrays (sorted by name).
+    [indent] prefixes every line after the first. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans (global and this domain's buffer) and zero
+    every registered counter and histogram.  Registrations survive. *)

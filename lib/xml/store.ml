@@ -84,6 +84,7 @@ let find_exn t uri =
 let docs t = List.map snd (assoc_docs t)
 
 let build_index t : index =
+  Xl_obs.Obs.span ~name:"store.index_build" (fun () ->
   let univ = List.concat_map Doc.nodes (docs t) in
   let by_id = Hashtbl.create 4096 in
   List.iter
@@ -113,7 +114,7 @@ let build_index t : index =
         Hashtbl.replace by_value v (n :: cur)
       | _ -> ())
     univ;
-  { univ; by_id; by_tag; by_value }
+  { univ; by_id; by_tag; by_value })
 
 let index t =
   match t.index with

@@ -236,13 +236,15 @@ and flush_content rev_acc out =
 
 (** Parse a complete document (prolog + one root element) into a fragment. *)
 let parse (src : string) : Frag.t =
-  let st = { src; pos = 0 } in
-  skip_misc st;
-  if not (looking_at st "<") then error st "expected root element";
-  let root = parse_element st in
-  skip_misc st;
-  if st.pos <> String.length st.src then error st "content after the root element";
-  root
+  Xl_obs.Obs.span ~name:"xml.parse" (fun () ->
+      let st = { src; pos = 0 } in
+      skip_misc st;
+      if not (looking_at st "<") then error st "expected root element";
+      let root = parse_element st in
+      skip_misc st;
+      if st.pos <> String.length st.src then
+        error st "content after the root element";
+      root)
 
 (** Parse straight to an indexed {!Doc.t}. *)
 let parse_doc ?uri (src : string) : Doc.t = Doc.of_frag ?uri (parse src)

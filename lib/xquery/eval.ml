@@ -59,6 +59,13 @@ type ctx = {
   plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
 }
 
+(* telemetry: which evaluator branch answered, and how much tree was
+   walked — the per-query attribution behind the fast-path speedups *)
+let c_flwor_hash = Xl_obs.Obs.Counter.make "eval_flwor_hash_join"
+let c_flwor_nested = Xl_obs.Obs.Counter.make "eval_flwor_nested_loop"
+let c_tag_index = Xl_obs.Obs.Counter.make "eval_tag_index_hits"
+let c_nodes_visited = Xl_obs.Obs.Counter.make "eval_nodes_visited"
+
 let liveness (dfa : Xl_automata.Dfa.t) : bool array =
   let n = Xl_automata.Dfa.state_count dfa in
   let live = Array.copy dfa.Xl_automata.Dfa.finals in
@@ -169,18 +176,21 @@ let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
   | Some (syms, last) ->
     (* document-rooted tag chain: look up candidates by the final symbol
        and keep those with the exact tag path inside this document *)
+    Xl_obs.Obs.Counter.incr c_tag_index;
     List.filter
       (fun n -> Node.tag_path n = syms && Node.equal (Node.root n) from)
       (Store.nodes_with_tag ctx.store last)
     |> List.sort_uniq Node.compare_order
   | None ->
     let { dfa; live } = compile_path ctx p in
+    let visited = ref 0 in
     let out = ref [] in
     (* find-only: a symbol unseen by the alphabet cannot be in the DFA's
        alphabet, so it can never match — and interning it here would
        silently invalidate every cached DFA on the next compile *)
     let sym n = Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) in
     let rec visit q n =
+      incr visited;
       (* try attributes *)
       List.iter
         (fun a ->
@@ -204,6 +214,7 @@ let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
         n.Node.children
     in
     visit dfa.Xl_automata.Dfa.start from;
+    Xl_obs.Obs.Counter.add c_nodes_visited !visited;
     List.sort Node.compare_order (List.rev !out)
 
 (* ---------- element construction ---------------------------------------- *)
@@ -548,6 +559,9 @@ and probe_join (ctx : ctx) (env : Env.t) (p : join_plan) : Env.t Seq.t =
 
 and eval_flwor ctx env (f : Ast.flwor) : Value.t =
   let plan = if ctx.use_hash_join then flwor_plan ctx f else None in
+  (match plan with
+  | Some _ -> Xl_obs.Obs.Counter.incr c_flwor_hash
+  | None -> if f.Ast.where <> None then Xl_obs.Obs.Counter.incr c_flwor_nested);
   (* expand for-bindings into a lazy tuple stream *)
   let expand i (v, e) (envs : Env.t Seq.t) : Env.t Seq.t =
     match plan with

@@ -164,6 +164,41 @@ let test_fig16_determinism () =
     (fun s p -> Alcotest.(check string) "jobs=1 vs jobs=4 row" s p)
     sequential parallel
 
+(* telemetry must be observation-only: the same rows whether tracing is
+   on or off, at any worker count (the check behind running the suites
+   with and without XLEARNER_TRACE) *)
+let test_fig16_tracing_identity () =
+  let scenarios =
+    List.map (fun (n, sc) -> ("xmp", n, sc)) (Xl_workload.Xmp_scenarios.all ())
+    @ List.filter_map
+        (fun (n, sc) ->
+          if List.mem n [ "Q1"; "Q13" ] then Some ("xmark", n, sc) else None)
+        (Xl_workload.Xmark_scenarios.all ())
+  in
+  List.iter
+    (fun (_, _, sc) -> Xml.Store.prepare sc.Xl_core.Scenario.store)
+    scenarios;
+  let with_tracing enabled workers =
+    Xl_obs.Obs.reset ();
+    Xl_obs.Obs.set_enabled enabled;
+    Fun.protect ~finally:(fun () ->
+        Xl_obs.Obs.set_enabled false;
+        Xl_obs.Obs.reset ())
+      (fun () -> run_fig16 (Pool.create ~domains:workers ()) scenarios)
+  in
+  let baseline = with_tracing false 1 in
+  List.iter
+    (fun (enabled, workers, what) ->
+      List.iter2
+        (fun b r -> Alcotest.(check string) what b r)
+        baseline
+        (with_tracing enabled workers))
+    [
+      (true, 1, "tracing on, 1 worker");
+      (false, 4, "tracing off, 4 workers");
+      (true, 4, "tracing on, 4 workers");
+    ]
+
 let () =
   Alcotest.run "exec"
     [
@@ -189,5 +224,7 @@ let () =
         [
           Alcotest.test_case "fig16 counts, 1 vs 4 workers" `Slow
             test_fig16_determinism;
+          Alcotest.test_case "fig16 counts, tracing on vs off" `Slow
+            test_fig16_tracing_identity;
         ] );
     ]

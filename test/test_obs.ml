@@ -1,0 +1,285 @@
+(* The telemetry layer (Xl_obs.Obs) and its integrations:
+
+   - span nesting: depth tracking, per-name aggregation, exception safety;
+   - per-domain buffers: spans recorded inside pool workers on several
+     domains all survive the merge-at-join (Obs.flush_domain);
+   - histogram bucket boundaries of the log-scale (power-of-two) scheme;
+   - disabled mode: a span call must not allocate (single flag check);
+   - JSONL export: well-formed single-line objects, ascending sequence
+     numbers, escaping, and the Trace (teacher dialog) round-trip. *)
+
+module Obs = Xl_obs.Obs
+module Pool = Xl_exec.Pool
+
+(* every test leaves telemetry the way it found it: disabled and empty *)
+let with_obs ?(enabled = true) f =
+  Obs.reset ();
+  Obs.set_enabled enabled;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ---------- spans ------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Obs.span ~name:"outer" (fun () ->
+            let a = Obs.span ~name:"inner" (fun () -> 20) in
+            let b = Obs.span ~name:"inner" ~detail:"2nd" (fun () -> 22) in
+            a + b)
+      in
+      Alcotest.(check int) "span returns the thunk's value" 42 r;
+      let spans = Obs.spans () in
+      Alcotest.(check int) "three spans recorded" 3 (List.length spans);
+      let outer = List.find (fun s -> s.Obs.sp_name = "outer") spans in
+      let inners = List.filter (fun s -> s.Obs.sp_name = "inner") spans in
+      Alcotest.(check int) "outer at depth 0" 0 outer.Obs.sp_depth;
+      List.iter
+        (fun s -> Alcotest.(check int) "inner at depth 1" 1 s.Obs.sp_depth)
+        inners;
+      Alcotest.(check (option string))
+        "detail is attached" (Some "2nd")
+        (List.find_map (fun s -> s.Obs.sp_detail) inners);
+      (* totals group by name only *)
+      let totals = Obs.span_totals () in
+      let inner_t = List.find (fun t -> t.Obs.st_name = "inner") totals in
+      Alcotest.(check int) "inner total counts both" 2 inner_t.Obs.st_count;
+      Alcotest.(check bool)
+        "outer duration covers the inners" true
+        (outer.Obs.sp_dur_ns
+        >= List.fold_left (fun acc s -> acc + s.Obs.sp_dur_ns) 0 inners))
+
+let test_span_exception () =
+  with_obs (fun () ->
+      (try Obs.span ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "a raising span is still recorded" 1
+        (List.length (Obs.spans ()));
+      (* and the depth counter unwound: the next span is at depth 0 *)
+      Obs.span ~name:"after" (fun () -> ());
+      let after = List.find (fun s -> s.Obs.sp_name = "after") (Obs.spans ()) in
+      Alcotest.(check int) "depth recovered after exception" 0 after.Obs.sp_depth)
+
+let test_multi_domain_merge () =
+  with_obs (fun () ->
+      let pool = Pool.create ~domains:4 () in
+      let out =
+        Pool.map pool
+          (fun i -> Obs.span ~name:"task" ~detail:(string_of_int i) (fun () -> i * i))
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check (list int))
+        "results unaffected by spans"
+        (List.init 8 (fun i -> i * i))
+        out;
+      let tasks = List.filter (fun s -> s.Obs.sp_name = "task") (Obs.spans ()) in
+      Alcotest.(check int)
+        "all 8 worker spans survive the merge-at-join" 8 (List.length tasks);
+      let details =
+        List.sort compare (List.filter_map (fun s -> s.Obs.sp_detail) tasks)
+      in
+      Alcotest.(check (list string))
+        "one span per task"
+        (List.sort compare (List.init 8 string_of_int))
+        details)
+
+(* ---------- metrics ----------------------------------------------------- *)
+
+let test_counter () =
+  with_obs (fun () ->
+      let c = Obs.Counter.make "test_counter" in
+      Obs.Counter.incr c;
+      Obs.Counter.add c 41;
+      Alcotest.(check int) "counter accumulates" 42 (Obs.Counter.value c);
+      Obs.set_enabled false;
+      Obs.Counter.incr c;
+      Alcotest.(check int) "disabled counter drops updates" 42 (Obs.Counter.value c);
+      Obs.set_enabled true;
+      Alcotest.(check bool) "make is idempotent per name" true
+        (Obs.Counter.value (Obs.Counter.make "test_counter") = 42))
+
+let test_histogram_buckets () =
+  (* bucket 0: v <= 0; bucket i (i >= 1): 2^(i-1) <= v < 2^i *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_of %d" v)
+        b (Obs.Histogram.bucket_of v))
+    [ (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1023, 10); (1024, 11) ];
+  List.iter
+    (fun (i, lo) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_lo %d" i) lo (Obs.Histogram.bucket_lo i))
+    [ (0, 0); (1, 1); (2, 2); (3, 4); (4, 8); (11, 1024) ];
+  (* every boundary value lands in the bucket whose lower bound it is *)
+  for i = 1 to 30 do
+    Alcotest.(check int) "lower bound is inclusive" i
+      (Obs.Histogram.bucket_of (Obs.Histogram.bucket_lo i))
+  done;
+  with_obs (fun () ->
+      let h = Obs.Histogram.make "test_hist" in
+      List.iter (Obs.Histogram.observe h) [ 0; 1; 3; 4; 100 ];
+      Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+      Alcotest.(check int) "sum" 108 (Obs.Histogram.sum h);
+      let b = Obs.Histogram.buckets h in
+      Alcotest.(check int) "bucket 0 holds the zero" 1 b.(0);
+      Alcotest.(check int) "bucket 2 holds the 3" 1 b.(2);
+      Alcotest.(check int) "bucket 7 holds the 100" 1 b.(7))
+
+(* ---------- disabled mode ------------------------------------------------ *)
+
+let test_disabled_no_alloc () =
+  with_obs ~enabled:false (fun () ->
+      let f = fun () -> 42 in
+      (* warm up any one-time lazy state *)
+      ignore (Obs.span ~name:"off" f);
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 100_000 do
+        ignore (Obs.span ~name:"off" f)
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      (* a float-returning Gc probe costs a couple of words itself; 100k
+         spans must not add per-call allocations on top *)
+      Alcotest.(check bool)
+        (Printf.sprintf "100k disabled spans allocate ~nothing (%.0f words)" dw)
+        true (dw < 512.);
+      Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.spans ())))
+
+(* ---------- JSONL export ------------------------------------------------- *)
+
+let test_jsonl_roundtrip () =
+  with_obs (fun () ->
+      Obs.span ~name:"alpha" ~detail:"with \"quotes\" and \\ and \nnewline"
+        (fun () -> ());
+      Obs.span ~name:"beta" (fun () -> ());
+      let c = Obs.Counter.make "rt_counter" in
+      Obs.Counter.add c 7;
+      let path = Filename.temp_file "xl_obs_test" ".jsonl" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      Obs.write_jsonl path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check bool) "at least spans + snapshot lines" true
+        (List.length lines >= 3);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (String.length l > 2
+            && String.sub l 0 7 = "{\"seq\":"
+            && l.[String.length l - 1] = '}');
+          (* single-line: embedded newlines must have been escaped *)
+          Alcotest.(check bool) "no raw control chars" true
+            (String.for_all (fun ch -> Char.code ch >= 0x20) l))
+        lines;
+      let seq_of l = Scanf.sscanf l "{\"seq\":%d" Fun.id in
+      let seqs = List.map seq_of lines in
+      Alcotest.(check bool) "sequence numbers ascend" true
+        (List.sort compare seqs = seqs);
+      Alcotest.(check bool) "escaped detail survived" true
+        (List.exists
+           (fun l ->
+             let re = {|with \"quotes\" and \\ and \nnewline|} in
+             let rec find i =
+               i + String.length re <= String.length l
+               && (String.sub l i (String.length re) = re || find (i + 1))
+             in
+             find 0)
+           lines))
+
+let test_trace_jsonl () =
+  with_obs (fun () ->
+      let teacher =
+        {
+          Xl_core.Teacher.path_membership =
+            (fun ~label:_ ~context:_ ~rel_path:_ ~witness:_ -> true);
+          equivalence = (fun ~label:_ ~context:_ ~extent:_ -> Xl_core.Teacher.Equal);
+          condition_box = (fun ~label:_ ~context:_ ~negative_example:_ -> None);
+          order_box = (fun ~label:_ -> []);
+        }
+      in
+      let tr = Xl_core.Trace.create () in
+      let w = Xl_core.Trace.wrap tr teacher in
+      ignore
+        (Obs.span ~name:"ask" (fun () ->
+             w.Xl_core.Teacher.path_membership ~label:"N1" ~context:[]
+               ~rel_path:[ "a"; "b" ] ~witness:None));
+      ignore (w.Xl_core.Teacher.equivalence ~label:"N1" ~context:[] ~extent:[]);
+      let records = Xl_core.Trace.records tr in
+      Alcotest.(check int) "two dialog records" 2 (List.length records);
+      Alcotest.(check bool) "records carry ascending seqs" true
+        (match records with
+        | [ a; b ] -> a.Xl_core.Trace.seq < b.Xl_core.Trace.seq
+        | _ -> false);
+      let jsonl = Xl_core.Trace.to_jsonl tr in
+      let lines = String.split_on_char '\n' jsonl in
+      Alcotest.(check int) "one line per record" 2 (List.length lines);
+      let has sub l =
+        let rec find i =
+          i + String.length sub <= String.length l
+          && (String.sub l i (String.length sub) = sub || find (i + 1))
+        in
+        find 0
+      in
+      Alcotest.(check bool) "mq event encoded" true
+        (has {|"kind":"mq"|} (List.nth lines 0)
+        && has {|"detail":"a/b"|} (List.nth lines 0)
+        && has {|"answer":true|} (List.nth lines 0));
+      Alcotest.(check bool) "eq event encoded" true
+        (has {|"kind":"eq"|} (List.nth lines 1)
+        && has {|"outcome":"accepted"|} (List.nth lines 1));
+      (* merged export: the dialog interleaves with the span by seq *)
+      let path = Filename.temp_file "xl_obs_trace" ".jsonl" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      Obs.write_jsonl ~extra:(Xl_core.Trace.to_jsonl_events tr) path;
+      let ic = open_in path in
+      let all = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "merged trace holds spans and dialog" true
+        (has {|"name":"ask"|} all && has {|"kind":"mq"|} all))
+
+(* ---------- reset -------------------------------------------------------- *)
+
+let test_reset () =
+  with_obs (fun () ->
+      Obs.span ~name:"s" (fun () -> ());
+      let c = Obs.Counter.make "reset_counter" in
+      Obs.Counter.add c 5;
+      let h = Obs.Histogram.make "reset_hist" in
+      Obs.Histogram.observe h 9;
+      Obs.reset ();
+      Alcotest.(check int) "spans dropped" 0 (List.length (Obs.spans ()));
+      Alcotest.(check int) "counter zeroed" 0 (Obs.Counter.value c);
+      Alcotest.(check int) "histogram zeroed" 0 (Obs.Histogram.count h);
+      Obs.Counter.incr c;
+      Alcotest.(check int) "registration survives reset" 1 (Obs.Counter.value c))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and totals" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+          Alcotest.test_case "merge across 4 domains" `Quick
+            test_multi_domain_merge;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counter;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "zero allocation" `Quick test_disabled_no_alloc ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "teacher dialog (Trace)" `Quick test_trace_jsonl;
+        ] );
+      ( "reset", [ Alcotest.test_case "reset semantics" `Quick test_reset ] );
+    ]
