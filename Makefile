@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-check obs-demo clean
+.PHONY: build test bench bench-par bench-check obs-demo fuzz clean
 
 build:
 	dune build
@@ -24,6 +24,12 @@ bench-check:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- perf-json
 	test -s BENCH_perf.json
+
+# Property-based differential fuzzing (DESIGN.md §5f): 500 seeded cases
+# on the domain pool; exits non-zero and writes FUZZ_counterexamples.txt
+# if any minimized counterexample survives.
+fuzz:
+	dune exec bench/main.exe -- fuzz --cases 500 --seed 20040301
 
 # One XMP learning session with telemetry on: writes a JSONL trace
 # (spans + metrics + the teacher dialog) and prints the summary table.

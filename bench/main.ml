@@ -29,10 +29,14 @@ let pool () = Pool.create ?domains:!jobs_override ()
 let trace_path : string option ref = ref None
 
 (* a suite's scenarios share one store; freeze its lazy indexes while the
-   store is still visible to a single domain (Pool's confinement rule) *)
+   store is still visible to a single domain (Pool's confinement rule),
+   and make any later lazy build — a data race under the fan-out — fail
+   loudly instead of silently falling back *)
 let prepare_scenarios scenarios =
   List.iter
-    (fun (_, sc) -> Xl_xml.Store.prepare sc.Xl_core.Scenario.store)
+    (fun (_, sc) ->
+      Xl_xml.Store.prepare sc.Xl_core.Scenario.store;
+      Xl_xml.Store.set_strict sc.Xl_core.Scenario.store true)
     scenarios;
   scenarios
 
@@ -525,6 +529,60 @@ let perf_json () =
     exit 1
   end
 
+(* ---------- property-based differential fuzzing ------------------------- *)
+
+let fuzz_cases = ref 100
+let fuzz_seed = ref 20040301
+let fuzz_fresh = ref 3
+let fuzz_only : int option ref = ref None
+let fuzz_bug : string option ref = ref None
+
+(* [fuzz] runs the lib/fuzz campaign: random DTD + covering document +
+   in-class target query per case, full learning against the simulated
+   teacher, differential equivalence on the training and fresh documents,
+   evaluator/store parity, R1 soundness — failures are shrunk and dumped
+   to FUZZ_counterexamples.txt (exit 1).  Deterministic for a fixed
+   --seed at any -j. *)
+let fuzz () =
+  print_endline line;
+  Printf.printf
+    "Property-based differential fuzzing (seed %d, %s)\n" !fuzz_seed
+    (match !fuzz_only with
+    | Some i -> Printf.sprintf "case %d only" i
+    | None -> Printf.sprintf "%d cases" !fuzz_cases);
+  print_endline line;
+  let bug =
+    match !fuzz_bug with
+    | None -> None
+    | Some "drop-cond" -> Some Xl_fuzz.Props.Drop_learned_cond
+    | Some "widen-path" -> Some Xl_fuzz.Props.Widen_learned_path
+    | Some other ->
+      Printf.eprintf "unknown --bug %S (expected drop-cond | widen-path)\n" other;
+      exit 2
+  in
+  match !fuzz_only with
+  | Some index ->
+    let r = Xl_fuzz.Fuzz.run_case ?bug ~fresh:!fuzz_fresh ~seed:!fuzz_seed ~index () in
+    (match r.Xl_fuzz.Fuzz.failure, r.Xl_fuzz.Fuzz.dump with
+    | Some _, Some dump ->
+      print_string dump;
+      exit 1
+    | _ -> Printf.printf "case %d passed\n" index)
+  | None ->
+    let report =
+      Xl_fuzz.Fuzz.run ~pool:(pool ()) ?bug ~fresh:!fuzz_fresh ~cases:!fuzz_cases
+        ~seed:!fuzz_seed ()
+    in
+    print_string (Xl_fuzz.Fuzz.report_to_string report);
+    (match Xl_fuzz.Fuzz.dump_failures report with
+    | None -> print_newline ()
+    | Some dump ->
+      let oc = open_out "FUZZ_counterexamples.txt" in
+      output_string oc dump;
+      close_out oc;
+      Printf.printf "wrote FUZZ_counterexamples.txt\n";
+      exit 1)
+
 (* ---------- driver ------------------------------------------------------ *)
 
 let () =
@@ -555,6 +613,21 @@ let () =
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
       trace_path := Some (String.sub arg 8 (String.length arg - 8));
       parse_jobs acc rest
+    | (("--cases" | "--seed" | "--fresh" | "--only") as opt) :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v ->
+        (match opt with
+        | "--cases" -> fuzz_cases := v
+        | "--seed" -> fuzz_seed := v
+        | "--fresh" -> fuzz_fresh := v
+        | _ -> fuzz_only := Some v);
+        parse_jobs acc rest
+      | None ->
+        Printf.eprintf "bad value %S for %s (expected an integer)\n" n opt;
+        exit 2)
+    | "--bug" :: name :: rest ->
+      fuzz_bug := Some name;
+      parse_jobs acc rest
     | arg :: rest -> parse_jobs (arg :: acc) rest
   in
   let args = parse_jobs [] args in
@@ -571,6 +644,7 @@ let () =
     | "sgml" -> sgml ()
     | "perf" -> perf ()
     | "perf-json" -> perf_json ()
+    | "fuzz" -> fuzz ()
     | "all" ->
       fig15 ();
       fig16_xmark ();
@@ -581,7 +655,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | fuzz | all)\n"
         other;
       exit 2
   in

@@ -46,6 +46,12 @@ let select_by_dfa (ctx : Xl_xquery.Eval.ctx) (dfa : Xl_automata.Dfa.t)
         | _ -> ())
       n.Node.children
   in
+  (* the empty relative path denotes the base itself: a relative task
+     whose extent contains its own anchor (e.g. a nested box re-selecting
+     the context node) learns an ε-accepting DFA, and omitting the base
+     here would leave its hypothesis extent forever empty *)
+  if dfa.Xl_automata.Dfa.finals.(dfa.Xl_automata.Dfa.start) then
+    out := base :: !out;
   visit dfa.Xl_automata.Dfa.start base;
   List.sort Node.compare_order (List.rev !out)
 

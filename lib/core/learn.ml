@@ -54,6 +54,7 @@ type node_result = {
       (** collapse split: the parent fragment's path *)
   own_path : Xl_xquery.Path_expr.t;  (** the task node's own path *)
   learned_conds : Cond.t list;
+  spare_conds : Cond.t list;
   learned_order : (Xl_xquery.Simple_path.t * bool) list;
   anchored_at_root : bool;
 }
@@ -169,7 +170,7 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
     ~(ctx : Xl_xquery.Eval.ctx) ~(dg : Data_graph.t)
     ~(schemas : Xl_schema.Schema_source.t list)
     ~(schema_dfas : Xl_automata.Dfa.t list) ~(tree : Xqtree.t)
-    ~(session : (Session.t * string) option)
+    ~(session : (Session.t * string) option) ~on_auto
     ~(bindings : (string * (string * Node.t)) list) (task : Task.t) : node_result
     =
   let label = Task.label task in
@@ -207,8 +208,12 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
       | None -> (None, Fun.id)
     in
     let pl =
-      Plearner.create ~config:config.rules ?shared ~on_reuse ~stats ~schemas
-        ~alphabet ~abs_prefix ~dropped_path ~ask ()
+      Plearner.create ~config:config.rules ?shared ~on_reuse
+        ?on_auto:
+          (Option.map
+             (fun f ~rule ~path ~answer -> f ~label ~rule ~path ~answer)
+             on_auto)
+        ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask ()
     in
     let cl =
       Clearner.create dg context ~endpoints:(Task.bindings_of task dropped)
@@ -360,6 +365,10 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
       parent_path;
       own_path;
       learned_conds = final_conds @ !fixed;
+      spare_conds =
+        List.filter
+          (fun c -> not (List.exists (Cond.equal c) final_conds))
+          (Clearner.minimized cl);
       learned_order = order;
       anchored_at_root = Node.equal base doc_base;
     }
@@ -389,9 +398,14 @@ let rebuild (tree : Xqtree.t) (results : node_result list) : Xqtree.t =
         | _, _, Some _ ->
           (* child half of a collapse pair: relative last step *)
           Some (Xqtree.Rel r.own_path)
-        | Some (Xqtree.Abs (uri, _)), _, None -> Some (Xqtree.Abs (uri, r.own_path))
+        | Some (Xqtree.Abs (uri, _)), true, None ->
+          Some (Xqtree.Abs (uri, r.own_path))
         | _, true, None -> Some (Xqtree.Abs (None, r.own_path))
-        | _, false, None -> Some (Xqtree.Rel r.own_path)
+        | _, false, None ->
+          (* the anchoring decides, not the target's own source kind: a
+             task learned relative to its structural anchor has a path
+             meaningless from the document root *)
+          Some (Xqtree.Rel r.own_path)
       in
       let conds, order_by =
         match task_parent_of tree n with
@@ -410,7 +424,7 @@ let rebuild (tree : Xqtree.t) (results : node_result list) : Xqtree.t =
           in
           let source =
             match n.Xqtree.source, r.anchored_at_root with
-            | Some (Xqtree.Abs (uri, _)), _ -> Some (Xqtree.Abs (uri, parent_path))
+            | Some (Xqtree.Abs (uri, _)), true -> Some (Xqtree.Abs (uri, parent_path))
             | _, true -> Some (Xqtree.Abs (None, parent_path))
             | _, false -> Some (Xqtree.Rel parent_path)
           in
@@ -419,6 +433,191 @@ let rebuild (tree : Xqtree.t) (results : node_result list) : Xqtree.t =
       | _ -> n)
   in
   go tree
+
+(* -------- verification sweep ------------------------------------------- *)
+
+(* The C-Learner keeps the strongest candidate conjunction consistent
+   with the positives of the single drop context; a relationship that
+   holds there only by coincidence survives and over-restricts the
+   fragment in other contexts, which per-task equivalence queries never
+   examined.  When end-to-end verification fails, sweep the other
+   contexts with further equivalence queries and repair the conjunction:
+   a positive counterexample discards every learned condition it
+   violates (target conditions hold for every member of every intended
+   extent, so only coincidental conjuncts can be dropped), and a
+   negative counterexample restores a spare condition — one the drop
+   context could not distinguish from redundant — that excludes it.
+   Conditions discarded by a positive example are banned from
+   restoration, so the exchange terminates. *)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let sweep_once ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
+    ~(ctx : Xl_xquery.Eval.ctx) (scenario : Scenario.t) (learned : Xqtree.t)
+    (results : node_result list) : node_result list option =
+  let lo, _ =
+    Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
+      { scenario with Scenario.target = learned }
+  in
+  let tasks = Task.tasks_of learned in
+  let task_owning (a : Xqtree.node) : Task.t option =
+    List.find_opt
+      (fun (t : Task.t) ->
+        String.equal (Task.label t) a.Xqtree.label
+        ||
+        match t.Task.parent with
+        | Some p -> String.equal p.Xqtree.label a.Xqtree.label
+        | None -> false)
+      tasks
+  in
+  let max_contexts = 64 in
+  (* all context assignments of a task's ancestor variables, per the
+     learned tree's own semantics (the learner knows nothing else) *)
+  let contexts_for (task : Task.t) : Teacher.context list =
+    let anchor_label =
+      match task.Task.parent with
+      | Some p -> p.Xqtree.label
+      | None -> task.Task.node.Xqtree.label
+    in
+    let rec extend acc bound = function
+      | [] -> acc
+      | (a : Xqtree.node) :: rest -> (
+        match a.Xqtree.var with
+        | Some v when not (List.mem v bound) -> (
+          match task_owning a with
+          | Some t ->
+            let acc' =
+              take max_contexts
+                (List.concat_map
+                   (fun c ->
+                     List.map
+                       (fun e -> c @ Task.bindings_of t e)
+                       (Oracle.target_extent lo (Task.label t) c))
+                   acc)
+            in
+            let bound' =
+              Task.var t :: (Option.to_list (Task.parent_var t)) @ bound
+            in
+            extend acc' bound' rest
+          | None -> extend acc bound rest)
+        | _ -> extend acc bound rest)
+    in
+    extend [ [] ] [] (Xqtree.ancestors learned anchor_label)
+  in
+  let store = scenario.Scenario.store in
+  let changed = ref false in
+  let sweep_task (r : node_result) : node_result =
+    match
+      List.find_opt
+        (fun (t : Task.t) -> String.equal (Task.label t) r.task_label)
+        tasks
+    with
+    | None -> r
+    | Some task when r.learned_conds = [] && r.spare_conds = [] ->
+      ignore task;
+      r
+    | Some task ->
+      let anchor =
+        match task.Task.parent with
+        | Some p -> p
+        | None -> task.Task.node
+      in
+      let source_path =
+        match Task.composed_source task with
+        | Some (Xqtree.Abs (_, p)) | Some (Xqtree.Rel p) -> Some p
+        | None -> None
+      in
+      let base_of (context : Teacher.context) : Node.t option =
+        match anchor.Xqtree.source with
+        | Some (Xqtree.Abs (uri, _)) ->
+          let doc =
+            match uri with
+            | None -> Store.default store
+            | Some u -> Store.find_exn store u
+          in
+          Some doc.Doc.doc_node
+        | _ -> (
+          match Xqtree.base_var learned anchor.Xqtree.label with
+          | Some v -> List.assoc_opt v context
+          | None -> Some (Store.default store).Doc.doc_node)
+      in
+      let conds = ref r.learned_conds in
+      let spares = ref r.spare_conds in
+      let give_up = ref false in
+      (match source_path with
+      | None -> ()
+      | Some p ->
+        let extent_in context =
+          match base_of context with
+          | None -> []
+          | Some base ->
+            Xl_xquery.Eval.eval_path ctx p base
+            |> Extent.filter_conds ctx context ~bind:(Task.bindings_of task)
+                 !conds
+        in
+        let holds context node c =
+          Extent.satisfies ctx context ~bindings:(Task.bindings_of task node)
+            [ c ]
+        in
+        List.iter
+          (fun context ->
+            let rec settle budget =
+              if budget > 0 && not !give_up then begin
+                stats.Stats.eq <- stats.Stats.eq + 1;
+                match
+                  teacher.Teacher.equivalence ~label:r.task_label ~context
+                    ~extent:(extent_in context)
+                with
+                | Teacher.Equal -> ()
+                | Teacher.Counter { node; positive } ->
+                  stats.Stats.ce <- stats.Stats.ce + 1;
+                  if positive then begin
+                    let keep, dropped =
+                      List.partition (holds context node) !conds
+                    in
+                    (* a spare a positive violates is coincidental
+                       everywhere — never offer it either; a dropped
+                       condition never re-enters [spares], so the
+                       drop/restore exchange cannot oscillate *)
+                    spares := List.filter (holds context node) !spares;
+                    if dropped = [] then
+                      (* every condition holds: the path misses it *)
+                      give_up := true
+                    else begin
+                      conds := keep;
+                      changed := true;
+                      settle (budget - 1)
+                    end
+                  end
+                  else begin
+                    (* under-constrained here: restore a spare that
+                       excludes the negative example *)
+                    match
+                      List.find_opt
+                        (fun c -> not (holds context node c))
+                        !spares
+                    with
+                    | Some c ->
+                      conds := !conds @ [ c ];
+                      spares := List.filter (fun c' -> not (Cond.equal c c')) !spares;
+                      changed := true;
+                      settle (budget - 1)
+                    | None -> give_up := true
+                  end
+              end
+            in
+            if not !give_up then settle 8)
+          (contexts_for task));
+      if
+        List.length !conds = List.length r.learned_conds
+        && List.for_all (fun c -> List.exists (Cond.equal c) r.learned_conds) !conds
+      then r
+      else { r with learned_conds = !conds; spare_conds = !spares }
+  in
+  let results' = List.map sweep_task results in
+  if !changed then Some results' else None
 
 (* -------- session ------------------------------------------------------ *)
 
@@ -441,7 +640,7 @@ let dd_of_tree (tree : Xqtree.t) (stats : Stats.t) =
     (Xqtree.nodes tree)
 
 let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
-    (scenario : Scenario.t) : result =
+    ?on_auto (scenario : Scenario.t) : result =
   Xl_obs.Obs.span ~name:"learn.scenario" ~detail:scenario.Scenario.name
   @@ fun () ->
   let oracle, oracle_teacher =
@@ -482,22 +681,43 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
             learn_task ~config ~stats ~teacher ~ctx ~dg ~schemas ~schema_dfas
               ~tree
               ~session:(Option.map (fun s -> (s, scenario.Scenario.name)) session)
-              ~bindings task))
+              ~on_auto ~bindings task))
       (Task.tasks_of tree)
   in
   let learned = rebuild tree results in
-  let query_text = Xl_xquery.Printer.to_string (Xqtree.to_ast learned) in
-  let verified =
-    Xl_obs.Obs.span ~name:"learn.verify" (fun () ->
-        let out t =
-          let v = Xl_xquery.Eval.run ctx (Xqtree.to_ast t) in
-          String.concat "\n"
-            (List.map
-               (function
-                 | Xl_xquery.Value.Node n -> Serialize.node_to_string n
-                 | Xl_xquery.Value.Atom a -> Xl_xquery.Value.atom_to_string a)
-               v)
-        in
-        String.equal (out learned) (out tree))
+  let out t =
+    let v = Xl_xquery.Eval.run ctx (Xqtree.to_ast t) in
+    String.concat "\n"
+      (List.map
+         (function
+           | Xl_xquery.Value.Node n -> Serialize.node_to_string n
+           | Xl_xquery.Value.Atom a -> Xl_xquery.Value.atom_to_string a)
+         v)
   in
+  let reference = out tree in
+  let verify t = String.equal (out t) reference in
+  let verified =
+    Xl_obs.Obs.span ~name:"learn.verify" (fun () -> verify learned)
+  in
+  let results, learned, verified =
+    if verified then (results, learned, true)
+    else
+      (* coincidental conditions may have survived the drop context; try
+         to repair them with equivalence queries in the other contexts *)
+      Xl_obs.Obs.span ~name:"learn.sweep" (fun () ->
+          let rec refine results learned pass =
+            if pass >= 3 then (results, learned, false)
+            else
+              match
+                sweep_once ~config ~stats ~teacher ~ctx scenario learned results
+              with
+              | None -> (results, learned, false)
+              | Some results' ->
+                let learned' = rebuild tree results' in
+                if verify learned' then (results', learned', true)
+                else refine results' learned' (pass + 1)
+          in
+          refine results learned 0)
+  in
+  let query_text = Xl_xquery.Printer.to_string (Xqtree.to_ast learned) in
   { scenario; stats; node_results = results; learned; query_text; verified }

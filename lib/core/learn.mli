@@ -29,6 +29,10 @@ type node_result = {
       (** collapse split: the parent fragment's path *)
   own_path : Xl_xquery.Path_expr.t;
   learned_conds : Cond.t list;
+  spare_conds : Cond.t list;
+      (** hypothesis conditions dropped as redundant in the drop
+          context — the verification sweep may need them back when
+          another context shows the extent was under-constrained *)
   learned_order : (Xl_xquery.Simple_path.t * bool) list;
   anchored_at_root : bool;
       (** the fragment was learned absolutely (with join conditions)
@@ -50,7 +54,13 @@ exception Learning_failed of string
 val run :
   ?config:config -> ?teacher:Teacher.t ->
   ?wrap_teacher:(Teacher.t -> Teacher.t) -> ?session:Session.t ->
+  ?on_auto:
+    (label:string -> rule:[ `R1 | `R2 ] -> path:string list -> answer:bool ->
+     unit) ->
   Scenario.t -> result
 (** Learn the scenario's query.  [teacher] replaces the simulated
     oracle; [wrap_teacher] decorates it (the CLI's interactive mode);
-    [session] enables answer reuse across runs (Section 11). *)
+    [session] enables answer reuse across runs (Section 11).  [on_auto]
+    observes every R1/R2 auto-answered membership query, tagged with the
+    learning-task label — the fuzz harness uses it to check reduction
+    soundness against the target path language. *)

@@ -36,6 +36,9 @@ exception Restart
 type t = {
   config : config;
   stats : Stats.t;
+  on_auto : (rule:[ `R1 | `R2 ] -> path:string list -> answer:bool -> unit) option;
+      (** observation hook: fires on every rule-auto-answered query (the
+          fuzz harness checks R1 answers against the target language) *)
   schemas : Xl_schema.Schema_source.t list;
   alphabet : Xl_automata.Alphabet.t;
   abs_prefix : string list;  (** tag path of the fragment's base node *)
@@ -55,8 +58,8 @@ type t = {
 let last = function [] -> None | l -> Some (List.nth l (List.length l - 1))
 let prefix l = match l with [] -> [] | _ -> List.filteri (fun i _ -> i < List.length l - 1) l
 
-let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ~stats
-    ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask () =
+let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ?on_auto
+    ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask () =
   let answers = match shared with Some tbl -> tbl | None -> Hashtbl.create 256 in
   let preloaded = Hashtbl.create (Hashtbl.length answers) in
   Hashtbl.iter (fun k _ -> Hashtbl.replace preloaded k ()) answers;
@@ -64,6 +67,7 @@ let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ~stats
     {
       config;
       stats;
+      on_auto;
       schemas;
       alphabet;
       abs_prefix;
@@ -140,6 +144,13 @@ let membership (t : t) (word : int list) : bool =
             t.stats.Stats.reduced_both <- t.stats.Stats.reduced_both + 1
         end;
         let ans = if r1 then false else r2_ans in
+        (match t.on_auto with
+        | Some f ->
+          (* report the absolute path — R1 judged [abs_prefix @ s], and
+             an anchored fragment's relative word is meaningless on its
+             own to an observer *)
+          f ~rule:(if r1 then `R1 else `R2) ~path:(t.abs_prefix @ s) ~answer:ans
+        | None -> ());
         Xl_obs.Obs.Counter.incr c_mq_auto;
         (* R1 answers are schema-sound and may be memoized; R2 answers
            are assumptions and must stay revisable *)

@@ -32,7 +32,9 @@ type t
 
 val create :
   ?config:config -> ?shared:(string list, bool) Hashtbl.t ->
-  ?on_reuse:(unit -> unit) -> stats:Stats.t ->
+  ?on_reuse:(unit -> unit) ->
+  ?on_auto:(rule:[ `R1 | `R2 ] -> path:string list -> answer:bool -> unit) ->
+  stats:Stats.t ->
   schemas:Xl_schema.Schema_source.t list ->
   alphabet:Xl_automata.Alphabet.t -> abs_prefix:string list ->
   dropped_path:string list -> ask:(string list -> bool) -> unit -> t
@@ -40,7 +42,13 @@ val create :
     [dropped_path] seeds the first positive example; [ask] is the real
     teacher and is counted as a user membership query.  [shared] plugs in
     a {!Session} answer table: answers persist across runs and inherited
-    ones replace interactions ([on_reuse] fires per reused answer). *)
+    ones replace interactions ([on_reuse] fires per reused answer).
+    [on_auto] observes every rule-auto-answered membership query with the
+    rule that fired and the {e absolute} path ([abs_prefix] plus the
+    queried word — the path R1 actually judged) — R1 answers are claims
+    about the schema's path language and must match the ground truth,
+    which is exactly what the fuzz harness checks; R2 answers are
+    revisable assumptions. *)
 
 val membership : t -> int list -> bool
 (** The membership oracle handed to L*. *)

@@ -1,0 +1,102 @@
+(** The fuzz campaign runner (see the interface). *)
+
+module Obs = Xl_obs.Obs
+module Pool = Xl_exec.Pool
+module Frag = Xl_xml.Frag
+
+type case_report = {
+  index : int;
+  fallback : bool;
+  training_size : int;
+  failure : Props.failure option;
+  dump : string option;
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  fresh : int;
+  fallbacks : int;
+  failed : case_report list;
+}
+
+let c_cases = Obs.Counter.make "fuzz_cases"
+let c_failures = Obs.Counter.make "fuzz_failures"
+let c_fallbacks = Obs.Counter.make "fuzz_fallback_cases"
+
+let run_case ?bug ?(fresh = 3) ~seed ~index () : case_report =
+  Obs.span ~name:"fuzz.case" ~detail:(Printf.sprintf "%d-%d" seed index)
+    (fun () ->
+      Obs.Counter.incr c_cases;
+      let case = Obs.span ~name:"fuzz.generate" (fun () -> Case.generate ~seed ~index) in
+      if case.Case.fallback then Obs.Counter.incr c_fallbacks;
+      let check c = Props.check ?bug ~fresh c in
+      match Obs.span ~name:"fuzz.check" (fun () -> check case) with
+      | None ->
+        {
+          index;
+          fallback = case.Case.fallback;
+          training_size = Frag.size case.Case.training;
+          failure = None;
+          dump = None;
+        }
+      | Some failure ->
+        Obs.Counter.incr c_failures;
+        let min_case, min_failure =
+          Obs.span ~name:"fuzz.shrink" (fun () ->
+              Shrink.minimize ~check case failure)
+        in
+        {
+          index;
+          fallback = min_case.Case.fallback;
+          training_size = Frag.size min_case.Case.training;
+          failure = Some min_failure;
+          dump =
+            Some
+              (Printf.sprintf "%s\n-- failure --\n%s\n"
+                 (Case.to_string min_case)
+                 (Props.failure_to_string min_failure));
+        })
+
+let run ?pool ?bug ?(fresh = 3) ~cases ~seed () : report =
+  let indices = List.init cases Fun.id in
+  let one index = run_case ?bug ~fresh ~seed ~index () in
+  let reports =
+    match pool with
+    | Some p -> Pool.map p one indices
+    | None -> List.map one indices
+  in
+  {
+    seed;
+    cases;
+    fresh;
+    fallbacks = List.length (List.filter (fun r -> r.fallback) reports);
+    failed = List.filter (fun r -> r.failure <> None) reports;
+  }
+
+let report_to_string (r : report) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fuzz: seed=%d cases=%d fresh=%d\n" r.seed r.cases r.fresh);
+  Buffer.add_string b
+    (Printf.sprintf "  passed=%d failed=%d fallbacks=%d\n"
+       (r.cases - List.length r.failed)
+       (List.length r.failed) r.fallbacks);
+  List.iter
+    (fun cr ->
+      match cr.failure with
+      | Some f ->
+        Buffer.add_string b
+          (Printf.sprintf "  FAIL case %d (minimized to %d element nodes): %s\n"
+             cr.index cr.training_size (Props.failure_to_string f))
+      | None -> ())
+    r.failed;
+  Buffer.contents b
+
+let dump_failures (r : report) : string option =
+  match r.failed with
+  | [] -> None
+  | fs ->
+    Some
+      (String.concat "\n========\n\n"
+         (List.filter_map (fun cr -> cr.dump) fs))

@@ -1,0 +1,41 @@
+(** The fuzz campaign runner.
+
+    Each case is derived purely from [(seed, index)], checked with
+    {!Props.check} and, on failure, minimized with {!Shrink.minimize} —
+    all inside the case's own pool task, so a campaign parallelizes over
+    an {!Xl_exec.Pool} and still produces bit-identical reports at any
+    [-j]: results are collected positionally and nothing in a report
+    depends on node identities, timing or interleaving. *)
+
+type case_report = {
+  index : int;
+  fallback : bool;  (** admission fell back to a plain path query *)
+  training_size : int;  (** element nodes of the (minimized) training doc *)
+  failure : Props.failure option;  (** after shrinking; [None] = passed *)
+  dump : string option;  (** replayable dump of the minimized case *)
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  fresh : int;
+  fallbacks : int;
+  failed : case_report list;  (** ascending case index *)
+}
+
+val run_case :
+  ?bug:Props.bug -> ?fresh:int -> seed:int -> index:int -> unit -> case_report
+
+val run :
+  ?pool:Xl_exec.Pool.t -> ?bug:Props.bug -> ?fresh:int -> cases:int ->
+  seed:int -> unit -> report
+(** Run cases [0 .. cases-1].  Without [pool] the campaign runs
+    sequentially; [fresh] (default 3) is the number of fresh documents
+    per case. *)
+
+val report_to_string : report -> string
+(** Human-readable, deterministic summary (no timings). *)
+
+val dump_failures : report -> string option
+(** Concatenated minimized counterexample dumps, for the CI artifact;
+    [None] when every case passed. *)

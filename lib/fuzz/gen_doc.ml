@@ -1,0 +1,83 @@
+(** Random valid documents for a generated DTD (see the interface). *)
+
+module Prng = Xl_workload.Prng
+module Dtd = Xl_schema.Dtd
+module Cm = Xl_schema.Content_model
+module Frag = Xl_xml.Frag
+
+let slot_domain (g : Gen_dtd.t) el sel =
+  match
+    List.find_opt (fun s -> s.Gen_dtd.sel = sel) (Gen_dtd.slots_of g el)
+  with
+  | Some s -> s.Gen_dtd.domain
+  | None -> 0
+
+let generate ~mode rng (g : Gen_dtd.t) : Frag.t =
+  let rec instance el : Frag.t =
+    let decl =
+      match Dtd.find g.Gen_dtd.dtd el with
+      | Some d -> d
+      | None -> invalid_arg ("Gen_doc: undeclared element " ^ el)
+    in
+    (* all attributes are Required: always emit every one *)
+    let attrs =
+      List.map
+        (fun a ->
+          let dom = slot_domain g el (`Attr a.Dtd.att_name) in
+          (a.Dtd.att_name, Gen_dtd.value rng g dom))
+        decl.Dtd.atts
+    in
+    let children =
+      match decl.Dtd.content with
+      | Cm.Empty | Cm.Any -> []
+      | Cm.Mixed cs ->
+        (* one text child always, so string values are never empty and
+           the element's text slot is exercised in every instance *)
+        let txt = Frag.T (Gen_dtd.value rng g (slot_domain g el `Text)) in
+        let named =
+          match mode with
+          | `Covering -> List.concat_map (fun c -> occurrences `Covering (Cm.Name c)) cs
+          | `Random ->
+            List.concat_map
+              (fun c -> if Prng.bool rng then [ instance c ] else [])
+              cs
+        in
+        txt :: named
+      | Cm.Children p -> occurrences mode p
+    in
+    Frag.E (el, attrs, children)
+  and occurrences mode p : Frag.t list =
+    match p with
+    | Cm.Name c -> [ instance c ]
+    | Cm.Seq ps -> List.concat_map (occurrences mode) ps
+    | Cm.Choice ps -> (
+      (* Gen_dtd only emits Choice under Star/Plus, where realizing every
+         branch in sequence is valid — which is exactly what covering
+         needs.  A bare Choice would make the `Covering arm invalid;
+         Schema.Validate re-checks each document, so that would surface
+         as an Invalid_document failure, not silent nonsense. *)
+      match mode with
+      | `Covering -> List.concat_map (occurrences `Covering) ps
+      | `Random -> occurrences `Random (Prng.choose rng ps))
+    | Cm.Opt q -> (
+      match mode with
+      | `Covering -> occurrences `Covering q
+      | `Random -> if Prng.bool rng then occurrences `Random q else [])
+    | Cm.Star q -> (
+      match mode with
+      | `Covering ->
+        (* cover every branch once, then occasionally vary multiplicity *)
+        occurrences `Covering q
+        @ (if Prng.flip rng 0.3 then occurrences `Random q else [])
+      | `Random ->
+        List.concat (List.init (Prng.int rng 3) (fun _ -> occurrences `Random q)))
+    | Cm.Plus q -> (
+      match mode with
+      | `Covering ->
+        occurrences `Covering q
+        @ (if Prng.flip rng 0.3 then occurrences `Random q else [])
+      | `Random ->
+        List.concat
+          (List.init (1 + Prng.int rng 2) (fun _ -> occurrences `Random q)))
+  in
+  instance (Dtd.root g.Gen_dtd.dtd)

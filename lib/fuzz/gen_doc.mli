@@ -1,0 +1,23 @@
+(** Random valid documents for a generated DTD.
+
+    Two modes:
+
+    - [`Covering] — the training-document mode.  Every element instance
+      realizes at least one child of {e every} name its content model
+      declares (for a [Star]/[Plus] over a choice group, one of each
+      branch).  By induction over the DTD's DAG this realizes every
+      root-to-node tag path the schema admits, which is what makes
+      extent equivalence on the training document transfer to arbitrary
+      valid documents (DESIGN.md §5f).
+    - [`Random] — fresh-instance mode: optional children are coin
+      flips, stars draw 0–2 occurrences, choices pick one branch.
+
+    Both modes emit every declared attribute and draw slot values from
+    the slot's domain pool ({!Gen_dtd.value}).  Text only ever appears
+    under mixed-content elements, so the generated documents are valid
+    by construction — {!Xl_schema.Validate} re-checks this as part of
+    the fuzz property. *)
+
+val generate :
+  mode:[ `Covering | `Random ] -> Xl_workload.Prng.t -> Gen_dtd.t ->
+  Xl_xml.Frag.t

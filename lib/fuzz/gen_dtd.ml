@@ -1,0 +1,137 @@
+(** Random recursion-free DTDs (see the interface for the invariants). *)
+
+module Prng = Xl_workload.Prng
+module Dtd = Xl_schema.Dtd
+module Cm = Xl_schema.Content_model
+
+type slot = {
+  owner : string;
+  sel : [ `Text | `Attr of string ];
+  domain : int;
+}
+
+type t = {
+  dtd : Dtd.t;
+  slots : slot list;
+  domains : int;
+  pool : int;
+}
+
+let name_pool = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |]
+let attr_pool = [| "id"; "ref"; "k"; "w" |]
+let root_name = "r"
+
+(* partition a child-name list into content-model particles: mostly
+   singleton items (Name / Opt / Star / Plus), occasionally a two-name
+   choice group wrapped in Star or Plus so one instance can still
+   realize both branches *)
+let rec particles rng (children : string list) : Cm.particle list =
+  match children with
+  | [] -> []
+  | c1 :: c2 :: rest when Prng.flip rng 0.25 ->
+    let group = Cm.Choice [ Cm.Name c1; Cm.Name c2 ] in
+    let item = if Prng.bool rng then Cm.Star group else Cm.Plus group in
+    item :: particles rng rest
+  | c :: rest ->
+    let item =
+      match Prng.int rng 4 with
+      | 0 -> Cm.Name c
+      | 1 -> Cm.Opt (Cm.Name c)
+      | 2 -> Cm.Star (Cm.Name c)
+      | _ -> Cm.Plus (Cm.Name c)
+    in
+    item :: particles rng rest
+
+let generate (rng : Prng.t) : t =
+  let n = 3 + Prng.int rng 4 in
+  let names = Array.to_list (Array.sub name_pool 0 n) in
+  let order = root_name :: names in
+  (* forward-only child edges over the element order: recursion-free *)
+  let children_of i =
+    let candidates = List.filteri (fun j _ -> j > i) order in
+    match candidates with
+    | [] -> []
+    | _ ->
+      if i > 0 && Prng.flip rng 0.35 then []  (* early leaf *)
+      else begin
+        let k = 1 + Prng.int rng (min 3 (List.length candidates)) in
+        (* pick k distinct names, preserving the element order *)
+        let picked = ref [] in
+        let remaining = ref candidates in
+        for _ = 1 to k do
+          match !remaining with
+          | [] -> ()
+          | l ->
+            let c = Prng.choose rng l in
+            picked := c :: !picked;
+            remaining := List.filter (fun x -> not (String.equal x c)) l
+        done;
+        List.filter (fun c -> List.mem c !picked) candidates
+      end
+  in
+  let decls =
+    List.mapi
+      (fun i el ->
+        let children = children_of i in
+        let content =
+          match children with
+          | [] -> Cm.Mixed []  (* text leaf: always value-bearing *)
+          | cs ->
+            if Prng.flip rng 0.2 then Cm.Mixed cs
+            else Cm.Children (Cm.Seq (particles rng cs))
+        in
+        let atts =
+          let k =
+            if Prng.flip rng 0.4 then if Prng.flip rng 0.25 then 2 else 1 else 0
+          in
+          List.init k (fun j ->
+              {
+                Dtd.att_name = attr_pool.(j + Prng.int rng (Array.length attr_pool - 1 - j));
+                att_type = Dtd.Cdata;
+                att_default = Dtd.Required;
+              })
+          (* attribute names must be distinct per element *)
+          |> List.fold_left
+               (fun acc a ->
+                 if List.exists (fun b -> String.equal b.Dtd.att_name a.Dtd.att_name) acc
+                 then acc
+                 else a :: acc)
+               []
+          |> List.rev
+        in
+        (el, content, atts))
+      order
+  in
+  let dtd = Dtd.of_list ~root:root_name decls in
+  let domains = 2 + Prng.int rng 2 in
+  let slots =
+    List.concat_map
+      (fun (el, content, atts) ->
+        let text_slots =
+          match content with
+          | Cm.Mixed _ -> [ { owner = el; sel = `Text; domain = Prng.int rng domains } ]
+          | _ -> []
+        in
+        let attr_slots =
+          List.map
+            (fun a ->
+              { owner = el; sel = `Attr a.Dtd.att_name; domain = Prng.int rng domains })
+            atts
+        in
+        text_slots @ attr_slots)
+      decls
+  in
+  { dtd; slots; domains; pool = 3 }
+
+let value rng (t : t) (domain : int) : string =
+  Printf.sprintf "d%d_%d" domain (Prng.int rng t.pool)
+
+let slots_of (t : t) (el : string) : slot list =
+  List.filter (fun s -> String.equal s.owner el) t.slots
+
+let root_paths (t : t) : string list list =
+  let rec go prefix el =
+    let prefix = prefix @ [ el ] in
+    prefix :: List.concat_map (go prefix) (Dtd.children_of t.dtd el)
+  in
+  go [] (Dtd.root t.dtd)

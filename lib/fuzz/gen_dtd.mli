@@ -1,0 +1,43 @@
+(** Random recursion-free DTDs for property-based testing.
+
+    Elements are ordered and child edges only point forward, so every
+    generated DTD is a DAG and its root-path language is finite — the
+    precondition for the covering-document construction in {!Gen_doc}
+    (and, through it, for the transfer argument that makes differential
+    testing on fresh instances sound; see DESIGN.md §5f).
+
+    Content models stay inside a "coverable" grammar: [Choice] only
+    occurs under [Star]/[Plus], so a single element instance can realize
+    every declared child name at once.
+
+    Every value position (an attribute, or the text of a mixed-content
+    element) is a {e slot} and belongs to a small {e value domain}:
+    slots of the same domain draw values from the same pool (these are
+    the joinable pairs), slots of different domains can never be equal
+    by accident. *)
+
+type slot = {
+  owner : string;  (** owning element *)
+  sel : [ `Text | `Attr of string ];
+  domain : int;
+}
+
+type t = {
+  dtd : Xl_schema.Dtd.t;
+  slots : slot list;
+  domains : int;  (** number of value domains *)
+  pool : int;  (** distinct values per domain *)
+}
+
+val generate : Xl_workload.Prng.t -> t
+
+val value : Xl_workload.Prng.t -> t -> int -> string
+(** A random value from the given domain's pool (["d<dom>_<k>"]). *)
+
+val slots_of : t -> string -> slot list
+(** The value slots owned by an element. *)
+
+val root_paths : t -> string list list
+(** Every root-to-element tag path of the DAG (root inclusive, so every
+    path starts with the root element's name), in a deterministic
+    order.  Finite because the DTD is recursion-free. *)

@@ -1,0 +1,173 @@
+(** Random in-class XQ-Tree target queries (see the interface). *)
+
+module Prng = Xl_workload.Prng
+module Dtd = Xl_schema.Dtd
+module Sp = Xl_xquery.Simple_path
+module Pe = Xl_xquery.Path_expr
+module Ast = Xl_xquery.Ast
+module Value = Xl_xquery.Value
+open Xl_xqtree
+
+let accessors (g : Gen_dtd.t) (el : string) : (Sp.t * int) list =
+  let rec chains depth prefix e =
+    let here =
+      List.filter_map
+        (fun s ->
+          match s.Gen_dtd.sel with
+          | `Attr a -> Some (prefix @ [ Sp.Attr_step a ], s.Gen_dtd.domain)
+          | `Text ->
+            (* an element's text is addressed as the element itself
+               (data($v/chain)) and only for leaves, where the string
+               value IS the text slot — the vocabulary the C-Learner's
+               data graph observes (direct values); an explicit text()
+               step, or text of an element with element children, is
+               outside the learnable relationship shapes *)
+            if Dtd.children_of g.Gen_dtd.dtd e = [] then Some (prefix, s.Gen_dtd.domain)
+            else None)
+        (Gen_dtd.slots_of g e)
+    in
+    let deeper =
+      if depth = 0 then []
+      else
+        List.concat_map
+          (fun c -> chains (depth - 1) (prefix @ [ Sp.elem c ]) c)
+          (Dtd.children_of g.Gen_dtd.dtd e)
+    in
+    here @ deeper
+  in
+  chains 2 [] el
+
+let last l = List.nth l (List.length l - 1)
+
+let generate rng (g : Gen_dtd.t) : Xqtree.t =
+  let dtd = g.Gen_dtd.dtd in
+  let var_count = ref 0 in
+  let fresh_var () =
+    incr var_count;
+    Printf.sprintf "v%d" !var_count
+  in
+  let paths =
+    List.filter (fun p -> List.length p >= 2) (Gen_dtd.root_paths g)
+  in
+  let pick_path () = Prng.choose rng paths in
+  let abs_source p =
+    let e = last p in
+    let pe =
+      if List.length p >= 3 && Prng.flip rng 0.25 then
+        (* //-shortcut to the final tag: still a regular rooted path *)
+        Pe.Seq (Pe.child (Pe.Tag (List.hd p)), Pe.desc (Pe.Tag e))
+      else Pe.steps p
+    in
+    (Xqtree.Abs (None, pe), e)
+  in
+  let value_cond v e =
+    match accessors g e with
+    | [] -> None
+    | accs ->
+      let p, d = Prng.choose rng accs in
+      Some
+        (Cond.Value (Cond.ep ~path:p v, Ast.Eq, Value.Str (Gen_dtd.value rng g d)))
+  in
+  let join_cond ~inner:(vi, ei) ~outer:(vo, eo) =
+    let pairs =
+      List.concat_map
+        (fun (p1, d1) ->
+          List.filter_map
+            (fun (p2, d2) -> if d1 = d2 then Some (p1, p2) else None)
+            (accessors g eo))
+        (accessors g ei)
+    in
+    match pairs with
+    | [] -> None
+    | _ ->
+      let p1, p2 = Prng.choose rng pairs in
+      Some (Cond.Join (Cond.ep ~path:p1 vi, Cond.ep ~path:p2 vo))
+  in
+  let p1 = pick_path () in
+  let src1, e1 = abs_source p1 in
+  let v1 = fresh_var () in
+  let kid = ref 0 in
+  let next_label () =
+    incr kid;
+    Printf.sprintf "N1.1.%d" !kid
+  in
+  let collapse_child =
+    let oto =
+      List.filter
+        (fun c -> Dtd.one_to_one dtd ~parent:e1 ~child:c)
+        (Dtd.children_of dtd e1)
+    in
+    match oto with
+    | c :: _ when Prng.flip rng 0.5 ->
+      [
+        Xqtree.make ~tag:c ~one_edge:true ~var:(fresh_var ())
+          ~source:(Xqtree.Rel (Pe.steps [ c ]))
+          (next_label ());
+      ]
+    | _ -> []
+  in
+  let rel_child =
+    match Dtd.children_of dtd e1 with
+    | cs when cs <> [] && Prng.flip rng 0.45 ->
+      let c = Prng.choose rng cs in
+      let chain, e' =
+        match Dtd.children_of dtd c with
+        | gcs when gcs <> [] && Prng.flip rng 0.4 ->
+          let gc = Prng.choose rng gcs in
+          ([ c; gc ], gc)
+        | _ -> ([ c ], c)
+      in
+      let v = fresh_var () in
+      let conds =
+        (if Prng.flip rng 0.5 then
+           Option.to_list (join_cond ~inner:(v, e') ~outer:(v1, e1))
+         else [])
+        @
+        if Prng.flip rng 0.25 then Option.to_list (value_cond v e') else []
+      in
+      [
+        Xqtree.make ~tag:e' ~var:v
+          ~source:(Xqtree.Rel (Pe.steps chain))
+          ~conds (next_label ());
+      ]
+    | _ -> []
+  in
+  let abs_child =
+    if Prng.flip rng 0.35 then begin
+      let p2 = pick_path () in
+      let src2, e2 = (Xqtree.Abs (None, Pe.steps p2), last p2) in
+      let v = fresh_var () in
+      match join_cond ~inner:(v, e2) ~outer:(v1, e1) with
+      | Some j ->
+        [ Xqtree.make ~tag:e2 ~var:v ~source:src2 ~conds:[ j ] (next_label ()) ]
+      | None -> []
+    end
+    else []
+  in
+  let main_conds =
+    if Prng.flip rng 0.4 then Option.to_list (value_cond v1 e1) else []
+  in
+  let main_order =
+    if Prng.flip rng 0.2 then
+      match accessors g e1 with
+      | [] -> []
+      | accs ->
+        let p, _ = Prng.choose rng accs in
+        [ (p, Prng.bool rng) ]
+    else []
+  in
+  let main =
+    Xqtree.make ~tag:e1 ~var:v1 ~source:src1 ~conds:main_conds
+      ~order_by:main_order
+      ~children:(collapse_child @ rel_child @ abs_child)
+      "N1.1"
+  in
+  let second_top =
+    if Prng.flip rng 0.25 then begin
+      let p2 = pick_path () in
+      let src2, e2 = abs_source p2 in
+      [ Xqtree.make ~tag:e2 ~var:(fresh_var ()) ~source:src2 "N1.2" ]
+    end
+    else []
+  in
+  Xqtree.make ~tag:"results" "N1" ~children:(main :: second_top)

@@ -1,0 +1,21 @@
+(** Random in-class XQ-Tree target queries over a generated DTD.
+
+    The shapes stay inside X1*+E ({!Xl_xqtree.Classes}): a constructor
+    root over one main doc-rooted variable node, optionally decorated
+    with a collapsed one-edge drop box, a nested relative variable, a
+    second doc-rooted variable joined to the main one, value predicates
+    (served through Condition Boxes) and an order-by key.  Join
+    endpoints are picked from matching value domains ({!Gen_dtd}), so
+    joins are satisfiable by construction on covering documents —
+    {!Case} still re-checks that every condition is satisfiable {e and}
+    discriminating before admitting a query. *)
+
+val accessors :
+  Gen_dtd.t -> string -> (Xl_xquery.Simple_path.t * int) list
+(** Value accessors of an element: simple paths (child chains of depth
+    ≤ 2 ending in an attribute step or in a text-leaf element) paired
+    with the value domain they read from.  Deliberately restricted to
+    the C-Learner's relationship vocabulary: direct values of
+    attributes and of elements whose string value is their own text. *)
+
+val generate : Xl_workload.Prng.t -> Gen_dtd.t -> Xl_xqtree.Xqtree.t

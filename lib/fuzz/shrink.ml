@@ -1,0 +1,127 @@
+(** Greedy counterexample shrinking (see the interface). *)
+
+module Frag = Xl_xml.Frag
+module Doc = Xl_xml.Doc
+module Validate = Xl_schema.Validate
+open Xl_xqtree
+
+(* every fragment obtained by removing exactly one element subtree *)
+let rec frag_drops (f : Frag.t) : Frag.t list =
+  match f with
+  | Frag.T _ -> []
+  | Frag.E (tag, attrs, kids) ->
+    let removals =
+      List.concat
+        (List.mapi
+           (fun i k ->
+             match k with
+             | Frag.E _ -> [ Frag.E (tag, attrs, List.filteri (fun j _ -> j <> i) kids) ]
+             | Frag.T _ -> [])
+           kids)
+    in
+    let recursed =
+      List.concat
+        (List.mapi
+           (fun i k ->
+             List.map
+               (fun k' ->
+                 Frag.E (tag, attrs, List.mapi (fun j kj -> if j = i then k' else kj) kids))
+               (frag_drops k))
+           kids)
+    in
+    removals @ recursed
+
+(* every tree obtained by removing one non-main subtree of the query *)
+let query_prunes (t : Xqtree.t) : Xqtree.t list =
+  let rec go (n : Xqtree.node) : Xqtree.node list =
+    let removals =
+      List.mapi
+        (fun i _ ->
+          { n with Xqtree.children = List.filteri (fun j _ -> j <> i) n.Xqtree.children })
+        n.Xqtree.children
+    in
+    let recursed =
+      List.concat
+        (List.mapi
+           (fun i k ->
+             List.map
+               (fun k' ->
+                 {
+                   n with
+                   Xqtree.children =
+                     List.mapi (fun j kj -> if j = i then k' else kj) n.Xqtree.children;
+                 })
+               (go k))
+           n.Xqtree.children)
+    in
+    removals @ recursed
+  in
+  (* never remove N1.1 itself: a query with no variable node is vacuous *)
+  List.filter (fun t' -> Xqtree.var_nodes t' <> []) (go t)
+
+(* drop one condition, or the order-by key, somewhere in the tree *)
+let cond_drops (t : Xqtree.t) : Xqtree.t list =
+  let rec at_node target_label f (n : Xqtree.node) =
+    let n = if String.equal n.Xqtree.label target_label then f n else n in
+    { n with Xqtree.children = List.map (at_node target_label f) n.Xqtree.children }
+  in
+  List.concat_map
+    (fun (n : Xqtree.node) ->
+      let per_cond =
+        List.mapi
+          (fun i _ ->
+            at_node n.Xqtree.label
+              (fun m ->
+                { m with Xqtree.conds = List.filteri (fun j _ -> j <> i) m.Xqtree.conds })
+              t)
+          n.Xqtree.conds
+      in
+      let order =
+        if n.Xqtree.order_by = [] then []
+        else [ at_node n.Xqtree.label (fun m -> { m with Xqtree.order_by = [] }) t ]
+      in
+      per_cond @ order)
+    (Xqtree.nodes t)
+
+let minimize ?(budget = 300) ~check (case : Case.t) (failure : Props.failure) :
+    Case.t * Props.failure =
+  let want = Props.constructor_name failure in
+  let left = ref budget in
+  (* when minimizing an invalid-document failure, candidates need not be
+     valid or admissible — that is the bug being cornered *)
+  let skip_filters = String.equal want "Invalid_document" in
+  let eligible (c : Case.t) =
+    skip_filters
+    || (Validate.is_valid c.Case.gen.Gen_dtd.dtd
+          (Doc.of_frag ~uri:"fuzz.xml" c.Case.training)
+       && Case.admissible
+            ~fresh:(List.init 3 (Case.fresh_doc c))
+            c.Case.training c.Case.target)
+  in
+  let try_candidate (c : Case.t) : Props.failure option =
+    if !left <= 0 || not (eligible c) then None
+    else begin
+      decr left;
+      match check c with
+      | Some f when String.equal (Props.constructor_name f) want -> Some f
+      | _ -> None
+    end
+  in
+  let rec pass (case, failure) =
+    let candidates =
+      List.map (fun tr -> { case with Case.training = tr }) (frag_drops case.Case.training)
+      @ List.map (fun q -> { case with Case.target = q }) (query_prunes case.Case.target)
+      @ List.map (fun q -> { case with Case.target = q }) (cond_drops case.Case.target)
+    in
+    let accepted =
+      List.find_map
+        (fun c ->
+          match try_candidate c with Some f -> Some (c, f) | None -> None)
+        candidates
+    in
+    match accepted with
+    | Some reduced when !left > 0 -> pass reduced
+    | Some reduced -> reduced
+    | None -> (case, failure)
+  in
+  pass (case, failure)

@@ -1,0 +1,26 @@
+(** Greedy counterexample shrinking.
+
+    Three reduction passes run to a fixpoint: drop a training-document
+    element subtree, prune a query subtree (a nested variable node, a
+    collapse box, the second top-level variable), drop one condition or
+    the order-by key.  A reduction is accepted only when
+
+    - the reduced case would still have been generated in spirit — the
+      document stays valid and the case stays {!Case.admissible}
+      (skipped when the failure being minimized is itself an
+      [Invalid_document]), and
+    - re-running [check] reproduces a failure with the {e same
+      constructor} ({!Props.constructor_name}), so shrinking never
+      wanders from one bug to a different one.
+
+    Every accepted step re-runs the full property (learning included),
+    so the work per step is bounded by a candidate budget rather than a
+    wall-clock guess. *)
+
+val minimize :
+  ?budget:int ->
+  check:(Case.t -> Props.failure option) ->
+  Case.t -> Props.failure -> Case.t * Props.failure
+(** [minimize ~check case failure] greedily reduces [case] while
+    [check] keeps failing with [failure]'s constructor.  [budget]
+    (default 300) caps candidate evaluations. *)

@@ -32,3 +32,18 @@ let bool (t : t) = int t 2 = 0
 
 (** true with probability [p]. *)
 let flip (t : t) (p : float) = float t < p
+
+(** An independent stream derived from [t]'s current state and [i],
+    without advancing [t].  [split (create ~seed) i] is a pure function
+    of [(seed, i)] — the property-based tester keys one stream per case
+    index so cases are reproducible whatever order a worker pool runs
+    them in. *)
+let split (t : t) (i : int) : t =
+  let z =
+    Int64.add t.state
+      (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+  in
+  (* splitmix64 finalizer decorrelates neighbouring indices *)
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  { state = Int64.logxor z (Int64.shift_right_logical z 31) }

@@ -18,3 +18,9 @@ val float : t -> float
 val bool : t -> bool
 val flip : t -> float -> bool
 (** true with the given probability. *)
+
+val split : t -> int -> t
+(** An independent stream keyed by an index, without advancing the
+    parent.  [split (create ~seed) i] depends only on [(seed, i)] — the
+    fuzz harness derives one stream per case so results are identical
+    whatever order (or domain) runs each case. *)

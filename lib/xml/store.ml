@@ -30,10 +30,20 @@ type t = {
   mutable default : Doc.t option;
   mutable generation : int;  (** bumped on every [add] *)
   mutable index : index option;  (** built lazily, dropped on [add] *)
+  mutable strict : bool;
+      (** raise instead of lazily building when an index is demanded —
+          catches a missing [prepare] before a multi-domain fan-out *)
 }
 
 let create () =
-  { docs_rev = []; docs_fwd = None; default = None; generation = 0; index = None }
+  {
+    docs_rev = [];
+    docs_fwd = None;
+    default = None;
+    generation = 0;
+    index = None;
+    strict = false;
+  }
 
 (** [add ?default store doc] registers [doc] under its URI.  The first
     document added becomes the default (the target of paths that start at
@@ -120,6 +130,11 @@ let index t =
   match t.index with
   | Some ix -> ix
   | None ->
+    if t.strict then
+      failwith
+        "Store: index requested before Store.prepare (strict mode): a lazy \
+         build here would race if the store is already shared between \
+         domains — call Store.prepare first";
     let ix = build_index t in
     t.index <- Some ix;
     ix
@@ -131,7 +146,19 @@ let index t =
     the next [add]) every reader is a pure lookup. *)
 let prepare t =
   ignore (assoc_docs t);
-  ignore (index t)
+  match t.index with
+  | Some _ -> ()
+  | None -> t.index <- Some (build_index t)
+
+let index_built t = t.index <> None
+
+(** In strict mode an index demand on an unbuilt index fails loudly
+    instead of silently falling back to an on-demand build (which is a
+    data race once the store is shared between domains, and an
+    easy-to-miss rebuild after an [add] dropped the prepared index).
+    [prepare] still builds; [add] leaves strictness on, so the next
+    reader after a forgotten re-[prepare] raises. *)
+let set_strict t flag = t.strict <- flag
 
 (** Every element/attribute node of every document, document order within
     each document, documents in registration order. *)

@@ -47,6 +47,19 @@ val prepare : t -> unit
     still confined to one domain.  Idempotent; a later [add] re-imposes
     the obligation. *)
 
+val index_built : t -> bool
+(** Are the indexes of the current registration epoch materialized?
+    [true] after {!prepare} (or any index demand) until the next
+    {!add}. *)
+
+val set_strict : t -> bool -> unit
+(** In strict mode, demanding an index that is not built raises
+    [Failure] instead of silently building it on the spot — the lazy
+    fallback is a data race once the store is shared between domains,
+    and hides a forgotten re-{!prepare} after an {!add}.  {!prepare}
+    itself still builds.  Off by default; switch it on right after
+    preparing a store that a pool fan-out will share. *)
+
 val nodes_with_tag : t -> string -> Node.t list
 (** Nodes whose {!Node.symbol} is the argument, document order: elements
     by tag, attributes by ["@name"]. *)

@@ -213,6 +213,10 @@ let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
           | _ -> ())
         n.Node.children
     in
+    (* ε in the path language selects the origin node itself (the
+       relative path of a node to itself is empty) *)
+    if dfa.Xl_automata.Dfa.finals.(dfa.Xl_automata.Dfa.start) then
+      out := from :: !out;
     visit dfa.Xl_automata.Dfa.start from;
     Xl_obs.Obs.Counter.add c_nodes_visited !visited;
     List.sort Node.compare_order (List.rev !out)

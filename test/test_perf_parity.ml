@@ -86,6 +86,32 @@ let test_xmp_parity () =
        (fun (q : Xl_workload.Xmp_queries.query) -> (q.id, q.text))
        Xl_workload.Xmp_queries.all)
 
+(* The randomized fuzz corpus sweeps far more DTD/document/query shapes
+   through the hash-join fast paths than the paper suites do; a fixed
+   25-seed slice keeps the sweep deterministic.  Each worker generates
+   its case, evaluates the target query under both strategies on its
+   own store and reduces to a serialized form (node-identity free, so
+   the comparison is meaningful across separately built stores). *)
+let test_fuzz_corpus_parity () =
+  let outcomes =
+    Xl_exec.Pool.map pool
+      (fun index ->
+        let case = Xl_fuzz.Case.generate ~seed:20040301 ~index in
+        let store = Xl_fuzz.Case.store_of ~prepare:true case in
+        let run ~fast_paths =
+          Xl_fuzz.Props.eval_to_string ~fast_paths case.Xl_fuzz.Case.target
+            store
+        in
+        (index, run ~fast_paths:true, run ~fast_paths:false))
+      (List.init 25 Fun.id)
+  in
+  List.iter
+    (fun (index, fast, naive) ->
+      Alcotest.(check string)
+        (Printf.sprintf "fuzz case %d hash-join vs naive" index)
+        naive fast)
+    outcomes
+
 (* The learner drives the evaluator on every membership/equivalence
    query; identical interaction counts under both strategies show the
    fast paths never change what the teacher observes. *)
@@ -139,6 +165,8 @@ let () =
           Alcotest.test_case "xmark tiny instances, 3 seeds" `Quick
             test_xmark_parity;
           Alcotest.test_case "xmp use-case store" `Quick test_xmp_parity;
+          Alcotest.test_case "randomized fuzz corpus, 25 seeds" `Quick
+            test_fuzz_corpus_parity;
         ] );
       ( "learner",
         [
