@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-check obs-demo fuzz clean
+.PHONY: build test bench bench-par bench-check bench-gate bench-frozen obs-demo fuzz clean
 
 build:
 	dune build
@@ -24,6 +24,26 @@ bench-check:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- perf-json
 	test -s BENCH_perf.json
+
+# Perf regression gate: stage the committed BENCH_perf.json as the
+# baseline, regenerate it on this machine, and fail if path-eval-deep,
+# the Q1 hash join or the fig16 total wall time regressed by more than
+# 25% (bench/main.ml perf-gate).  The staged baseline is removed so a
+# later bench-check never diffs against a stale copy.
+bench-gate:
+	dune build bench/main.exe
+	cp BENCH_perf.json BENCH_baseline.json
+	dune exec bench/main.exe -- perf-json
+	test -s BENCH_perf.json
+	dune exec bench/main.exe -- perf-gate; status=$$?; rm -f BENCH_baseline.json; exit $$status
+
+# Frozen-store selection micro on the domain pool: per-domain contexts
+# scanning one shared snapshot, checked against the pointer-walking
+# reference, at 1 and 4 workers.
+bench-frozen:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- frozen -j 1
+	dune exec bench/main.exe -- frozen -j 4
 
 # Property-based differential fuzzing (DESIGN.md §5f): 500 seeded cases
 # on the domain pool; exits non-zero and writes FUZZ_counterexamples.txt

@@ -10,6 +10,10 @@
      dune exec bench/main.exe -- perf         -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- perf-json    -- machine-readable baseline
                                                  (writes BENCH_perf.json)
+     dune exec bench/main.exe -- perf-gate    -- diff BENCH_perf.json against
+                                                 BENCH_baseline.json (make bench-gate)
+     dune exec bench/main.exe -- frozen       -- frozen-store scan micro on the
+                                                 domain pool (make bench-frozen)
 
    The Figure-16 suites and the perf-json baseline fan their independent
    learn-and-verify scenario runs across OCaml 5 domains (Xl_exec.Pool).
@@ -323,20 +327,27 @@ let perf () =
    file is the perf baseline the next optimization PR diffs against. *)
 
 (* ns/run by adaptive repetition: double the iteration count until the
-   measured batch takes at least [min_time] seconds. *)
+   measured batch takes at least [min_time] seconds, then report the best
+   of three batches at that count — the minimum discards scheduler and GC
+   noise, which a 25% regression gate cannot tolerate on µs-scale runs. *)
 let time_ns ?(min_time = 0.2) (f : unit -> unit) : float * int =
   f ();
   (* warmup: fill evaluator caches, trigger first GC growth *)
-  let rec measure iters =
+  let batch iters =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to iters do
       f ()
     done;
-    let dt = Unix.gettimeofday () -. t0 in
-    if dt < min_time && iters < 1_000_000 then measure (iters * 2)
-    else (dt *. 1e9 /. float_of_int iters, iters)
+    Unix.gettimeofday () -. t0
   in
-  measure 1
+  let rec calibrate iters =
+    let dt = batch iters in
+    if dt < min_time && iters < 1_000_000 then calibrate (iters * 2)
+    else (dt, iters)
+  in
+  let dt0, iters = calibrate 1 in
+  let dt = min dt0 (min (batch iters) (batch iters)) in
+  (dt *. 1e9 /. float_of_int iters, iters)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -391,11 +402,29 @@ let perf_json () =
   ignore (bench "xml-parse" (fun () -> ignore (Xl_xml.Xml_parser.parse xml_text)));
   ignore (bench "store-nodes" (fun () -> ignore (Xl_xml.Store.nodes store)));
   ignore (bench "data-graph-build" (fun () -> ignore (Xl_core.Data_graph.build store)));
+  (* the deep-path workload under each selection engine (the AST is
+     pre-parsed, like q1's: these time evaluation, not the parser):
+     the default is the frozen scan memoized per (DFA, base) — the
+     steady state of the learning loop — then the same scan without
+     memoization, the legacy tag-index answer, and the pointer-walking
+     reference *)
+  let deep_ast = Xl_xquery.Parser.parse "/site/regions/europe/item/description" in
   ignore
-    (bench "path-eval-deep" (fun () ->
-         ignore
-           (Xl_xquery.Eval.run ctx
-              (Xl_xquery.Parser.parse "/site/regions/europe/item/description"))));
+    (bench "path-eval-deep" (fun () -> ignore (Xl_xquery.Eval.run ctx deep_ast)));
+  ctx.Xl_xquery.Eval.use_extent_cache <- false;
+  ignore
+    (bench "frozen-select" (fun () -> ignore (Xl_xquery.Eval.run ctx deep_ast)));
+  ctx.Xl_xquery.Eval.use_frozen <- false;
+  ignore
+    (bench "path-eval-tag-index" (fun () ->
+         ignore (Xl_xquery.Eval.run ctx deep_ast)));
+  ctx.Xl_xquery.Eval.use_tag_index <- false;
+  ignore
+    (bench "path-eval-pointer-walk" (fun () ->
+         ignore (Xl_xquery.Eval.run ctx deep_ast)));
+  ctx.Xl_xquery.Eval.use_tag_index <- true;
+  ctx.Xl_xquery.Eval.use_frozen <- true;
+  ctx.Xl_xquery.Eval.use_extent_cache <- true;
   ctx.Xl_xquery.Eval.use_hash_join <- true;
   let hash_ns = bench "q1-eval-hash-join" (fun () -> ignore (Xl_xquery.Eval.run ctx q1_join)) in
   ctx.Xl_xquery.Eval.use_hash_join <- false;
@@ -529,6 +558,174 @@ let perf_json () =
     exit 1
   end
 
+(* ---------- frozen-store scan micro (make bench-frozen) ------------------ *)
+
+(* [frozen] exercises the frozen-snapshot selection engine under domain
+   fan-out: one store, frozen once by [Store.prepare], scanned
+   concurrently by every pool worker through per-domain evaluation
+   contexts (the snapshots are immutable and shared).  Each engine's
+   results are fingerprinted; a digest mismatch — across domains or
+   between the frozen scan and the pointer-walking reference — fails the
+   run.  Worker count: -j N as elsewhere. *)
+let frozen_bench () =
+  print_endline line;
+  print_endline "Frozen-store single-pass selection (shared snapshots across domains)";
+  print_endline line;
+  let scale =
+    {
+      Xl_workload.Xmark_gen.categories = 24;
+      items_per_region = 30;
+      people = 30;
+      open_auctions = 20;
+      closed_auctions = 25;
+    }
+  in
+  let doc = Xl_workload.Xmark_gen.generate scale in
+  let store = Xl_xml.Store.of_docs [ doc ] in
+  Xl_xml.Store.prepare store;
+  Xl_xml.Store.set_strict store true;
+  let paths =
+    [
+      "/site/regions/europe/item/description";
+      "/site/regions/(europe|africa)/item/incategory/@category";
+      "/site/categories/category/name";
+      "/site/people/person/@id";
+      "/site/open_auctions/open_auction/bidder";
+    ]
+  in
+  let p = pool () in
+  let jobs = Pool.domains p in
+  let tasks = max 2 (jobs * 2) in
+  let rounds = 100 in
+  let task engine _index =
+    (* per-task context: domain-confined mutable state over the shared
+       read-only store, per the pool's confinement contract *)
+    let ctx = Xl_xquery.Eval.make_ctx store in
+    (match engine with
+    | `Frozen ->
+      (* raw scan speed, not memoized replay *)
+      ctx.Xl_xquery.Eval.use_extent_cache <- false
+    | `Pointer_walk ->
+      ctx.Xl_xquery.Eval.use_extent_cache <- false;
+      ctx.Xl_xquery.Eval.use_frozen <- false;
+      ctx.Xl_xquery.Eval.use_tag_index <- false);
+    let asts = List.map Xl_xquery.Parser.parse paths in
+    let buf = Buffer.create 4096 in
+    for _ = 1 to rounds do
+      Buffer.clear buf;
+      List.iter
+        (fun ast -> Buffer.add_string buf (Xl_xquery.Eval.run_to_string ctx ast))
+        asts
+    done;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let time label engine =
+    let t0 = Unix.gettimeofday () in
+    let digests = Pool.map p (task engine) (List.init tasks Fun.id) in
+    let dt = Unix.gettimeofday () -. t0 in
+    let digest =
+      match digests with
+      | d :: rest when List.for_all (String.equal d) rest -> d
+      | _ ->
+        Printf.eprintf "FAIL: %s results differ across domains\n" label;
+        exit 1
+    in
+    Printf.printf "%-24s %3d jobs %10.1f ms  (%d tasks x %d rounds x %d paths)\n%!"
+      label jobs (dt *. 1e3) tasks rounds (List.length paths);
+    (dt, digest)
+  in
+  let fz_s, fz_digest = time "frozen-scan" `Frozen in
+  let pw_s, pw_digest = time "pointer-walk" `Pointer_walk in
+  if not (String.equal fz_digest pw_digest) then begin
+    Printf.eprintf "FAIL: frozen scan and pointer walk disagree\n";
+    exit 1
+  end;
+  Printf.printf "=> frozen scan %.2fx vs pointer walk at %d jobs, results identical\n\n%!"
+    (pw_s /. fz_s) jobs
+
+(* ---------- perf regression gate (make bench-gate) ----------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* pull the float following [key] out of a perf JSON by substring scan —
+   both files are machine-written by [perf_json] above, so the shapes
+   are stable and a JSON-parser dependency is not warranted *)
+let scan_float text key =
+  let n = String.length text and k = String.length key in
+  let rec find i =
+    if i + k > n then None
+    else if String.equal (String.sub text i k) key then Some (i + k)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while !j < n && text.[!j] = ' ' do incr j done;
+    let s = !j in
+    while
+      !j < n
+      && match text.[!j] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+    do
+      incr j
+    done;
+    float_of_string_opt (String.sub text s (!j - s))
+
+(* [perf-gate] compares the fresh BENCH_perf.json against
+   BENCH_baseline.json (the committed baseline, staged by `make
+   bench-gate`) and fails if any gated metric regressed by more than
+   25% — wide enough for shared-runner noise, narrow enough to catch a
+   lost fast path. *)
+let perf_gate () =
+  let baseline_path = "BENCH_baseline.json" in
+  let fresh_path = "BENCH_perf.json" in
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf
+      "perf-gate: %s not found (run via `make bench-gate`, which stages the committed baseline)\n"
+      baseline_path;
+    exit 2
+  end;
+  let baseline = read_file baseline_path in
+  let fresh = read_file fresh_path in
+  let tolerance = 1.25 in
+  let metrics =
+    [
+      ("path-eval-deep ns/run", {|"name":"path-eval-deep","ns_per_run":|});
+      ("q1 hash-join ns/run", {|"hash_ns_per_run": |});
+      ("fig16 total wall s", {|"total_wall_s": |});
+    ]
+  in
+  print_endline line;
+  Printf.printf "Perf gate — fresh run vs committed baseline (tolerance %.0f%%)\n"
+    ((tolerance -. 1.) *. 100.);
+  print_endline line;
+  Printf.printf "%-24s %14s %14s %8s\n" "metric" "baseline" "fresh" "ratio";
+  let failed = ref false in
+  List.iter
+    (fun (label, key) ->
+      match scan_float baseline key, scan_float fresh key with
+      | Some b, Some f when b > 0. ->
+        let ratio = f /. b in
+        let ok = ratio <= tolerance in
+        if not ok then failed := true;
+        Printf.printf "%-24s %14.1f %14.1f %7.2fx  %s\n" label b f ratio
+          (if ok then "ok" else "REGRESSED")
+      | _ ->
+        failed := true;
+        Printf.printf "%-24s metric missing from %s\n" label
+          (if scan_float baseline key = None then baseline_path else fresh_path))
+    metrics;
+  if !failed then begin
+    Printf.eprintf "FAIL: perf gate — a gated metric regressed beyond %.0f%%\n"
+      ((tolerance -. 1.) *. 100.);
+    exit 1
+  end;
+  Printf.printf "=> all gated metrics within tolerance\n\n"
+
 (* ---------- property-based differential fuzzing ------------------------- *)
 
 let fuzz_cases = ref 100
@@ -644,6 +841,8 @@ let () =
     | "sgml" -> sgml ()
     | "perf" -> perf ()
     | "perf-json" -> perf_json ()
+    | "perf-gate" -> perf_gate ()
+    | "frozen" -> frozen_bench ()
     | "fuzz" -> fuzz ()
     | "all" ->
       fig15 ();
@@ -655,7 +854,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | fuzz | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | fuzz | all)\n"
         other;
       exit 2
   in

@@ -124,6 +124,27 @@ let shortest_accepted t =
 
 let is_empty t = shortest_accepted t = None
 
+(** Per-state "some final state is reachable" flags — the pruning mask
+    of the tree-walking and frozen-scan selections: a walk entering a
+    non-live state can only produce dead work, so the whole subtree is
+    skipped.  Fixpoint over the (small) state set. *)
+let liveness t : bool array =
+  let live = Array.copy t.finals in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to t.states - 1 do
+      if not live.(q) then
+        for a = 0 to t.alphabet_size - 1 do
+          if live.(t.delta.(q).(a)) && not live.(q) then begin
+            live.(q) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  live
+
 (** [equivalent a b] is [Ok ()] when L(a) = L(b), otherwise
     [Error w] with [w] a shortest word in the symmetric difference. *)
 let equivalent a b =

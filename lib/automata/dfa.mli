@@ -48,6 +48,10 @@ val shortest_accepted : t -> int list option
 
 val is_empty : t -> bool
 
+val liveness : t -> bool array
+(** Per-state "a final state is reachable from here" flags, the pruning
+    mask used by tree walks and frozen scans over the automaton. *)
+
 val equivalent : t -> t -> (unit, int list) result
 (** [Error w] carries a shortest word in the symmetric difference — the
     counterexample for equivalence queries. *)

@@ -16,6 +16,24 @@ type teacher = {
 let h_table_rows = Xl_obs.Obs.Histogram.make "lstar_table_rows"
 let c_rounds = Xl_obs.Obs.Counter.make "lstar_rounds"
 
+(* The polymorphic [Hashtbl.hash] stops after ~10 list elements, and L*
+   words are prefix-closed access strings times suffixes — long words
+   routinely share their first 10 symbols, so a std table degenerates
+   into a few huge collision chains.  Hash the whole word instead. *)
+module Words = Hashtbl.Make (struct
+  type t = int list
+
+  let equal = Stdlib.( = )
+  let hash (w : int list) = List.fold_left (fun h x -> (h * 31) + x + 1) 17 w
+end)
+
+module Rows = Hashtbl.Make (struct
+  type t = bool array
+
+  let equal = Stdlib.( = )
+  let hash (r : bool array) = Array.fold_left (fun h b -> (h * 2) + Bool.to_int b) 1 r
+end)
+
 type stats = {
   mutable membership_queries : int;  (** distinct words asked *)
   mutable equivalence_queries : int;
@@ -30,21 +48,33 @@ type table = {
   alphabet_size : int;
   mutable s : int list list;  (** access words, prefix-closed, ε first *)
   mutable e : int list list;  (** distinguishing suffixes, ε first *)
-  answers : (int list, bool) Hashtbl.t;
+  answers : bool Words.t;
+  rows : bool array Words.t;
+      (** word -> its row over the current E.  Close/consistency sweeps
+          recompute every row many times per round; all but the first
+          computation are pure answer-cache hits, so memoizing them is
+          interaction-invisible.  Reset whenever E grows. *)
   teacher : teacher;
   stats : stats;
 }
 
 let member tbl w =
-  match Hashtbl.find_opt tbl.answers w with
+  match Words.find_opt tbl.answers w with
   | Some b -> b
   | None ->
     let b = tbl.teacher.membership w in
     tbl.stats.membership_queries <- tbl.stats.membership_queries + 1;
-    Hashtbl.replace tbl.answers w b;
+    Words.replace tbl.answers w b;
     b
 
-let row tbl s = List.map (fun e -> member tbl (s @ e)) tbl.e
+let row tbl s =
+  match Words.find_opt tbl.rows s with
+  | Some r -> r
+  | None ->
+    (* same left-to-right member order as the uncached List.map had *)
+    let r = Array.of_list (List.map (fun e -> member tbl (s @ e)) tbl.e) in
+    Words.replace tbl.rows s r;
+    r
 
 let all_extensions tbl =
   List.concat_map
@@ -66,10 +96,11 @@ let close_and_make_consistent tbl =
   while !changed do
     changed := false;
     (* closedness: every one-symbol extension's row appears among S rows *)
-    let s_rows = List.map (fun s -> (row tbl s, s)) tbl.s in
+    let s_row_set = Rows.create (List.length tbl.s) in
+    List.iter (fun s -> Rows.replace s_row_set (row tbl s) ()) tbl.s;
     (match
        List.find_opt
-         (fun ext -> not (List.mem_assoc (row tbl ext) s_rows))
+         (fun ext -> not (Rows.mem s_row_set (row tbl ext)))
          (all_extensions tbl)
      with
     | Some ext ->
@@ -90,12 +121,8 @@ let close_and_make_consistent tbl =
                       let r1 = row tbl (s1 @ [ a ]) and r2 = row tbl (s2 @ [ a ]) in
                       if r1 <> r2 then
                         (* find the separating suffix *)
-                        let e =
-                          List.find_map
-                            (fun (e, (b1, b2)) -> if b1 <> b2 then Some e else None)
-                            (List.combine tbl.e (List.combine r1 r2))
-                        in
-                        Some (a :: Option.get e)
+                        let rec sep i = if r1.(i) <> r2.(i) then i else sep (i + 1) in
+                        Some (a :: List.nth tbl.e (sep 0))
                       else find_a (a + 1)
                   in
                   find_a 0
@@ -106,7 +133,10 @@ let close_and_make_consistent tbl =
       in
       (match pairs tbl.s with
       | Some new_e ->
-        if not (List.mem new_e tbl.e) then tbl.e <- tbl.e @ [ new_e ];
+        if not (List.mem new_e tbl.e) then begin
+          tbl.e <- tbl.e @ [ new_e ];
+          Words.reset tbl.rows
+        end;
         changed := true
       | None -> ()))
   done
@@ -114,18 +144,21 @@ let close_and_make_consistent tbl =
 let conjecture tbl : Dfa.t =
   let s_rows = List.map (fun s -> (row tbl s, s)) tbl.s in
   (* distinct rows, in first-occurrence order, become states *)
+  let index = Rows.create 16 in
   let states = ref [] in
   List.iter
-    (fun (r, s) -> if not (List.mem_assoc r !states) then states := !states @ [ (r, s) ])
+    (fun (r, s) ->
+      if not (Rows.mem index r) then begin
+        Rows.replace index r (Rows.length index);
+        states := !states @ [ (r, s) ]
+      end)
     s_rows;
   let states = !states in
   let n = List.length states in
   let index_of r =
-    let rec go i = function
-      | [] -> invalid_arg "Lstar.conjecture: row not found (table not closed)"
-      | (r', _) :: rest -> if r = r' then i else go (i + 1) rest
-    in
-    go 0 states
+    match Rows.find_opt index r with
+    | Some i -> i
+    | None -> invalid_arg "Lstar.conjecture: row not found (table not closed)"
   in
   let start = index_of (row tbl []) in
   let finals = Array.make n false in
@@ -151,7 +184,8 @@ let learn ?(init = []) ?(max_rounds = 200) ~alphabet_size (teacher : teacher) :
       alphabet_size;
       s = [ [] ];
       e = [ [] ];
-      answers = Hashtbl.create 256;
+      answers = Words.create 256;
+      rows = Words.create 256;
       teacher;
       stats = fresh_stats ();
     }

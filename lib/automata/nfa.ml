@@ -66,6 +66,39 @@ let accepts t word =
     sink) and minimized. *)
 let to_dfa t =
   let k = t.alphabet_size in
+  (* The generic [eps_closure] re-walks the ε-graph frontier by frontier
+     on every call; Thompson NFAs for symbol alternations chain ε-moves
+     hundreds deep, which made each subset step quadratic.  Precompute
+     each state's transitive ε-closure once (plain BFS with a visited
+     array — ε-cycles from [Star] are fine) and take unions of those. *)
+  let state_closure =
+    Array.init t.states (fun q0 ->
+        let visited = Array.make t.states false in
+        let stack = ref [ q0 ] in
+        visited.(q0) <- true;
+        let acc = ref IntSet.empty in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | q :: rest ->
+            stack := rest;
+            acc := IntSet.add q !acc;
+            (match Hashtbl.find_opt t.epsilon q with
+            | None -> ()
+            | Some s ->
+              IntSet.iter
+                (fun q' ->
+                  if not visited.(q') then begin
+                    visited.(q') <- true;
+                    stack := q' :: !stack
+                  end)
+                s)
+        done;
+        !acc)
+  in
+  let closure_of set =
+    IntSet.fold (fun q acc -> IntSet.union acc state_closure.(q)) set IntSet.empty
+  in
   let index = Hashtbl.create 64 in
   let states = ref [] in
   let next_id = ref 0 in
@@ -80,7 +113,7 @@ let to_dfa t =
       states := (id, set) :: !states;
       id
   in
-  let start_set = eps_closure t (IntSet.singleton t.start) in
+  let start_set = closure_of (IntSet.singleton t.start) in
   let start = get_id start_set in
   let transitions = Hashtbl.create 64 in
   let queue = Queue.create () in
@@ -91,7 +124,7 @@ let to_dfa t =
     if not (Hashtbl.mem processed id) then begin
       Hashtbl.replace processed id ();
       for a = 0 to k - 1 do
-        let dest = eps_closure t (step_set t set a) in
+        let dest = closure_of (step_set t set a) in
         let known = Hashtbl.mem index (IntSet.elements dest) in
         let dest_id = get_id dest in
         Hashtbl.replace transitions (id, a) dest_id;

@@ -40,6 +40,21 @@ let to_nfa ~alphabet_size (r : t) : Nfa.t =
   let epsilons = ref [] in
   let add_t q a q' = transitions := (q, a, q') :: !transitions in
   let add_e q q' = epsilons := (q, q') :: !epsilons in
+  (* [Some syms] when [r] is a pure one-symbol alternation (Sym/Any
+     leaves under Alt).  [alt] over a whole alphabet is common — the
+     descendant axis compiles to one — and the literal binary build
+     would chain ε-moves as deep as the alphabet is wide, which the
+     subset construction then pays for on every step. *)
+  let rec alt_syms r =
+    match r with
+    | Sym a -> Some [ a ]
+    | Any -> Some (List.init alphabet_size Fun.id)
+    | Alt (r1, r2) -> (
+      match alt_syms r1 with
+      | None -> None
+      | Some x -> ( match alt_syms r2 with None -> None | Some y -> Some (x @ y)))
+    | _ -> None
+  in
   let rec build r =
     match r with
     | Empty ->
@@ -64,15 +79,22 @@ let to_nfa ~alphabet_size (r : t) : Nfa.t =
       let s2, f2 = build r2 in
       add_e f1 s2;
       (s1, f2)
-    | Alt (r1, r2) ->
-      let s = fresh () and f = fresh () in
-      let s1, f1 = build r1 in
-      let s2, f2 = build r2 in
-      add_e s s1;
-      add_e s s2;
-      add_e f1 f;
-      add_e f2 f;
-      (s, f)
+    | Alt (r1, r2) -> (
+      match alt_syms r with
+      | Some syms ->
+        (* collapse to a single state pair, like the [Any] case *)
+        let s = fresh () and f = fresh () in
+        List.iter (fun a -> add_t s a f) (List.sort_uniq compare syms);
+        (s, f)
+      | None ->
+        let s = fresh () and f = fresh () in
+        let s1, f1 = build r1 in
+        let s2, f2 = build r2 in
+        add_e s s1;
+        add_e s s2;
+        add_e f1 f;
+        add_e f2 f;
+        (s, f))
     | Star r1 ->
       let s = fresh () and f = fresh () in
       let s1, f1 = build r1 in

@@ -13,6 +13,10 @@ type t = {
   store : Store.t;
   by_value : (string, Node.t list) Hashtbl.t;
   reach_cache : (int, (Xl_xquery.Simple_path.t * string * Node.t) list) Hashtbl.t;
+  doc_uri_cache : (int, string option) Hashtbl.t;
+      (** root node id -> document uri; relay enumeration asks for the
+          owning document of every candidate in a nested loop, and the
+          answer is fixed per tree root for the store's lifetime *)
   max_depth : int;
 }
 
@@ -23,7 +27,13 @@ let build ?(max_depth = 3) (store : Store.t) : t =
       (* the value index lives on the store now: shared with the query
          evaluator's hash joins and built at most once per store epoch *)
       let by_value = Store.value_index store in
-      { store; by_value; reach_cache = Hashtbl.create 1024; max_depth })
+      {
+        store;
+        by_value;
+        reach_cache = Hashtbl.create 1024;
+        doc_uri_cache = Hashtbl.create 8;
+        max_depth;
+      })
 
 (** Nodes sharing value [v] — the v-equality neighbours. *)
 let with_value t v = Option.value ~default:[] (Hashtbl.find_opt t.by_value v)
@@ -111,12 +121,19 @@ let generalized_path (n : Node.t) : Xl_xquery.Path_expr.t =
 (** Which document a node belongs to (for [document()] in relay paths). *)
 let doc_uri_of (t : t) (n : Node.t) : string option =
   let root = Node.root n in
-  List.find_map
-    (fun d ->
-      if Node.equal d.Doc.doc_node root || Node.equal (Doc.root d) root then
-        Some (Doc.uri d)
-      else None)
-    (Store.docs t.store)
+  match Hashtbl.find_opt t.doc_uri_cache root.Node.id with
+  | Some r -> r
+  | None ->
+    let r =
+      List.find_map
+        (fun d ->
+          if Node.equal d.Doc.doc_node root || Node.equal (Doc.root d) root then
+            Some (Doc.uri d)
+          else None)
+        (Store.docs t.store)
+    in
+    Hashtbl.replace t.doc_uri_cache root.Node.id r;
+    r
 
 let density (t : t) : float =
   let nodes = List.length (Store.nodes t.store) in

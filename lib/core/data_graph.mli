@@ -9,6 +9,7 @@ type t = {
   store : Store.t;
   by_value : (string, Node.t list) Hashtbl.t;
   reach_cache : (int, (Xl_xquery.Simple_path.t * string * Node.t) list) Hashtbl.t;
+  doc_uri_cache : (int, string option) Hashtbl.t;  (** root node id -> uri *)
   max_depth : int;
 }
 
@@ -40,6 +41,8 @@ val generalized_path : Node.t -> Xl_xquery.Path_expr.t
     a concrete relay node becomes a path expression. *)
 
 val doc_uri_of : t -> Node.t -> string option
+(** Which document a node belongs to ([document()] in relay paths).
+    Memoized per tree root. *)
 
 val density : t -> float
 (** v-equality edges per node — the sparsity the paper's Section 10

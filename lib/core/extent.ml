@@ -15,45 +15,19 @@
 open Xl_xml
 
 (** Nodes under [base] whose relative tag path is accepted by [dfa]
-    (compiled over [ctx]'s alphabet), document order. *)
+    (compiled over [ctx]'s alphabet), document order.
+
+    Delegates to the evaluator's selection engine ({!Xl_xquery.Eval.select_dfa}):
+    the frozen single-pass scan with the per-(DFA, base) extent cache
+    when the context's fast paths are on, the pointer-walking reference
+    implementation otherwise.  Both handle the ε-accepting start — the
+    empty relative path denotes the base itself, and a relative task
+    whose extent contains its own anchor learns an ε-accepting DFA —
+    and both emit in document order (a DFS that appends attributes
+    before children needs no sort). *)
 let select_by_dfa (ctx : Xl_xquery.Eval.ctx) (dfa : Xl_automata.Dfa.t)
     (base : Node.t) : Node.t list =
-  let alphabet = ctx.Xl_xquery.Eval.alphabet in
-  let live = Xl_xquery.Eval.liveness dfa in
-  let out = ref [] in
-  (* find-only: an unseen symbol cannot be in the DFA's alphabet, and
-     interning it here would invalidate the evaluator's compiled-path
-     cache (the alphabet-growth bug) *)
-  let sym n = Xl_automata.Alphabet.find alphabet (Node.symbol n) in
-  let rec visit q n =
-    List.iter
-      (fun a ->
-        match sym a with
-        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
-          let q' = Xl_automata.Dfa.step dfa q s in
-          if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out
-        | _ -> ())
-      n.Node.attributes;
-    List.iter
-      (fun c ->
-        match sym c with
-        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
-          let q' = Xl_automata.Dfa.step dfa q s in
-          if live.(q') then begin
-            if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
-            if Node.is_element c then visit q' c
-          end
-        | _ -> ())
-      n.Node.children
-  in
-  (* the empty relative path denotes the base itself: a relative task
-     whose extent contains its own anchor (e.g. a nested box re-selecting
-     the context node) learns an ε-accepting DFA, and omitting the base
-     here would leave its hypothesis extent forever empty *)
-  if dfa.Xl_automata.Dfa.finals.(dfa.Xl_automata.Dfa.start) then
-    out := base :: !out;
-  visit dfa.Xl_automata.Dfa.start base;
-  List.sort Node.compare_order (List.rev !out)
+  Xl_xquery.Eval.select_dfa ctx dfa base
 
 (** Relative tag path of [n] with respect to [base] (the symbols below
     [base]); [None] when [n] is not in [base]'s subtree. *)

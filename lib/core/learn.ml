@@ -659,7 +659,10 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
          XQ_I semantics *)
       [ Xl_schema.Schema_source.of_dataguide
           (Xl_schema.Dataguide.of_store scenario.Scenario.store) ]
-    | dtds -> List.map Xl_schema.Schema_source.of_dtd dtds
+    | dtds ->
+      (* step memoization follows the run's fast-path switch so parity
+         sweeps exercise the naive stepper too *)
+      List.map (Xl_schema.Schema_source.of_dtd ~memo:config.fast_paths) dtds
   in
   let stats = Stats.create () in
   let tree = scenario.Scenario.target in

@@ -20,7 +20,20 @@ type t = {
   strategy : strategy;
   path_dfas : (string, Xl_automata.Dfa.t) Hashtbl.t;
   cb_queues : (string, (Cond.t * int) list ref) Hashtbl.t;
+  extents : (string * (string * int) list, Node.t list) Hashtbl.t;
+      (** (label, context variable->node id) -> intended extent; every
+          equivalence query of every L* round recomputes the same target
+          extent, so memoizing it here removes the dominant rescan.  The
+          target tree and conditions are fixed for the oracle's lifetime
+          and the teacher's [bind] is deterministic, so entries never go
+          stale; keyed by node ids, not nodes, to keep keys small. *)
 }
+
+(* shared with the evaluator's extent cache: both memoize extent
+   computations, so they report through the same counters (Counter.make
+   is idempotent by name) *)
+let c_extent_hit = Xl_obs.Obs.Counter.make "extent_cache_hit"
+let c_extent_miss = Xl_obs.Obs.Counter.make "extent_cache_miss"
 
 let task_of_label (o : t) (label : string) : Task.t =
   match
@@ -82,11 +95,28 @@ let path_dfa (o : t) (task : Task.t) : Xl_automata.Dfa.t =
 (** The intended extent EXT_{e,context} of the task at [label]. *)
 let target_extent (o : t) (label : string) (context : Teacher.context) :
     Node.t list =
-  let task = task_of_label o label in
-  let base = base_node o task context in
-  let candidates = Extent.select_by_dfa o.ctx (path_dfa o task) base in
-  Extent.filter_conds o.ctx context ~bind:(Task.bindings_of task)
-    (Task.conds task) candidates
+  let compute () =
+    let task = task_of_label o label in
+    let base = base_node o task context in
+    let candidates = Extent.select_by_dfa o.ctx (path_dfa o task) base in
+    Extent.filter_conds o.ctx context ~bind:(Task.bindings_of task)
+      (Task.conds task) candidates
+  in
+  if not o.ctx.Xl_xquery.Eval.use_extent_cache then compute ()
+  else begin
+    let key =
+      (label, List.map (fun (v, (n : Node.t)) -> (v, n.Node.id)) context)
+    in
+    match Hashtbl.find_opt o.extents key with
+    | Some r ->
+      Xl_obs.Obs.Counter.incr c_extent_hit;
+      r
+    | None ->
+      Xl_obs.Obs.Counter.incr c_extent_miss;
+      let r = compute () in
+      Hashtbl.replace o.extents key r;
+      r
+  end
 
 let path_membership (o : t) ~label ~context ~rel_path ~witness =
   ignore context;
@@ -153,7 +183,14 @@ let create ?(strategy = Best) ?fast_paths (scenario : Scenario.t) : t * Teacher.
         (Xl_schema.Dtd.path_symbols dtd))
     (Scenario.all_dtds scenario);
   let o =
-    { scenario; ctx; strategy; path_dfas = Hashtbl.create 16; cb_queues = Hashtbl.create 16 }
+    {
+      scenario;
+      ctx;
+      strategy;
+      path_dfas = Hashtbl.create 16;
+      cb_queues = Hashtbl.create 16;
+      extents = Hashtbl.create 64;
+    }
   in
   let teacher =
     {

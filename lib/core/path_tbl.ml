@@ -1,0 +1,15 @@
+(** Hashtables keyed by relative paths (string lists).
+
+    The polymorphic [Hashtbl.hash] stops after ~10 list elements, and the
+    learner's paths are prefix-closed — long paths routinely share their
+    first 10 steps, so a std table degenerates into a few huge collision
+    chains on the membership hot loop.  This instance hashes every step. *)
+
+include Hashtbl.Make (struct
+  type t = string list
+
+  let equal = Stdlib.( = )
+
+  let hash (s : string list) =
+    List.fold_left (fun h step -> (h * 31) + Hashtbl.hash step) 17 s
+end)

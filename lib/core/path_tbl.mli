@@ -1,0 +1,5 @@
+(** Hashtables keyed by relative paths (string lists), with a hash that
+    covers every step — the polymorphic one stops after ~10 list
+    elements, which degenerates on the learner's prefix-closed paths. *)
+
+include Hashtbl.S with type key = string list

@@ -40,17 +40,21 @@ type t = {
       (** observation hook: fires on every rule-auto-answered query (the
           fuzz harness checks R1 answers against the target language) *)
   schemas : Xl_schema.Schema_source.t list;
+  cursors : Xl_schema.Schema_source.cursor list;
+      (** [schemas] pre-walked to [abs_prefix]: every R1 test concerns
+          the same absolute prefix followed by a short relative word, so
+          the prefix is paid once here instead of per membership query *)
   alphabet : Xl_automata.Alphabet.t;
   abs_prefix : string list;  (** tag path of the fragment's base node *)
   ask : string list -> bool;  (** the real teacher *)
-  answers : (string list, bool) Hashtbl.t;
+  answers : bool Path_tbl.t;
       (** genuine answers; kept across restarts and, when a session cache
           is shared, across runs (Section 11 reuse) *)
-  preloaded : (string list, unit) Hashtbl.t;
+  preloaded : unit Path_tbl.t;
       (** answers inherited from an earlier session, for reuse counting *)
   on_reuse : unit -> unit;
-  counted : (string list, unit) Hashtbl.t;  (** reduction-counted strings *)
-  canonical : (string list, bool) Hashtbl.t;  (** Any_last: prefix -> answer *)
+  counted : unit Path_tbl.t;  (** reduction-counted strings *)
+  canonical : bool Path_tbl.t;  (** Any_last: prefix -> answer *)
   mutable known_positive : string list list;
   mutable r2_state : r2_state;
 }
@@ -60,23 +64,27 @@ let prefix l = match l with [] -> [] | _ -> List.filteri (fun i _ -> i < List.le
 
 let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ?on_auto
     ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask () =
-  let answers = match shared with Some tbl -> tbl | None -> Hashtbl.create 256 in
-  let preloaded = Hashtbl.create (Hashtbl.length answers) in
-  Hashtbl.iter (fun k _ -> Hashtbl.replace preloaded k ()) answers;
+  let answers = match shared with Some tbl -> tbl | None -> Path_tbl.create 256 in
+  let preloaded = Path_tbl.create (Path_tbl.length answers) in
+  Path_tbl.iter (fun k _ -> Path_tbl.replace preloaded k ()) answers;
   let t =
     {
       config;
       stats;
       on_auto;
       schemas;
+      cursors =
+        List.map
+          (fun schema -> Xl_schema.Schema_source.cursor schema abs_prefix)
+          schemas;
       alphabet;
       abs_prefix;
       ask;
       answers;
       preloaded;
       on_reuse;
-      counted = Hashtbl.create 256;
-      canonical = Hashtbl.create 64;
+      counted = Path_tbl.create 256;
+      canonical = Path_tbl.create 64;
       known_positive = [ dropped_path ];
       r2_state =
         (if config.r2 then
@@ -84,17 +92,17 @@ let create ?(config = default_config) ?shared ?(on_reuse = Fun.id) ?on_auto
          else Off);
     }
   in
-  Hashtbl.replace t.answers dropped_path true;
+  Path_tbl.replace t.answers dropped_path true;
   t
 
 let r1_applicable t s =
-  match t.schemas with
+  match t.cursors with
   | [] -> false
-  | schemas ->
+  | cursors ->
     not
       (List.exists
-         (fun schema -> Xl_schema.Schema_source.admits schema (t.abs_prefix @ s))
-         schemas)
+         (fun cursor -> Xl_schema.Schema_source.cursor_admits cursor s)
+         cursors)
 
 (* (applicable, auto answer if used) *)
 let r2_applicable t s =
@@ -105,18 +113,18 @@ let r2_applicable t s =
     | None -> (true, false)  (* the base node itself is never in the extent *)
     | Some tag -> if String.equal tag t1 then (false, false) else (true, false))
   | Any_last -> (
-    match Hashtbl.find_opt t.canonical (prefix s) with
+    match Path_tbl.find_opt t.canonical (prefix s) with
     | Some ans -> (true, ans)
     | None -> (false, false))
 
 (** The membership oracle handed to L*. *)
 let membership (t : t) (word : int list) : bool =
   let s = Xl_automata.Alphabet.decode t.alphabet word in
-  match Hashtbl.find_opt t.answers s with
+  match Path_tbl.find_opt t.answers s with
   | Some ans ->
-    if Hashtbl.mem t.preloaded s then begin
+    if Path_tbl.mem t.preloaded s then begin
       (* an answer from an earlier session replaces an interaction *)
-      Hashtbl.remove t.preloaded s;
+      Path_tbl.remove t.preloaded s;
       t.stats.Stats.auto_known <- t.stats.Stats.auto_known + 1;
       Xl_obs.Obs.Counter.incr c_mq_reused;
       t.on_reuse ()
@@ -125,19 +133,19 @@ let membership (t : t) (word : int list) : bool =
   | None ->
     if List.mem s t.known_positive then begin
       t.stats.Stats.auto_known <- t.stats.Stats.auto_known + 1;
-      Hashtbl.replace t.answers s true;
+      Path_tbl.replace t.answers s true;
       true
     end
     else begin
-      let r1 = t.config.r1 && r1_applicable t s in
-      let r2, r2_ans = r2_applicable t s in
-      let r2 = t.config.r2 && r2 in
+      (* evaluate each rule's applicability once; both the answer and
+         the independent Reduced(R1,R2,Both) accounting reuse it *)
+      let r1a = r1_applicable t s in
+      let r2a, r2_ans = r2_applicable t s in
+      let r1 = t.config.r1 && r1a in
+      let r2 = t.config.r2 && r2a in
       if r1 || r2 then begin
-        if not (Hashtbl.mem t.counted s) then begin
-          Hashtbl.replace t.counted s ();
-          (* count both rules' applicability independently *)
-          let r1a = r1_applicable t s in
-          let r2a = fst (r2_applicable t s) in
+        if not (Path_tbl.mem t.counted s) then begin
+          Path_tbl.replace t.counted s ();
           if r1a then t.stats.Stats.reduced_r1 <- t.stats.Stats.reduced_r1 + 1;
           if r2a then t.stats.Stats.reduced_r2 <- t.stats.Stats.reduced_r2 + 1;
           if r1a && r2a then
@@ -154,16 +162,16 @@ let membership (t : t) (word : int list) : bool =
         Xl_obs.Obs.Counter.incr c_mq_auto;
         (* R1 answers are schema-sound and may be memoized; R2 answers
            are assumptions and must stay revisable *)
-        if r1 then Hashtbl.replace t.answers s ans;
+        if r1 then Path_tbl.replace t.answers s ans;
         ans
       end
       else begin
         t.stats.Stats.mq <- t.stats.Stats.mq + 1;
         Xl_obs.Obs.Counter.incr c_mq_user;
         let ans = t.ask s in
-        Hashtbl.replace t.answers s ans;
+        Path_tbl.replace t.answers s ans;
         if ans then t.known_positive <- s :: t.known_positive;
-        if t.r2_state = Any_last then Hashtbl.replace t.canonical (prefix s) ans;
+        if t.r2_state = Any_last then Path_tbl.replace t.canonical (prefix s) ans;
         ans
       end
     end
@@ -171,19 +179,19 @@ let membership (t : t) (word : int list) : bool =
 (** Record a positive counterexample path.  Raises {!Restart} when it
     invalidates the current R2 assumption (backtracking). *)
 let note_positive (t : t) (s : string list) : unit =
-  let conflict = Hashtbl.find_opt t.answers s = Some false in
-  Hashtbl.replace t.answers s true;
+  let conflict = Path_tbl.find_opt t.answers s = Some false in
+  Path_tbl.replace t.answers s true;
   if not (List.mem s t.known_positive) then t.known_positive <- s :: t.known_positive;
   (match t.r2_state with
   | Last_tag t1 when last s <> Some t1 ->
     (* the "fixed last tag" heuristic failed: relax to Any_last and seed
        the canonical table with everything genuinely answered so far *)
     t.r2_state <- Any_last;
-    Hashtbl.iter (fun key ans -> Hashtbl.replace t.canonical (prefix key) ans) t.answers;
+    Path_tbl.iter (fun key ans -> Path_tbl.replace t.canonical (prefix key) ans) t.answers;
     t.stats.Stats.restarts <- t.stats.Stats.restarts + 1;
     raise Restart
   | _ -> ());
-  if t.r2_state = Any_last then Hashtbl.replace t.canonical (prefix s) true;
+  if t.r2_state = Any_last then Path_tbl.replace t.canonical (prefix s) true;
   if conflict then begin
     (* an earlier N on this path was misattributed; restart with the
        corrected table *)
@@ -195,14 +203,14 @@ let note_positive (t : t) (s : string list) : unit =
     contradicts an Any_last auto-answer (R2 is then switched off). *)
 let note_negative (t : t) (s : string list) : unit =
   (match t.r2_state with
-  | Any_last when Hashtbl.find_opt t.canonical (prefix s) = Some true ->
+  | Any_last when Path_tbl.find_opt t.canonical (prefix s) = Some true ->
     t.r2_state <- Off;
-    Hashtbl.reset t.canonical;
-    Hashtbl.replace t.answers s false;
+    Path_tbl.reset t.canonical;
+    Path_tbl.replace t.answers s false;
     t.stats.Stats.restarts <- t.stats.Stats.restarts + 1;
     raise Restart
   | _ -> ());
-  Hashtbl.replace t.answers s false
+  Path_tbl.replace t.answers s false
 
 let known_positive_paths t = t.known_positive
 

@@ -31,7 +31,7 @@ exception Restart
 type t
 
 val create :
-  ?config:config -> ?shared:(string list, bool) Hashtbl.t ->
+  ?config:config -> ?shared:bool Path_tbl.t ->
   ?on_reuse:(unit -> unit) ->
   ?on_auto:(rule:[ `R1 | `R2 ] -> path:string list -> answer:bool -> unit) ->
   stats:Stats.t ->

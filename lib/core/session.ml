@@ -19,7 +19,7 @@
 type key = string * string  (** scenario name, task label *)
 
 type t = {
-  tables : (key, (string list, bool) Hashtbl.t) Hashtbl.t;
+  tables : (key, bool Path_tbl.t) Hashtbl.t;
   mutable hits : int;  (** reused answers across all runs *)
 }
 
@@ -27,12 +27,12 @@ let create () = { tables = Hashtbl.create 16; hits = 0 }
 
 (** The (persistent) answer table for one drop box.  The caller hands it
     to {!Plearner.create}; answers accumulate across runs. *)
-let table (t : t) ~scenario ~label : (string list, bool) Hashtbl.t =
+let table (t : t) ~scenario ~label : bool Path_tbl.t =
   let key = (scenario, label) in
   match Hashtbl.find_opt t.tables key with
   | Some tbl -> tbl
   | None ->
-    let tbl = Hashtbl.create 64 in
+    let tbl = Path_tbl.create 64 in
     Hashtbl.replace t.tables key tbl;
     tbl
 
@@ -42,7 +42,7 @@ let hits t = t.hits
 (** Number of answers stored for a drop box. *)
 let stored t ~scenario ~label =
   match Hashtbl.find_opt t.tables (scenario, label) with
-  | Some tbl -> Hashtbl.length tbl
+  | Some tbl -> Path_tbl.length tbl
   | None -> 0
 
 (** Drop the cache for one scenario (the user reworked it). *)

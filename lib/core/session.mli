@@ -12,7 +12,7 @@ type t
 
 val create : unit -> t
 
-val table : t -> scenario:string -> label:string -> (string list, bool) Hashtbl.t
+val table : t -> scenario:string -> label:string -> bool Path_tbl.t
 (** The persistent answer table for one drop box, to hand to
     {!Plearner.create} as [shared]. *)
 

@@ -143,6 +143,9 @@ module Counter = struct
   let value c = Atomic.get c.cell
   let name c = c.c_name
 
+  let find name =
+    Mutex.protect reg_mutex (fun () -> Hashtbl.find_opt registry name)
+
   let all () =
     Mutex.protect reg_mutex (fun () ->
         Hashtbl.fold (fun _ c acc -> c :: acc) registry [])

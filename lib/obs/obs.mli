@@ -58,6 +58,10 @@ module Counter : sig
   val incr : t -> unit
   val value : t -> int
   val name : t -> string
+
+  val find : string -> t option
+  (** Look up a registered counter without creating it — for tests and
+      exporters that inspect counters owned by other modules. *)
 end
 
 (** Named log-scale histograms: bucket 0 holds values [<= 0], bucket [i]

@@ -45,6 +45,9 @@ let of_store (store : Xl_xml.Store.t) : t =
 let of_doc (doc : Xl_xml.Doc.t) : t =
   of_store (Xl_xml.Store.of_docs [ doc ])
 
+(** The subtrie under one more symbol, for incremental walks. *)
+let step (t : t) (sym : string) : t option = Hashtbl.find_opt t.children sym
+
 (** Does some node of the instance have this tag path?  Every prefix of
     an inserted path is admitted too (it names the ancestor). *)
 let admits (t : t) (path : string list) : bool =

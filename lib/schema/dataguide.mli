@@ -13,6 +13,10 @@ val insert : t -> string list -> unit
 val of_store : Xl_xml.Store.t -> t
 val of_doc : Xl_xml.Doc.t -> t
 
+val step : t -> string -> t option
+(** The subtrie under one more symbol, for incremental walks
+    ({!Schema_source.cursor}). *)
+
 val admits : t -> string list -> bool
 (** Does some node of the instance have this tag path?  Prefixes of
     inserted paths are admitted; the empty path is not. *)

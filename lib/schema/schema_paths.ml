@@ -5,16 +5,34 @@
     membership queries on schema-inconsistent paths with N automatically.
     The paper's prototype uses Relax NG for this filtering; on DTDs the
     language is the set of walks of the element graph from the root, plus
-    declared attribute ["@a"] and ["#text"] leaf steps. *)
+    declared attribute ["@a"] and ["#text"] leaf steps.
+
+    The language is exposed as an explicit int-state stepper (states:
+    initial, one per element name, leaf, dead) so R1 can hold a cursor at
+    a fragment's base prefix and answer each membership query by stepping
+    only the relative word — and so single (state, symbol) steps can be
+    memoized: XMark Q7 asks ~46k schema-reachability questions whose
+    steps revisit a few hundred distinct pairs. *)
+
+(* (state, symbol) step memo telemetry, exported in the perf baseline *)
+let c_r1_hit = Xl_obs.Obs.Counter.make "r1_cache_hit"
+let c_r1_miss = Xl_obs.Obs.Counter.make "r1_cache_miss"
 
 type t = {
   dtd : Dtd.t;
   children : (string, string list) Hashtbl.t;  (** element -> child elements *)
   atts : (string, string list) Hashtbl.t;  (** element -> "@a" symbols *)
   mixed : (string, bool) Hashtbl.t;  (** element may contain text *)
+  state_of : (string, int) Hashtbl.t;  (** element name -> state 1..n *)
+  names : string array;  (** state - 1 -> element name *)
+  leaf : int;
+  dead : int;
+  memo : (int * string, int) Hashtbl.t option;
+      (** (state, symbol) -> next state; [None] when memoization is off
+          (the naive parity configuration) *)
 }
 
-let compile (dtd : Dtd.t) : t =
+let compile ?(memo = true) (dtd : Dtd.t) : t =
   let children = Hashtbl.create 64 in
   let atts = Hashtbl.create 64 in
   let mixed = Hashtbl.create 64 in
@@ -33,26 +51,82 @@ let compile (dtd : Dtd.t) : t =
         in
         Hashtbl.replace mixed name m)
     (Dtd.element_names dtd);
-  { dtd; children; atts; mixed }
+  (* the stepper needs a state for every element name the language can
+     stand at: declared elements, names a content model references even
+     when undeclared (they admit the step but nothing below it), and the
+     root *)
+  let state_of = Hashtbl.create 64 in
+  let names = ref [] in
+  let count = ref 0 in
+  let register name =
+    if not (Hashtbl.mem state_of name) then begin
+      incr count;
+      Hashtbl.replace state_of name !count;
+      names := name :: !names
+    end
+  in
+  register (Dtd.root dtd);
+  List.iter register (Dtd.element_names dtd);
+  Hashtbl.iter (fun _ kids -> List.iter register kids) children;
+  let names = Array.of_list (List.rev !names) in
+  let leaf = !count + 1 and dead = !count + 2 in
+  {
+    dtd;
+    children;
+    atts;
+    mixed;
+    state_of;
+    names;
+    leaf;
+    dead;
+    memo = (if memo then Some (Hashtbl.create 256) else None);
+  }
 
 let lookup tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k)
 
+let start (_ : t) = 0
+
+let accepting (t : t) (q : int) = q <> 0 && q <> t.dead
+
+let compute_step (t : t) (q : int) (sym : string) : int =
+  if q = t.dead || q = t.leaf then t.dead
+  else if q = 0 then
+    if String.equal sym (Dtd.root t.dtd) then Hashtbl.find t.state_of sym
+    else t.dead
+  else
+    let name = t.names.(q - 1) in
+    if String.length sym > 0 && sym.[0] = '@' then
+      if List.mem sym (lookup t.atts name) then t.leaf else t.dead
+    else if String.equal sym "#text" then
+      if Option.value ~default:false (Hashtbl.find_opt t.mixed name) then t.leaf
+      else t.dead
+    else if List.mem sym (lookup t.children name) then
+      Hashtbl.find t.state_of sym
+    else t.dead
+
+let step (t : t) (q : int) (sym : string) : int =
+  match t.memo with
+  | None -> compute_step t q sym
+  | Some memo -> (
+    match Hashtbl.find_opt memo (q, sym) with
+    | Some q' ->
+      Xl_obs.Obs.Counter.incr c_r1_hit;
+      q'
+    | None ->
+      Xl_obs.Obs.Counter.incr c_r1_miss;
+      let q' = compute_step t q sym in
+      Hashtbl.replace memo (q, sym) q';
+      q')
+
+let run (t : t) (q : int) (path : string list) : int =
+  List.fold_left (fun q sym -> step t q sym) q path
+
 (** Does the schema admit a node with tag path [path]?  [path] starts at
-    the root element (e.g. [["site"; "regions"; "africa"; "item"]]). *)
+    the root element (e.g. [["site"; "regions"; "africa"; "item"]]).
+    The empty path names no node.  ["@a"]/["#text"] leaf steps cannot be
+    extended: the leaf state steps to dead. *)
 let admits (t : t) (path : string list) : bool =
-  let rec walk current rest =
-    match rest with
-    | [] -> true
-    | sym :: rest' ->
-      if String.length sym > 0 && sym.[0] = '@' then
-        rest' = [] && List.mem sym (lookup t.atts current)
-      else if String.equal sym "#text" then
-        rest' = [] && Option.value ~default:false (Hashtbl.find_opt t.mixed current)
-      else List.mem sym (lookup t.children current) && walk sym rest'
-  in
-  match path with
-  | [] -> false
-  | root :: rest -> String.equal root (Dtd.root t.dtd) && walk root rest
+  accepting t (run t (start t) path)
 
 (** The schema path language as a DFA over [alphabet] (which must contain
     at least the DTD's {!Dtd.path_symbols}).  Accepts exactly the

@@ -15,7 +15,7 @@ type t =
 
 
 
-let of_dtd dtd = Dtd_paths (Schema_paths.compile dtd)
+let of_dtd ?memo dtd = Dtd_paths (Schema_paths.compile ?memo dtd)
 let of_relaxng rng = Relax_ng rng
 let of_dataguide dg = Data_guide dg
 
@@ -25,6 +25,54 @@ let admits (t : t) (path : string list) : bool =
   | Dtd_paths sp -> Schema_paths.admits sp path
   | Relax_ng rng -> Relaxng.admits rng path
   | Data_guide dg -> Dataguide.admits dg path
+
+(** A source pre-walked to a fixed path prefix.  R1 holds one per
+    (source, fragment base): every membership query of a learning task
+    asks about the same absolute prefix followed by a short relative
+    word, so the cursor pays for the prefix once instead of per query. *)
+type cursor =
+  | Dtd_cursor of Schema_paths.t * int  (** stepper at the prefix state *)
+  | Guide_cursor of Dataguide.t * bool  (** subtrie at prefix, [at_root] *)
+  | Generic of t * string list  (** no incremental form; re-prepend *)
+  | Dead  (** the prefix itself is already inadmissible *)
+
+let cursor (t : t) (prefix : string list) : cursor =
+  match t with
+  | Dtd_paths sp ->
+    let q = Schema_paths.run sp (Schema_paths.start sp) prefix in
+    (* [q] may be the dead sink; stepping keeps it there, so no special
+       case is needed for admissible-prefix checks *)
+    Dtd_cursor (sp, q)
+  | Data_guide dg -> (
+    let rec walk node = function
+      | [] -> Some node
+      | sym :: rest -> (
+        match Dataguide.step node sym with
+        | Some next -> walk next rest
+        | None -> None)
+    in
+    match walk dg prefix with
+    | Some node -> Guide_cursor (node, prefix = [])
+    | None -> Dead)
+  | Relax_ng _ -> Generic (t, prefix)
+
+(** [cursor_admits (cursor t prefix) rel = admits t (prefix @ rel)],
+    with the prefix walk amortized. *)
+let cursor_admits (c : cursor) (rel : string list) : bool =
+  match c with
+  | Dead -> false
+  | Dtd_cursor (sp, q) -> Schema_paths.accepting sp (Schema_paths.run sp q rel)
+  | Guide_cursor (node, at_root) ->
+    let rec walk node = function
+      | [] -> true
+      | sym :: rest -> (
+        match Dataguide.step node sym with
+        | Some next -> walk next rest
+        | None -> false)
+    in
+    (* the empty total path names no node *)
+    (rel <> [] || not at_root) && walk node rel
+  | Generic (t, prefix) -> admits t (prefix @ rel)
 
 (** The path language as a DFA, where the source supports it (used to
     tighten learned automata for presentation). *)

@@ -7,11 +7,27 @@ type t =
   | Relax_ng of Relaxng.t
   | Data_guide of Dataguide.t
 
-val of_dtd : Dtd.t -> t
+val of_dtd : ?memo:bool -> Dtd.t -> t
+(** [memo] (default [true]) is forwarded to {!Schema_paths.compile}. *)
+
 val of_relaxng : Relaxng.t -> t
 val of_dataguide : Dataguide.t -> t
 
 val admits : t -> string list -> bool
+
+(** A source pre-walked to a fixed path prefix; see {!cursor}. *)
+type cursor =
+  | Dtd_cursor of Schema_paths.t * int
+  | Guide_cursor of Dataguide.t * bool
+  | Generic of t * string list
+  | Dead
+
+val cursor : t -> string list -> cursor
+(** Pre-walk the source to [prefix] so per-query work is proportional to
+    the relative word only. *)
+
+val cursor_admits : cursor -> string list -> bool
+(** [cursor_admits (cursor t prefix) rel = admits t (prefix @ rel)]. *)
 
 val to_dfa : t -> Xl_automata.Alphabet.t -> Xl_automata.Dfa.t option
 (** Where the source supports a DFA rendering. *)

@@ -1,0 +1,91 @@
+(** Frozen documents: immutable structure-of-arrays snapshots (see the
+    interface for the layout contract).
+
+    The preorder enumeration must match {!Node.all_nodes} — attributes
+    before element/text children, both in declaration order — because
+    {!Doc.of_frag} assigns Dewey codes with one shared counter over
+    attributes-then-children: preorder position IS document order. *)
+
+type t = {
+  uid : int;
+  doc : Doc.t;
+  nodes : Node.t array;
+  symbols : string array;
+  sym : int array;
+  parent : int array;
+  subtree_end : int array;
+  first_child : int array;
+  next_sibling : int array;
+  pos_of_id : (int, int) Hashtbl.t;
+}
+
+let next_uid = Atomic.make 0
+
+let freeze (doc : Doc.t) : t =
+  let n = Doc.node_count doc in
+  let doc_node = doc.Doc.doc_node in
+  let nodes = Array.make n doc_node in
+  let sym = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let subtree_end = Array.make n 0 in
+  let first_child = Array.make n (-1) in
+  let next_sibling = Array.make n (-1) in
+  let pos_of_id = Hashtbl.create (2 * n) in
+  (* per-document symbol interning: the global alphabet is a property of
+     an evaluation context, not of the document, so the snapshot keeps
+     its own dense ids and contexts map them (see Eval.frozen_sym_map) *)
+  let sym_ids = Hashtbl.create 64 in
+  let sym_list = ref [] in
+  let sym_count = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt sym_ids s with
+    | Some i -> i
+    | None ->
+      let i = !sym_count in
+      incr sym_count;
+      Hashtbl.replace sym_ids s i;
+      sym_list := s :: !sym_list;
+      i
+  in
+  let next = ref 0 in
+  let rec go parent_pos (node : Node.t) =
+    let p = !next in
+    incr next;
+    nodes.(p) <- node;
+    parent.(p) <- parent_pos;
+    sym.(p) <- intern (Node.symbol node);
+    Hashtbl.replace pos_of_id node.Node.id p;
+    List.iter (go p) node.Node.attributes;
+    List.iter (go p) node.Node.children;
+    subtree_end.(p) <- !next
+  in
+  go (-1) doc_node;
+  assert (!next = n);
+  (* sibling ranges are contiguous: the next sibling of [p] starts where
+     [p]'s subtree ends, provided that position is still inside the
+     parent's subtree *)
+  for p = 1 to n - 1 do
+    if first_child.(parent.(p)) = -1 then first_child.(parent.(p)) <- p;
+    let e = subtree_end.(p) in
+    if e < subtree_end.(parent.(p)) then next_sibling.(p) <- e
+  done;
+  let symbols = Array.of_list (List.rev !sym_list) in
+  {
+    uid = Atomic.fetch_and_add next_uid 1;
+    doc;
+    nodes;
+    symbols;
+    sym;
+    parent;
+    subtree_end;
+    first_child;
+    next_sibling;
+    pos_of_id;
+  }
+
+let size t = Array.length t.nodes
+
+let pos_of_node t (n : Node.t) : int option =
+  match Hashtbl.find_opt t.pos_of_id n.Node.id with
+  | Some p when Node.equal t.nodes.(p) n -> Some p
+  | _ -> None

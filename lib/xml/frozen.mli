@@ -1,0 +1,37 @@
+(** Frozen documents: immutable structure-of-arrays snapshots.
+
+    A frozen document lays the whole node tree out in preorder — which,
+    with attributes numbered before element/text children, is exactly
+    document order — as parallel [int] arrays: per-document interned
+    symbol ids, parent links, subtree extents and sibling links.  The
+    arrays are built once per document (by {!Store.prepare} /
+    {!Store.build_index}) and never mutated afterwards, so they can be
+    shared read-only across pool domains, and a DFA selection becomes a
+    single linear scan with O(1) subtree skips instead of a pointer
+    chase with string comparisons. *)
+
+type t = private {
+  uid : int;  (** process-unique snapshot identity, for per-context caches *)
+  doc : Doc.t;
+  nodes : Node.t array;  (** position -> node, document order; 0 = doc node *)
+  symbols : string array;  (** local symbol id -> {!Node.symbol} string *)
+  sym : int array;  (** position -> local symbol id *)
+  parent : int array;  (** position -> parent position; -1 for the doc node *)
+  subtree_end : int array;
+      (** position -> exclusive end of the subtree rooted there: the
+          subtree of [p] occupies positions [p .. subtree_end.(p) - 1] *)
+  first_child : int array;
+      (** position of the first attribute/child, or -1 for leaves *)
+  next_sibling : int array;  (** next sibling position, or -1 at the last *)
+  pos_of_id : (int, int) Hashtbl.t;  (** node id -> position *)
+}
+
+val freeze : Doc.t -> t
+(** Snapshot a document.  O(node count); the result shares the document's
+    {!Node.t} values (positions map back to them via [nodes]). *)
+
+val size : t -> int
+(** Number of positions (= nodes, document node included). *)
+
+val pos_of_node : t -> Node.t -> int option
+(** The position of a node of this document, [None] for foreign nodes. *)

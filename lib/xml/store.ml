@@ -22,6 +22,9 @@ type index = {
       (** tag-path symbol ([Node.symbol]) -> nodes, document order *)
   by_value : (string, Node.t list) Hashtbl.t;
       (** direct value -> value-bearing nodes (v-equality neighbours) *)
+  frozen : Frozen.t list;
+      (** one immutable array snapshot per document, registration order —
+          the frozen extent engine's input (see {!Frozen}) *)
 }
 
 type t = {
@@ -124,7 +127,8 @@ let build_index t : index =
         Hashtbl.replace by_value v (n :: cur)
       | _ -> ())
     univ;
-  { univ; by_id; by_tag; by_value })
+  let frozen = List.map Frozen.freeze (docs t) in
+  { univ; by_id; by_tag; by_value; frozen })
 
 let index t =
   match t.index with
@@ -179,3 +183,17 @@ let with_value t v =
 (** The raw value index, shared with the data graph.  Treat as read-only:
     it lives until the next [add]. *)
 let value_index t = (index t).by_value
+
+(** The frozen snapshot of every document, registration order. *)
+let frozen_docs t = (index t).frozen
+
+(** The snapshot and position of a store-resident node.  [None] for
+    nodes outside the store (e.g. constructed elements), which must take
+    the pointer-walking paths. *)
+let frozen_of_node t (n : Node.t) : (Frozen.t * int) option =
+  List.find_map
+    (fun fz ->
+      match Frozen.pos_of_node fz n with
+      | Some p -> Some (fz, p)
+      | None -> None)
+    (index t).frozen

@@ -71,3 +71,11 @@ val with_value : t -> string -> Node.t list
 val value_index : t -> (string, Node.t list) Hashtbl.t
 (** The raw value index (shared with {!Xl_core.Data_graph}).  Read-only;
     valid until the next [add]. *)
+
+val frozen_docs : t -> Frozen.t list
+(** The frozen array snapshot of every document (built with the other
+    indexes, so {!prepare} covers it), registration order. *)
+
+val frozen_of_node : t -> Node.t -> (Frozen.t * int) option
+(** Snapshot and position of a store-resident node; [None] for foreign
+    nodes (constructed elements), which must take the pointer walks. *)

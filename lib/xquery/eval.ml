@@ -55,8 +55,26 @@ type ctx = {
   mutable constructed : int;  (** count of constructed elements (stats) *)
   mutable use_hash_join : bool;
   mutable use_tag_index : bool;
+  mutable use_frozen : bool;
+      (** answer DFA selections by a linear scan over the store's frozen
+          array snapshots instead of the pointer-walking reference path *)
+  mutable use_extent_cache : bool;
+      (** memoize DFA selections per (DFA, base node) across calls *)
   join_cache : (Ast.expr * Ast.expr, join_index) Hashtbl.t;
   plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
+  frozen_syms : (int, int array * int) Hashtbl.t;
+      (** {!Xl_xml.Frozen.t} uid -> (local symbol id -> alphabet id or -1,
+          alphabet size at build) — rebuilt when the alphabet grows *)
+  extent_cache : (Xl_automata.Dfa.t * int, Node.t list) Hashtbl.t;
+      (** (DFA, base node id) -> selection, flushed on store change *)
+  mutable extent_cache_gen : int;  (** {!Store.generation} stamp *)
+  live_cache : (Xl_automata.Dfa.t, bool array) Hashtbl.t;
+      (** liveness of DFAs not compiled by this context (oracle DFAs) *)
+  mutable frozen_scratch : int array;
+      (** per-position DFA states scratch for the frozen scan, grown on
+          demand and never cleared — every slot read during a scan was
+          written earlier in the same scan (see [frozen_select]), so no
+          per-select O(subtree) initialization is needed *)
 }
 
 (* telemetry: which evaluator branch answered, and how much tree was
@@ -65,24 +83,12 @@ let c_flwor_hash = Xl_obs.Obs.Counter.make "eval_flwor_hash_join"
 let c_flwor_nested = Xl_obs.Obs.Counter.make "eval_flwor_nested_loop"
 let c_tag_index = Xl_obs.Obs.Counter.make "eval_tag_index_hits"
 let c_nodes_visited = Xl_obs.Obs.Counter.make "eval_nodes_visited"
+let c_frozen_selects = Xl_obs.Obs.Counter.make "eval_frozen_selects"
+let c_frozen_scanned = Xl_obs.Obs.Counter.make "eval_frozen_nodes_scanned"
+let c_extent_hit = Xl_obs.Obs.Counter.make "extent_cache_hit"
+let c_extent_miss = Xl_obs.Obs.Counter.make "extent_cache_miss"
 
-let liveness (dfa : Xl_automata.Dfa.t) : bool array =
-  let n = Xl_automata.Dfa.state_count dfa in
-  let live = Array.copy dfa.Xl_automata.Dfa.finals in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for q = 0 to n - 1 do
-      if not live.(q) then
-        for a = 0 to Xl_automata.Dfa.alphabet_size dfa - 1 do
-          if live.(Xl_automata.Dfa.step dfa q a) && not live.(q) then begin
-            live.(q) <- true;
-            changed := true
-          end
-        done
-    done
-  done;
-  live
+let liveness = Xl_automata.Dfa.liveness
 
 let intern_doc_symbols alphabet doc =
   List.iter
@@ -102,8 +108,15 @@ let make_ctx ?(fast_paths = true) (store : Store.t) : ctx =
     constructed = 0;
     use_hash_join = fast_paths;
     use_tag_index = fast_paths;
+    use_frozen = fast_paths;
+    use_extent_cache = fast_paths;
     join_cache = Hashtbl.create 16;
     plan_cache = Hashtbl.create 16;
+    frozen_syms = Hashtbl.create 4;
+    extent_cache = Hashtbl.create 256;
+    extent_cache_gen = Store.generation store;
+    live_cache = Hashtbl.create 16;
+    frozen_scratch = [||];
   }
 
 let ctx_of_doc ?fast_paths doc = make_ctx ?fast_paths (Store.of_docs [ doc ])
@@ -152,12 +165,191 @@ let tag_chain (p : Path_expr.t) : string list option =
   in
   go [] p
 
+(* ---------- DFA selection engine ---------------------------------------- *)
+
+(* liveness of a DFA not compiled by this context (the oracle's target
+   DFAs arrive pre-built); per-context memo, domain-confined like every
+   other ctx cache *)
+let live_of (ctx : ctx) (dfa : Xl_automata.Dfa.t) : bool array =
+  match Hashtbl.find_opt ctx.live_cache dfa with
+  | Some l -> l
+  | None ->
+    let l = Xl_automata.Dfa.liveness dfa in
+    Hashtbl.replace ctx.live_cache dfa l;
+    l
+
+(* Reference implementation: the pointer walk with dead-state pruning.
+   A DFS taking attributes before element/text children — the order
+   [Doc.of_frag] numbered them in — emits document order directly, so
+   the accumulator only needs reversing, never sorting. *)
+let tree_select (ctx : ctx) (dfa : Xl_automata.Dfa.t) (live : bool array)
+    (base : Node.t) : Node.t list =
+  let visited = ref 0 in
+  let out = ref [] in
+  (* find-only: a symbol unseen by the alphabet cannot be in the DFA's
+     alphabet, so it can never match — and interning it here would
+     silently invalidate every cached DFA on the next compile *)
+  let sym n = Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) in
+  let rec visit q n =
+    incr visited;
+    (* try attributes *)
+    List.iter
+      (fun a ->
+        match sym a with
+        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
+          let q' = Xl_automata.Dfa.step dfa q s in
+          if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out
+        | _ -> ())
+      n.Node.attributes;
+    (* children: text and elements *)
+    List.iter
+      (fun c ->
+        match sym c with
+        | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
+          let q' = Xl_automata.Dfa.step dfa q s in
+          if live.(q') then begin
+            if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
+            if Node.is_element c then visit q' c
+          end
+        | _ -> ())
+      n.Node.children
+  in
+  (* ε in the path language selects the origin node itself (the
+     relative path of a node to itself is empty) *)
+  if dfa.Xl_automata.Dfa.finals.(dfa.Xl_automata.Dfa.start) then
+    out := base :: !out;
+  visit dfa.Xl_automata.Dfa.start base;
+  Xl_obs.Obs.Counter.add c_nodes_visited !visited;
+  List.rev !out
+
+(* The snapshot's local symbol ids mapped to this context's alphabet
+   (-1 for symbols the alphabet has never seen).  The map depends only
+   on the alphabet size — the alphabet is append-only — so it is rebuilt
+   exactly when the alphabet has grown since it was built. *)
+let frozen_sym_map (ctx : ctx) (fz : Frozen.t) : int array =
+  let asize = Xl_automata.Alphabet.size ctx.alphabet in
+  match Hashtbl.find_opt ctx.frozen_syms fz.Frozen.uid with
+  | Some (map, stamp) when stamp = asize -> map
+  | _ ->
+    let map =
+      Array.map
+        (fun s ->
+          match Xl_automata.Alphabet.find ctx.alphabet s with
+          | Some i -> i
+          | None -> -1)
+        fz.Frozen.symbols
+    in
+    Hashtbl.replace ctx.frozen_syms fz.Frozen.uid (map, asize);
+    map
+
+(* Frozen fast path: one linear scan of the document-order arrays over
+   [base]'s subtree range, tracking the DFA state per position.  A
+   position whose symbol the DFA cannot read, or whose state is not
+   live, skips its whole subtree in O(1) via [subtree_end] — the array
+   form of the reference walk's pruning.  Because positions are document
+   order, results need no sorting.  Every position examined except the
+   base has its parent's state already assigned: a position is only
+   reached either as parent+1 or by skipping a preceding sibling
+   subtree, never from inside a skipped subtree. *)
+let frozen_select (ctx : ctx) (fz : Frozen.t) ~(base_pos : int)
+    (dfa : Xl_automata.Dfa.t) (live : bool array) : Node.t list =
+  let map = frozen_sym_map ctx fz in
+  let k = dfa.Xl_automata.Dfa.alphabet_size in
+  let delta = dfa.Xl_automata.Dfa.delta in
+  let finals = dfa.Xl_automata.Dfa.finals in
+  let sym = fz.Frozen.sym
+  and parent = fz.Frozen.parent
+  and sub_end = fz.Frozen.subtree_end
+  and nodes = fz.Frozen.nodes in
+  let b = base_pos in
+  let e = sub_end.(b) in
+  (* dirty scratch, grown on demand: [states.(parent.(p) - b)] below is
+     always a position this very scan assigned — [p] is reached either
+     as parent + 1 or by skipping an earlier sibling's subtree, never
+     from inside a skipped subtree — so stale values are never read and
+     the O(subtree) clear that dominated doc-rooted selects is gone *)
+  if Array.length ctx.frozen_scratch < e - b then
+    ctx.frozen_scratch <- Array.make (e - b + (e - b) / 2 + 16) (-1);
+  let states = ctx.frozen_scratch in
+  states.(0) <- dfa.Xl_automata.Dfa.start;
+  let out = ref [] in
+  if finals.(dfa.Xl_automata.Dfa.start) then out := nodes.(b) :: !out;
+  let scanned = ref 0 in
+  let i = ref (b + 1) in
+  while !i < e do
+    let p = !i in
+    incr scanned;
+    let a = map.(sym.(p)) in
+    if a < 0 || a >= k then i := sub_end.(p)
+    else begin
+      let q' = delta.(states.(parent.(p) - b)).(a) in
+      if live.(q') then begin
+        if finals.(q') then out := nodes.(p) :: !out;
+        states.(p - b) <- q';
+        i := p + 1
+      end
+      else i := sub_end.(p)
+    end
+  done;
+  Xl_obs.Obs.Counter.incr c_frozen_selects;
+  Xl_obs.Obs.Counter.add c_frozen_scanned !scanned;
+  List.rev !out
+
+let raw_select (ctx : ctx) (dfa : Xl_automata.Dfa.t) (live : bool array)
+    (base : Node.t) : Node.t list =
+  let frozen =
+    if ctx.use_frozen then Store.frozen_of_node ctx.store base else None
+  in
+  match frozen with
+  | Some (fz, pos) -> frozen_select ctx fz ~base_pos:pos dfa live
+  | None -> tree_select ctx dfa live base
+
+let check_extent_gen (ctx : ctx) =
+  let g = Store.generation ctx.store in
+  if g <> ctx.extent_cache_gen then begin
+    Hashtbl.reset ctx.extent_cache;
+    Hashtbl.reset ctx.frozen_syms;
+    ctx.extent_cache_gen <- g
+  end
+
+(* The one memoized selection entry point.  The cache key pairs the DFA
+   value itself (structural equality/hashing — DFAs are pure int/bool
+   records, and symbol ids never change meaning because the alphabet is
+   append-only) with the base's node id; entries are flushed when the
+   store's generation moves.  Cached lists are immutable and shared. *)
+let select_dfa_live (ctx : ctx) (dfa : Xl_automata.Dfa.t) (live : bool array)
+    (base : Node.t) : Node.t list =
+  if not ctx.use_extent_cache then raw_select ctx dfa live base
+  else begin
+    check_extent_gen ctx;
+    let key = (dfa, base.Node.id) in
+    match Hashtbl.find_opt ctx.extent_cache key with
+    | Some r ->
+      Xl_obs.Obs.Counter.incr c_extent_hit;
+      r
+    | None ->
+      Xl_obs.Obs.Counter.incr c_extent_miss;
+      let r = raw_select ctx dfa live base in
+      Hashtbl.replace ctx.extent_cache key r;
+      r
+  end
+
+(** Nodes under [base] whose relative tag path the DFA accepts, document
+    order — extent selection for externally compiled DFAs. *)
+let select_dfa (ctx : ctx) (dfa : Xl_automata.Dfa.t) (base : Node.t) :
+    Node.t list =
+  select_dfa_live ctx dfa (live_of ctx dfa) base
+
 (** Nodes reachable from [from] by the regular path [p] — [from]'s own
     symbol is not consumed.  Results in document order. *)
 let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
+  let use_frozen_here =
+    ctx.use_frozen && Store.frozen_of_node ctx.store from <> None
+  in
   let indexed =
     if
-      ctx.use_tag_index
+      (not use_frozen_here)
+      && ctx.use_tag_index
       && from.Node.kind = Node.Document
       && (match Store.find_node_by_id ctx.store from.Node.id with
          | Some n -> Node.equal n from
@@ -183,43 +375,7 @@ let eval_path (ctx : ctx) (p : Path_expr.t) (from : Node.t) : Node.t list =
     |> List.sort_uniq Node.compare_order
   | None ->
     let { dfa; live } = compile_path ctx p in
-    let visited = ref 0 in
-    let out = ref [] in
-    (* find-only: a symbol unseen by the alphabet cannot be in the DFA's
-       alphabet, so it can never match — and interning it here would
-       silently invalidate every cached DFA on the next compile *)
-    let sym n = Xl_automata.Alphabet.find ctx.alphabet (Node.symbol n) in
-    let rec visit q n =
-      incr visited;
-      (* try attributes *)
-      List.iter
-        (fun a ->
-          match sym a with
-          | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
-            let q' = Xl_automata.Dfa.step dfa q s in
-            if q' >= 0 && dfa.Xl_automata.Dfa.finals.(q') then out := a :: !out
-          | _ -> ())
-        n.Node.attributes;
-      (* children: text and elements *)
-      List.iter
-        (fun c ->
-          match sym c with
-          | Some s when s < Xl_automata.Dfa.alphabet_size dfa ->
-            let q' = Xl_automata.Dfa.step dfa q s in
-            if live.(q') then begin
-              if dfa.Xl_automata.Dfa.finals.(q') then out := c :: !out;
-              if Node.is_element c then visit q' c
-            end
-          | _ -> ())
-        n.Node.children
-    in
-    (* ε in the path language selects the origin node itself (the
-       relative path of a node to itself is empty) *)
-    if dfa.Xl_automata.Dfa.finals.(dfa.Xl_automata.Dfa.start) then
-      out := from :: !out;
-    visit dfa.Xl_automata.Dfa.start from;
-    Xl_obs.Obs.Counter.add c_nodes_visited !visited;
-    List.sort Node.compare_order (List.rev !out)
+    select_dfa_live ctx dfa live from
 
 (* ---------- element construction ---------------------------------------- *)
 

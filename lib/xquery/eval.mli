@@ -46,12 +46,31 @@ type ctx = {
       (** execute eligible equality [where] clauses as hash joins *)
   mutable use_tag_index : bool;
       (** answer doc-rooted tag chains from the nodes-by-tag index *)
+  mutable use_frozen : bool;
+      (** answer DFA selections by a linear scan over the store's frozen
+          array snapshots ({!Xl_xml.Frozen}) instead of the
+          pointer-walking reference path *)
+  mutable use_extent_cache : bool;
+      (** memoize DFA selections per (DFA, base node id) across calls —
+          the cross-round extent cache of the learning loop *)
   join_cache : (Ast.expr * Ast.expr, join_index) Hashtbl.t;
   plan_cache : (Ast.flwor, join_plan option) Hashtbl.t;
+  frozen_syms : (int, int array * int) Hashtbl.t;
+      (** {!Xl_xml.Frozen.t} uid -> (local symbol id -> alphabet id or
+          -1, alphabet size at build); rebuilt when the alphabet grows *)
+  extent_cache : (Xl_automata.Dfa.t * int, Xl_xml.Node.t list) Hashtbl.t;
+      (** (DFA, base node id) -> selection, flushed on store change *)
+  mutable extent_cache_gen : int;  (** {!Xl_xml.Store.generation} stamp *)
+  live_cache : (Xl_automata.Dfa.t, bool array) Hashtbl.t;
+      (** liveness of externally compiled DFAs (the oracle's) *)
+  mutable frozen_scratch : int array;
+      (** dirty per-scan state scratch of the frozen engine (see the
+          implementation's invariant note); grown on demand *)
 }
 
 val liveness : Xl_automata.Dfa.t -> bool array
-(** Per-state "can still accept" flags, for pruning tree walks. *)
+(** Per-state "can still accept" flags, for pruning tree walks.
+    Alias of {!Xl_automata.Dfa.liveness}. *)
 
 val make_ctx : ?fast_paths:bool -> Xl_xml.Store.t -> ctx
 (** Interns every symbol of every document in the store.  [fast_paths]
@@ -68,10 +87,20 @@ val intern_path_symbols : Xl_automata.Alphabet.t -> Path_expr.t -> unit
 
 val compile_path : ctx -> Path_expr.t -> compiled_path
 
+val select_dfa :
+  ctx -> Xl_automata.Dfa.t -> Xl_xml.Node.t -> Xl_xml.Node.t list
+(** Nodes under the base whose relative tag path the DFA accepts (the
+    base itself when the DFA accepts ε), document order.  Dispatches to
+    the frozen single-pass scan when the base is store-resident and
+    [use_frozen] is set, and memoizes per (DFA, base id) when
+    [use_extent_cache] is set; otherwise runs the pointer-walking
+    reference selection.  Never interns. *)
+
 val eval_path : ctx -> Path_expr.t -> Xl_xml.Node.t -> Xl_xml.Node.t list
 (** Nodes reachable from the base by the regular path (the base's own
-    symbol is not consumed), document order.  Never interns: symbols
-    outside the alphabet simply cannot match. *)
+    symbol is not consumed), document order.  Compiles the path (cached)
+    and selects via the same engine as {!select_dfa}.  Never interns:
+    symbols outside the alphabet simply cannot match. *)
 
 exception Type_error of string
 

@@ -243,6 +243,72 @@ let test_trace_jsonl () =
       Alcotest.(check bool) "merged trace holds spans and dialog" true
         (has {|"name":"ask"|} all && has {|"kind":"mq"|} all))
 
+(* ---------- cache counters ----------------------------------------------- *)
+
+(* The learning loop's memoization layers report through Obs counters:
+   the extent cache (Oracle + Eval, shared names) and the R1 step memo
+   (Schema_paths).  A fast-path learning run must show traffic on all of
+   them — and a naive run must leave them at zero, proving the caches
+   are really off, not just unreported.  Zero-valued counters are also
+   filtered from the telemetry JSON. *)
+
+let cache_counters =
+  [ "extent_cache_hit"; "extent_cache_miss"; "r1_cache_hit"; "r1_cache_miss" ]
+
+let counter_value name =
+  match Obs.Counter.find name with
+  | Some c -> Obs.Counter.value c
+  | None -> 0
+
+let has_sub sub l =
+  let rec find i =
+    i + String.length sub <= String.length l
+    && (String.sub l i (String.length sub) = sub || find (i + 1))
+  in
+  find 0
+
+let run_xmp_q2 ~fast_paths =
+  let sc = List.assoc "Q2" (Xl_workload.Xmp_scenarios.all ()) in
+  let config = { Xl_core.Learn.default_config with fast_paths } in
+  ignore (Xl_core.Learn.run ~config sc)
+
+let test_cache_counters_enabled () =
+  with_obs (fun () ->
+      run_xmp_q2 ~fast_paths:true;
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s > 0 after a fast-path run" name)
+            true
+            (counter_value name > 0))
+        cache_counters;
+      let json = Obs.telemetry_json () in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s appears in the telemetry block" name)
+            true
+            (has_sub (Printf.sprintf "{\"name\":\"%s\"" name) json))
+        cache_counters)
+
+let test_cache_counters_disabled_paths () =
+  with_obs (fun () ->
+      run_xmp_q2 ~fast_paths:false;
+      List.iter
+        (fun name ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s stays 0 on a naive run" name)
+            0 (counter_value name))
+        cache_counters;
+      let json = Obs.telemetry_json () in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "zero %s filtered from telemetry" name)
+            false
+            (has_sub (Printf.sprintf "{\"name\":\"%s\"" name) json))
+        cache_counters)
+
 (* ---------- reset -------------------------------------------------------- *)
 
 let test_reset () =
@@ -280,6 +346,13 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "teacher dialog (Trace)" `Quick test_trace_jsonl;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "extent + R1 counters on a fast-path run" `Quick
+            test_cache_counters_enabled;
+          Alcotest.test_case "counters stay zero on a naive run" `Quick
+            test_cache_counters_disabled_paths;
         ] );
       ( "reset", [ Alcotest.test_case "reset semantics" `Quick test_reset ] );
     ]

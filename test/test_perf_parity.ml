@@ -112,6 +112,153 @@ let test_fuzz_corpus_parity () =
         naive fast)
     outcomes
 
+(* Three-way corpus sweep isolating the frozen selection engine: the
+   default configuration (frozen scan + extent cache), the same fast
+   paths with the frozen engine and extent cache switched off (tag
+   index + pointer walk), and the fully naive evaluator must agree on
+   every case. *)
+let eval_config (case : Xl_fuzz.Case.t) (store : Xml.Store.t) ~fast_paths
+    ~frozen =
+  let ctx = Eval.make_ctx ~fast_paths store in
+  if not frozen then begin
+    ctx.Eval.use_frozen <- false;
+    ctx.Eval.use_extent_cache <- false
+  end;
+  let v = Eval.run ctx (Xl_xqtree.Xqtree.to_ast case.Xl_fuzz.Case.target) in
+  String.concat "\n"
+    (List.map
+       (function
+         | Value.Node n -> Xml.Serialize.node_to_string n
+         | Value.Atom a -> Value.atom_to_string a)
+       v)
+
+let test_fuzz_corpus_engines () =
+  let outcomes =
+    Xl_exec.Pool.map pool
+      (fun index ->
+        let case = Xl_fuzz.Case.generate ~seed:20040301 ~index in
+        let store = Xl_fuzz.Case.store_of ~prepare:true case in
+        ( index,
+          eval_config case store ~fast_paths:true ~frozen:true,
+          eval_config case store ~fast_paths:true ~frozen:false,
+          eval_config case store ~fast_paths:false ~frozen:false ))
+      (List.init 25 Fun.id)
+  in
+  List.iter
+    (fun (index, frozen, unfrozen, naive) ->
+      Alcotest.(check string)
+        (Printf.sprintf "fuzz case %d frozen vs tag-index" index)
+        unfrozen frozen;
+      Alcotest.(check string)
+        (Printf.sprintf "fuzz case %d frozen vs naive" index)
+        naive frozen)
+    outcomes
+
+(* Direct selection parity on the Figure-16 stores: for a sample of
+   concrete nodes, select by the node's generalized tag-path expression
+   from the document root — and by the relative remainder from an
+   ancestor base — under the frozen scan, the memoized frozen scan, and
+   the pointer walk, comparing node-id sequences (identity and order). *)
+let test_select_engine_parity () =
+  let stores =
+    [
+      ( "xmark",
+        (List.hd (Xl_workload.Xmark_scenarios.all ()) : string * Xl_core.Scenario.t)
+        |> fun (_, sc) -> sc.Xl_core.Scenario.store );
+      ("xmp", Xl_workload.Xmp_data.store ());
+    ]
+  in
+  List.iter (fun (_, store) -> Xml.Store.prepare store) stores;
+  let jobs =
+    List.concat_map
+      (fun (suite, store) ->
+        (* every 7th node: a deterministic spread over document order *)
+        let sample =
+          List.filteri (fun i _ -> i mod 7 = 0) (Xml.Store.nodes store)
+        in
+        [ (suite, store, sample) ])
+      stores
+  in
+  let outcomes =
+    Xl_exec.Pool.map pool
+      (fun (suite, store, sample) ->
+        let ctx_frozen = Eval.make_ctx ~fast_paths:true store in
+        ctx_frozen.Eval.use_extent_cache <- false;
+        let ctx_cached = Eval.make_ctx ~fast_paths:true store in
+        let ctx_walk = Eval.make_ctx ~fast_paths:false store in
+        let ids ctx p base =
+          String.concat ","
+            (List.map
+               (fun (n : Xml.Node.t) -> string_of_int n.Xml.Node.id)
+               (Eval.eval_path ctx p base))
+        in
+        let mismatches = ref [] in
+        List.iter
+          (fun (n : Xml.Node.t) ->
+            let root = Xml.Node.root n in
+            let doc_base =
+              match
+                List.find_opt
+                  (fun (d : Xml.Doc.t) ->
+                    Xml.Node.equal d.Xml.Doc.doc_node root
+                    || Xml.Node.equal (Xml.Doc.root d) root)
+                  (Xml.Store.docs store)
+              with
+              | Some d -> d.Xml.Doc.doc_node
+              | None -> root
+            in
+            let checks =
+              (* doc-rooted: the node's own generalized path *)
+              [ (Xl_core.Data_graph.generalized_path n, doc_base) ]
+              @
+              (* relative: the remainder below the topmost element *)
+              match Xml.Node.tag_path n with
+              | _root :: (_ :: _ as rest) -> (
+                match
+                  Xl_core.Extent.ancestor_at n (List.length rest)
+                with
+                | Some base ->
+                  [ ( Xl_xquery.Path_expr.seq
+                        (List.map
+                           (fun sym ->
+                             if String.length sym > 0 && sym.[0] = '@' then
+                               Xl_xquery.Path_expr.child
+                                 (Xl_xquery.Path_expr.Attr
+                                    (String.sub sym 1 (String.length sym - 1)))
+                             else if String.equal sym "#text" then
+                               Xl_xquery.Path_expr.child
+                                 Xl_xquery.Path_expr.Text_node
+                             else
+                               Xl_xquery.Path_expr.child
+                                 (Xl_xquery.Path_expr.Tag sym))
+                           rest),
+                      base ) ]
+                | None -> [])
+              | _ -> []
+            in
+            List.iter
+              (fun (p, base) ->
+                let f = ids ctx_frozen p base in
+                let c = ids ctx_cached p base in
+                let w = ids ctx_walk p base in
+                if not (String.equal f w && String.equal c w) then
+                  mismatches :=
+                    Printf.sprintf "%s node %d: frozen=%s cached=%s walk=%s"
+                      suite n.Xml.Node.id f c w
+                    :: !mismatches)
+              checks)
+          sample;
+        (suite, List.length sample, List.rev !mismatches))
+      jobs
+  in
+  List.iter
+    (fun (suite, sampled, mismatches) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: %d sampled bases agree across engines" suite
+           sampled)
+        [] mismatches)
+    outcomes
+
 (* The learner drives the evaluator on every membership/equivalence
    query; identical interaction counts under both strategies show the
    fast paths never change what the teacher observes. *)
@@ -157,6 +304,64 @@ let test_learner_parity () =
     (fun f n -> Alcotest.(check string) "interaction counts" n f)
     fast naive
 
+(* The committed perf baseline (BENCH_perf.json, a declared test dep)
+   pins the Figure-16 interaction counts: re-learning a scenario must
+   reproduce its stats row byte for byte, whatever the engine does
+   under the hood.  Checked on the extremes — cheap XMP Q1, cheap XMark
+   Q1, and XMark Q7, whose tens of thousands of auto-answered queries
+   exercise both the extent cache and the R1 step memo. *)
+let baseline_stats ~suite ~name : string =
+  let text =
+    (* dune runtest runs in test/, dune exec in the project root *)
+    let path =
+      List.find_opt Sys.file_exists [ "../BENCH_perf.json"; "BENCH_perf.json" ]
+    in
+    match path with
+    | None -> Alcotest.fail "BENCH_perf.json not found (declared test dep)"
+    | Some path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+  in
+  let find_from start key =
+    let n = String.length text and k = String.length key in
+    let rec go i =
+      if i + k > n then
+        Alcotest.failf "BENCH_perf.json: %S not found (after %d)" key start
+      else if String.equal (String.sub text i k) key then i + k
+      else go (i + 1)
+    in
+    go start
+  in
+  let suite_at = find_from 0 (Printf.sprintf "%S: { \"wall_s\"" suite) in
+  let row_at =
+    find_from suite_at (Printf.sprintf "{\"name\":%S," name)
+  in
+  let stats_at = find_from row_at "\"stats\":" in
+  let rec close i =
+    match text.[i] with '}' -> i | _ -> close (i + 1)
+  in
+  String.sub text stats_at (close stats_at - stats_at + 1)
+
+let test_pinned_fig16_counts () =
+  let subjects =
+    [
+      ("xmark", "Q1", List.assoc "Q1" (Xl_workload.Xmark_scenarios.all ()));
+      ("xmark", "Q7", List.assoc "Q7" (Xl_workload.Xmark_scenarios.all ()));
+      ("xmp", "Q1", List.assoc "Q1" (Xl_workload.Xmp_scenarios.all ()));
+    ]
+  in
+  List.iter
+    (fun (suite, name, sc) ->
+      let expected = baseline_stats ~suite ~name in
+      let r = Xl_core.Learn.run sc in
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s stats row matches committed baseline" suite name)
+        expected
+        (Xl_core.Stats.to_json r.Xl_core.Learn.stats))
+    subjects
+
 let () =
   Alcotest.run "perf-parity"
     [
@@ -167,10 +372,16 @@ let () =
           Alcotest.test_case "xmp use-case store" `Quick test_xmp_parity;
           Alcotest.test_case "randomized fuzz corpus, 25 seeds" `Quick
             test_fuzz_corpus_parity;
+          Alcotest.test_case "fuzz corpus, frozen vs tag-index vs naive" `Quick
+            test_fuzz_corpus_engines;
+          Alcotest.test_case "fig16 stores, select-engine parity" `Quick
+            test_select_engine_parity;
         ] );
       ( "learner",
         [
           Alcotest.test_case "fig16 suites, fast vs naive" `Slow
             test_learner_parity;
+          Alcotest.test_case "interaction counts pinned to BENCH_perf.json"
+            `Slow test_pinned_fig16_counts;
         ] );
     ]

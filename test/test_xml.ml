@@ -166,6 +166,79 @@ let test_store () =
   check cbool "missing" true (Store.find st "c.xml" = None);
   check cint "all nodes" 2 (List.length (Store.nodes st))
 
+(* ---------- Frozen ---------------------------------------------------------- *)
+
+let test_frozen_document_order () =
+  let d = doc () in
+  let fz = Frozen.freeze d in
+  (* Doc.all_nodes omits the document node, which freezing puts at 0 *)
+  let expected = List.sort Node.compare_order (d.Doc.doc_node :: Doc.all_nodes d) in
+  check cint "size is node count" (List.length expected) (Frozen.size fz);
+  check cint "nodes array matches size" (Frozen.size fz) (Array.length fz.Frozen.nodes);
+  List.iteri
+    (fun p n ->
+      check cbool
+        (Printf.sprintf "position %d is document-order node %d" p n.Node.id)
+        true
+        (Node.equal fz.Frozen.nodes.(p) n))
+    expected;
+  check cbool "position 0 is the doc node" true
+    (fz.Frozen.nodes.(0).Node.kind = Node.Document);
+  (* per-position symbol ids decode to the node's symbol *)
+  Array.iteri
+    (fun p n ->
+      check cstr
+        (Printf.sprintf "symbol at %d" p)
+        (Node.symbol n)
+        fz.Frozen.symbols.(fz.Frozen.sym.(p)))
+    fz.Frozen.nodes
+
+let test_frozen_structure_consistency () =
+  let d = doc () in
+  let fz = Frozen.freeze d in
+  let n = Frozen.size fz in
+  check cint "doc node has no parent" (-1) fz.Frozen.parent.(0);
+  check cint "doc subtree spans everything" n fz.Frozen.subtree_end.(0);
+  for p = 0 to n - 1 do
+    let e = fz.Frozen.subtree_end.(p) in
+    check cbool (Printf.sprintf "subtree of %d is non-empty and in range" p) true
+      (e > p && e <= n);
+    (* every position strictly inside [p]'s subtree has its parent inside
+       it too, and every position outside doesn't chain back to [p] *)
+    for q = p + 1 to n - 1 do
+      let inside = q < e in
+      let par = fz.Frozen.parent.(q) in
+      if inside then
+        check cbool (Printf.sprintf "parent of %d stays in subtree of %d" q p) true
+          (par >= p && par < e)
+      else
+        check cbool (Printf.sprintf "%d outside subtree of %d" q p) true (par < p || par >= e)
+    done;
+    (* sibling/child links agree with parent links *)
+    let fc = fz.Frozen.first_child.(p) in
+    if fc >= 0 then (
+      check cint (Printf.sprintf "first child of %d" p) p fz.Frozen.parent.(fc);
+      check cint "first child is the next position" (p + 1) fc);
+    let ns = fz.Frozen.next_sibling.(p) in
+    if ns >= 0 then (
+      check cbool (Printf.sprintf "next sibling of %d shares parent" p) true
+        (fz.Frozen.parent.(ns) = fz.Frozen.parent.(p));
+      check cint (Printf.sprintf "sibling of %d starts after its subtree" p) e ns)
+  done
+
+let test_frozen_pos_of_node () =
+  let d = doc () in
+  let fz = Frozen.freeze d in
+  Array.iteri
+    (fun p n ->
+      match Frozen.pos_of_node fz n with
+      | Some p' -> check cint (Printf.sprintf "pos_of_node roundtrip %d" p) p p'
+      | None -> Alcotest.failf "node at position %d not found" p)
+    fz.Frozen.nodes;
+  let other = Doc.of_frag ~uri:"other.xml" (Frag.elem "a" "x") in
+  check cbool "foreign node has no position" true
+    (Frozen.pos_of_node fz (Doc.root other) = None)
+
 (* ---------- Properties ------------------------------------------------------ *)
 
 let gen_frag =
@@ -270,6 +343,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_serialize_node_roundtrip;
         ] );
       ("store", [ Alcotest.test_case "basics" `Quick test_store ]);
+      ( "frozen",
+        [
+          Alcotest.test_case "document order" `Quick test_frozen_document_order;
+          Alcotest.test_case "structure consistency" `Quick test_frozen_structure_consistency;
+          Alcotest.test_case "pos_of_node roundtrip" `Quick test_frozen_pos_of_node;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_roundtrip; prop_dewey_total_order; prop_tag_paths_unique_prefix ] );
