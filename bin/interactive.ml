@@ -51,6 +51,9 @@ let teacher (oracle_teacher : Xl_core.Teacher.t) : Xl_core.Teacher.t =
         | Some ("y" | "Y" | "yes") -> true
         | Some ("n" | "N" | "no") -> false
         | _ -> intended));
+    (* no batching at the console: each question must reach the user one
+       at a time, in the order the learner would ask them *)
+    path_membership_batch = None;
     equivalence =
       (fun ~label ~context ~extent ->
         let intended =

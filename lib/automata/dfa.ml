@@ -33,6 +33,27 @@ let accepts t word =
   let q = run t word in
   q >= 0 && t.finals.(q)
 
+(* forward state propagation over a prefix trie: node ids ascend from
+   parents to children, so one left-to-right pass settles every node *)
+let trie_states t (trie : Trie.t) : int array =
+  let n = Trie.size trie in
+  let states = Array.make n t.start in
+  for i = 1 to n - 1 do
+    let q = states.(Trie.parent trie i) in
+    states.(i) <- (if q < 0 then q else step t q (Trie.symbol trie i))
+  done;
+  states
+
+let accepts_batch t (words : int list list) : bool list =
+  let trie = Trie.create () in
+  let terminals = List.map (Trie.add_word trie) words in
+  let states = trie_states t trie in
+  List.map
+    (fun node ->
+      let q = states.(node) in
+      q >= 0 && t.finals.(q))
+    terminals
+
 (** DFA accepting the empty language. *)
 let empty ~alphabet_size =
   {

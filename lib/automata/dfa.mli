@@ -24,6 +24,16 @@ val step : t -> int -> int -> int
 val run : t -> int list -> int
 val accepts : t -> int list -> bool
 
+val trie_states : t -> Trie.t -> int array
+(** The state reached by the word spelled to each trie node, in one
+    forward pass over the nodes (every node after its parent, so each
+    shared prefix is stepped once no matter how many words use it). *)
+
+val accepts_batch : t -> int list list -> bool list
+(** [List.map (accepts t) words], computed by inserting the batch into a
+    shared prefix trie and propagating states with {!trie_states} —
+    answers all N words in a single pass over their distinct symbols. *)
+
 val empty : alphabet_size:int -> t
 (** The empty language. *)
 

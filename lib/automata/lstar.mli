@@ -8,6 +8,15 @@
 
 type teacher = {
   membership : int list -> bool;
+  membership_batch : (int list list -> bool list) option;
+      (** Answer a batch of words at once, one answer per word, in order.
+          Before every observation-table sweep the learner hands the
+          still-unanswered words of the fill — deduplicated, in the exact
+          order the word-at-a-time sweep would first ask them — to this
+          function, so a teacher can amortize one shared evaluation pass
+          over the whole fill.  The words asked (and so every interaction
+          count) are identical with and without batching.  [None] falls
+          back to per-word [membership]. *)
   equivalence : Dfa.t -> int list option;
       (** [None] = hypothesis accepted; [Some w] = counterexample word *)
 }

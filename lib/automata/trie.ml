@@ -1,0 +1,72 @@
+(** Shared prefix trie over integer-symbol words.  See the interface for
+    the numbering invariant (creation order = topological order).
+
+    Edges are first-child/next-sibling int arrays rather than a hash
+    table: an L* fill inserts ~10^5 short words per table sweep, and a
+    per-step (node, symbol) hash lookup (tuple allocation + polymorphic
+    hash) costs more than the whole DFA walk it is meant to batch.  A
+    node's fanout is bounded by the tag alphabet and is small in
+    practice, so a linear sibling scan of unboxed ints wins by a wide
+    margin. *)
+
+type t = {
+  mutable parent : int array;
+  mutable symbol : int array;
+  mutable first_child : int array;
+  mutable next_sibling : int array;
+  mutable len : int;
+}
+
+let root = 0
+
+let create () =
+  {
+    parent = Array.make 64 (-1);
+    symbol = Array.make 64 (-1);
+    first_child = Array.make 64 (-1);
+    next_sibling = Array.make 64 (-1);
+    len = 1;
+  }
+
+let size t = t.len
+
+let grow t =
+  let cap = Array.length t.parent in
+  if t.len = cap then begin
+    let extend a = let b = Array.make (2 * cap) (-1) in Array.blit a 0 b 0 cap; b in
+    t.parent <- extend t.parent;
+    t.symbol <- extend t.symbol;
+    t.first_child <- extend t.first_child;
+    t.next_sibling <- extend t.next_sibling
+  end
+
+let child t node sym =
+  let rec scan c =
+    if c < 0 then begin
+      grow t;
+      let c = t.len in
+      t.parent.(c) <- node;
+      t.symbol.(c) <- sym;
+      (* prepend keeps insertion O(fanout) with no tail pointer *)
+      t.next_sibling.(c) <- t.first_child.(node);
+      t.first_child.(node) <- c;
+      t.len <- t.len + 1;
+      c
+    end
+    else if t.symbol.(c) = sym then c
+    else scan t.next_sibling.(c)
+  in
+  scan t.first_child.(node)
+
+let add_word t word = List.fold_left (fun node sym -> child t node sym) root word
+
+let parent t i =
+  if i < 0 || i >= t.len then invalid_arg "Trie.parent" else t.parent.(i)
+
+let symbol t i =
+  if i < 0 || i >= t.len then invalid_arg "Trie.symbol" else t.symbol.(i)
+
+let symbols t i =
+  if i < 0 || i >= t.len then invalid_arg "Trie.symbols";
+  let rec up acc i = if i = root then acc else up (t.symbol.(i) :: acc) t.parent.(i) in
+  up [] i

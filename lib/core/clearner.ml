@@ -29,12 +29,12 @@ let h_candidates = Xl_obs.Obs.Histogram.make "clearner_candidates"
 (** Initialize from the dropped example: ĉ₀ = all candidate predicates
     holding in the assignment a₀ = context(e) ∪ bindings(e).
     [endpoints] are the variable/node pairs of the dropped example. *)
-let create (dg : Data_graph.t) (context : Teacher.context)
+let create ?pool (dg : Data_graph.t) (context : Teacher.context)
     ~(endpoints : (string * Xl_xml.Node.t) list) : t =
   let hypothesis =
     Xl_obs.Obs.span ~name:"clearner.candidates" (fun () ->
         List.concat_map
-          (fun (ve, e) -> Cond_enum.candidates dg context ~ve e)
+          (fun (ve, e) -> Cond_enum.candidates ?pool dg context ~ve e)
           endpoints)
   in
   (* dedupe across endpoints *)

@@ -14,7 +14,7 @@ open Xl_xqtree
 type t
 
 val create :
-  Data_graph.t -> Teacher.context ->
+  ?pool:Xl_exec.Pool.t -> Data_graph.t -> Teacher.context ->
   endpoints:(string * Xl_xml.Node.t) list -> t
 (** Enumerate ĉ₀ for the dropped example's endpoints. *)
 

@@ -25,8 +25,12 @@ let contains (a : Node.t) (b : Node.t) : bool =
     - [relay_up] bounds how far above a v-equality neighbour a relay node
       may sit;
     - [max_fanout] skips v-equality classes larger than this (the
-      value-is-limited heuristic). *)
-let candidates ?(relay_up = 2) ?(max_fanout = 24) (dg : Data_graph.t)
+      value-is-limited heuristic);
+    - [pool] fans the Rel3 relay scan out across domains: each e-value's
+      enumeration only reads the frozen data graph, and the per-value
+      candidate lists merge back in scan order, so the result (order
+      included) is identical to the sequential scan. *)
+let candidates ?(relay_up = 2) ?(max_fanout = 24) ?pool (dg : Data_graph.t)
     (context : Teacher.context) ~(ve : string) (e : Node.t) : Cond.t list =
   let out = ref [] in
   let push c = if not (List.exists (Cond.equal c) !out) then out := c :: !out in
@@ -48,63 +52,76 @@ let candidates ?(relay_up = 2) ?(max_fanout = 24) (dg : Data_graph.t)
     (* Rel3: a relay node w, selectable by a doc-rooted path, linking a
        value under e to a value under the context node:
          some $w in /r-path satisfies
-           data($ve/pe) = data($w/q1) and data($w/q2) = data($vc/pc) *)
-    List.iter
-      (fun (pe, value_e, en) ->
-        if interesting_value value_e then begin
-          let neighbours = Data_graph.with_value dg value_e in
-          if List.length neighbours <= max_fanout then
-            List.iter
-              (fun (x : Node.t) ->
-                if not (Node.equal x en) then
-                  let relays =
-                    (if Node.is_element x then [ x ] else [])
-                    @ Data_graph.ancestors_within x relay_up
-                  in
-                  List.iter
-                    (fun (r : Node.t) ->
-                      match Data_graph.path_between r x with
-                      | None -> ()
-                      | Some q1 ->
-                        (* the relay must be a genuine third node *)
-                        if
-                          (not (contains r e)) && (not (contains e r))
-                          && (not (contains r cnode))
-                          && not (contains cnode r)
-                        then
-                          List.iter
-                            (fun (pc, value_c, cn) ->
-                              if interesting_value value_c then
-                                let nbs = Data_graph.with_value dg value_c in
-                                if List.length nbs <= max_fanout then
-                                  List.iter
-                                    (fun (y : Node.t) ->
-                                      if not (Node.equal y cn) then
-                                        match Data_graph.path_between r y with
-                                        | Some q2
-                                          when not
-                                                 (q1 = q2
-                                                 && String.equal value_e value_c) ->
-                                          push
-                                            (Cond.Relay
-                                               {
-                                                 relay_var = "w";
-                                                 relay_doc = Data_graph.doc_uri_of dg r;
-                                                 relay_path = Data_graph.generalized_path r;
-                                                 links =
-                                                   [
-                                                     (Cond.ep ~path:pe ve, q1);
-                                                     (Cond.ep ~path:pc vc, q2);
-                                                   ];
-                                                 relay_conds = [];
-                                               })
-                                        | _ -> ())
-                                    nbs)
-                            c_values)
-                    relays)
-              neighbours
-        end)
-      e_values
+           data($ve/pe) = data($w/q1) and data($w/q2) = data($vc/pc)
+       The scan per e-value is pure (reachable_values was already cached
+       for both endpoints above; everything else reads immutable node
+       structure), so values fan out over the pool when one is given. *)
+    let rel3_for (pe, value_e, (en : Node.t)) : Cond.t list =
+      let local = ref [] in
+      if interesting_value value_e then begin
+        let neighbours = Data_graph.with_value dg value_e in
+        if List.length neighbours <= max_fanout then
+          List.iter
+            (fun (x : Node.t) ->
+              if not (Node.equal x en) then
+                let relays =
+                  (if Node.is_element x then [ x ] else [])
+                  @ Data_graph.ancestors_within x relay_up
+                in
+                List.iter
+                  (fun (r : Node.t) ->
+                    match Data_graph.path_between r x with
+                    | None -> ()
+                    | Some q1 ->
+                      (* the relay must be a genuine third node *)
+                      if
+                        (not (contains r e)) && (not (contains e r))
+                        && (not (contains r cnode))
+                        && not (contains cnode r)
+                      then
+                        List.iter
+                          (fun (pc, value_c, cn) ->
+                            if interesting_value value_c then
+                              let nbs = Data_graph.with_value dg value_c in
+                              if List.length nbs <= max_fanout then
+                                List.iter
+                                  (fun (y : Node.t) ->
+                                    if not (Node.equal y cn) then
+                                      match Data_graph.path_between r y with
+                                      | Some q2
+                                        when not
+                                               (q1 = q2
+                                               && String.equal value_e value_c) ->
+                                        local :=
+                                          Cond.Relay
+                                            {
+                                              relay_var = "w";
+                                              relay_doc = Data_graph.doc_uri_of dg r;
+                                              relay_path = Data_graph.generalized_path r;
+                                              links =
+                                                [
+                                                  (Cond.ep ~path:pe ve, q1);
+                                                  (Cond.ep ~path:pc vc, q2);
+                                                ];
+                                              relay_conds = [];
+                                            }
+                                          :: !local
+                                      | _ -> ())
+                                  nbs)
+                          c_values)
+                  relays)
+            neighbours
+      end;
+      List.rev !local
+    in
+    let per_value =
+      match pool with
+      | Some p -> Xl_exec.Pool.map p rel3_for e_values
+      | None -> List.map rel3_for e_values
+    in
+    (* merge in scan order: first occurrences dedup exactly as the
+       sequential push did *)
+    List.iter (List.iter push) per_value
   in
   List.iter consider_context context;
   List.rev !out

@@ -12,8 +12,10 @@ open Xl_xml
 open Xl_xqtree
 
 val candidates :
-  ?relay_up:int -> ?max_fanout:int -> Data_graph.t -> Teacher.context ->
-  ve:string -> Node.t -> Cond.t list
+  ?relay_up:int -> ?max_fanout:int -> ?pool:Xl_exec.Pool.t -> Data_graph.t ->
+  Teacher.context -> ve:string -> Node.t -> Cond.t list
+(** [pool] fans the Rel3 relay scan out across domains; the candidate
+    list (order included) is identical with and without it. *)
 
 val holding :
   Xl_xquery.Eval.ctx -> Teacher.context -> bindings:(string * Node.t) list ->

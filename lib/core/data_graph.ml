@@ -27,11 +27,20 @@ let build ?(max_depth = 3) (store : Store.t) : t =
       (* the value index lives on the store now: shared with the query
          evaluator's hash joins and built at most once per store epoch *)
       let by_value = Store.value_index store in
+      let doc_uri_cache = Hashtbl.create 8 in
+      (* fill the root->uri map for every document up front: lookups then
+         never write, so candidate enumeration may read it from pool
+         domains *)
+      List.iter
+        (fun d ->
+          Hashtbl.replace doc_uri_cache d.Doc.doc_node.Node.id (Some (Doc.uri d));
+          Hashtbl.replace doc_uri_cache (Doc.root d).Node.id (Some (Doc.uri d)))
+        (Store.docs store);
       {
         store;
         by_value;
         reach_cache = Hashtbl.create 1024;
-        doc_uri_cache = Hashtbl.create 8;
+        doc_uri_cache;
         max_depth;
       })
 
@@ -124,16 +133,15 @@ let doc_uri_of (t : t) (n : Node.t) : string option =
   match Hashtbl.find_opt t.doc_uri_cache root.Node.id with
   | Some r -> r
   | None ->
-    let r =
-      List.find_map
-        (fun d ->
-          if Node.equal d.Doc.doc_node root || Node.equal (Doc.root d) root then
-            Some (Doc.uri d)
-          else None)
-        (Store.docs t.store)
-    in
-    Hashtbl.replace t.doc_uri_cache root.Node.id r;
-    r
+    (* every store-resident node hits the prebuilt map; an outside node
+       is answered without caching — [doc_uri_of] may be called from
+       pool domains, so the table must stay read-only after [build] *)
+    List.find_map
+      (fun d ->
+        if Node.equal d.Doc.doc_node root || Node.equal (Doc.root d) root then
+          Some (Doc.uri d)
+        else None)
+      (Store.docs t.store)
 
 let density (t : t) : float =
   let nodes = List.length (Store.nodes t.store) in

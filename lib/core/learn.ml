@@ -37,6 +37,15 @@ type config = {
       (** evaluator fast paths (tag index, hash join) for this run's
           context — per run, not a process global, so parity sweeps can
           run optimized and naive scenarios concurrently *)
+  batch : bool;
+      (** answer each observation-table fill through the teacher's
+          batched membership oracle (one shared pass per fill) instead of
+          word at a time; interaction counts are identical either way *)
+  pool : Xl_exec.Pool.t option;
+      (** intra-scenario parallelism: schema compilation, the C-Learner
+          relay scan and large oracle batches fan out over this pool
+          (results are merged in deterministic order, so a pooled run is
+          bit-identical to a sequential one) *)
 }
 
 let default_config =
@@ -45,6 +54,8 @@ let default_config =
     strategy = Oracle.Best;
     max_rounds = 400;
     fast_paths = true;
+    batch = true;
+    pool = None;
   }
 
 type node_result = {
@@ -200,6 +211,11 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
     let ask s =
       teacher.Teacher.path_membership ~label ~context ~rel_path:s ~witness:None
     in
+    let ask_batch =
+      match teacher.Teacher.path_membership_batch with
+      | Some f when config.batch -> Some (fun ss -> f ~label ~context ~rel_paths:ss)
+      | _ -> None
+    in
     let shared, on_reuse =
       match session with
       | Some (sess, scenario_name) ->
@@ -213,10 +229,11 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
           (Option.map
              (fun f ~rule ~path ~answer -> f ~label ~rule ~path ~answer)
              on_auto)
-        ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask ()
+        ?ask_batch ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask ()
     in
     let cl =
-      Clearner.create dg context ~endpoints:(Task.bindings_of task dropped)
+      Clearner.create ?pool:config.pool dg context
+        ~endpoints:(Task.bindings_of task dropped)
     in
     let fixed : Cond.t list ref = ref [] in
     let rounds = ref 0 in
@@ -275,7 +292,7 @@ let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
       in
       loop ()
     in
-    let dfa = Plearner.learn pl ~equivalence in
+    let dfa = Plearner.learn ~batch:config.batch pl ~equivalence in
     let order = teacher.Teacher.order_box ~label in
     if order <> [] then stats.Stats.ob <- stats.Stats.ob + List.length order;
     (* the conjecture may over-generalize on paths the instance cannot
@@ -646,7 +663,7 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
   let oracle, oracle_teacher =
     Xl_obs.Obs.span ~name:"oracle.init" (fun () ->
         Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
-          scenario)
+          ?pool:config.pool scenario)
   in
   let teacher = wrap_teacher (Option.value ~default:oracle_teacher teacher) in
   let ctx = Oracle.eval_ctx oracle in
@@ -661,8 +678,13 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
           (Xl_schema.Dataguide.of_store scenario.Scenario.store) ]
     | dtds ->
       (* step memoization follows the run's fast-path switch so parity
-         sweeps exercise the naive stepper too *)
-      List.map (Xl_schema.Schema_source.of_dtd ~memo:config.fast_paths) dtds
+         sweeps exercise the naive stepper too.  Each DTD compiles into
+         its own stepper with no shared state, so R1's reachability
+         precomputation fans out over the pool (order-preserving map). *)
+      let compile = Xl_schema.Schema_source.of_dtd ~memo:config.fast_paths in
+      (match config.pool with
+      | Some pool when List.length dtds > 1 -> Xl_exec.Pool.map pool compile dtds
+      | _ -> List.map compile dtds)
   in
   let stats = Stats.create () in
   let tree = scenario.Scenario.target in

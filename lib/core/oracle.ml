@@ -127,6 +127,58 @@ let path_membership (o : t) ~label ~context ~rel_path ~witness =
   | None -> false
   | Some w -> Xl_automata.Dfa.accepts (path_dfa o task) w
 
+(* one chunk of a batch: encode, then one DFA pass over the chunk's
+   shared prefix trie.  Pure given the precompiled [dfa] and the frozen
+   alphabet, so chunks may run on pool domains. *)
+let batch_chunk (o : t) (dfa : Xl_automata.Dfa.t) (paths : string list list) :
+    bool list =
+  let alphabet = o.ctx.Xl_xquery.Eval.alphabet in
+  let encoded =
+    List.map (Xl_automata.Alphabet.encode_opt alphabet) paths
+  in
+  let words = List.filter_map Fun.id encoded in
+  let answers = ref (Xl_automata.Dfa.accepts_batch dfa words) in
+  (* paths with symbols outside the alphabet are rejected without
+     touching the DFA, exactly as [path_membership] does *)
+  List.map
+    (fun enc ->
+      match enc with
+      | None -> false
+      | Some _ -> (
+        match !answers with
+        | a :: rest ->
+          answers := rest;
+          a
+        | [] -> assert false))
+    encoded
+
+(** Batched membership: all [rel_paths] of one observation-table fill are
+    answered by a single pass of the task's path DFA over the batch's
+    shared prefix trie, instead of one automaton walk per word.  With a
+    [pool], large batches split into per-domain chunks (order-preserving,
+    and each chunk's trie pass is independent). *)
+let path_membership_batch (o : t) ?pool ~label ~context
+    ~(rel_paths : string list list) () : bool list =
+  ignore context;
+  Xl_obs.Obs.span ~name:"oracle.batch" (fun () ->
+      let task = task_of_label o label in
+      (* compile (or fetch) the DFA before any fan-out: the memo table
+         must not be written from pool domains *)
+      let dfa = path_dfa o task in
+      let n = List.length rel_paths in
+      match pool with
+      | Some pool when n >= 64 && Xl_exec.Pool.domains pool > 1 ->
+        let chunk_size = max 32 ((n + Xl_exec.Pool.domains pool - 1) / Xl_exec.Pool.domains pool) in
+        let rec chunks acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | p :: rest ->
+            if k = chunk_size then chunks (List.rev cur :: acc) [ p ] 1 rest
+            else chunks acc (p :: cur) (k + 1) rest
+        in
+        let parts = chunks [] [] 0 rel_paths in
+        List.concat (Xl_exec.Pool.map pool (batch_chunk o dfa) parts)
+      | _ -> batch_chunk o dfa rel_paths)
+
 let equivalence (o : t) ~label ~context ~extent =
   let target = target_extent o label context in
   let in_ l n = List.exists (Node.equal n) l in
@@ -173,7 +225,8 @@ let condition_box (o : t) ~label ~context ~negative_example =
 
 let order_box (o : t) ~label = Task.order_by (task_of_label o label)
 
-let create ?(strategy = Best) ?fast_paths (scenario : Scenario.t) : t * Teacher.t =
+let create ?(strategy = Best) ?fast_paths ?pool (scenario : Scenario.t) :
+    t * Teacher.t =
   let ctx = Xl_xquery.Eval.make_ctx ?fast_paths scenario.Scenario.store in
   (* the alphabet must cover the source schema, for R1 and shared DFAs *)
   List.iter
@@ -197,6 +250,10 @@ let create ?(strategy = Best) ?fast_paths (scenario : Scenario.t) : t * Teacher.
       Teacher.path_membership =
         (fun ~label ~context ~rel_path ~witness ->
           path_membership o ~label ~context ~rel_path ~witness);
+      path_membership_batch =
+        Some
+          (fun ~label ~context ~rel_paths ->
+            path_membership_batch o ?pool ~label ~context ~rel_paths ());
       equivalence = (fun ~label ~context ~extent -> equivalence o ~label ~context ~extent);
       condition_box =
         (fun ~label ~context ~negative_example ->

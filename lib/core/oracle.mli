@@ -16,9 +16,19 @@ type strategy =
 type t
 
 val create :
-  ?strategy:strategy -> ?fast_paths:bool -> Scenario.t -> t * Teacher.t
+  ?strategy:strategy -> ?fast_paths:bool -> ?pool:Xl_exec.Pool.t ->
+  Scenario.t -> t * Teacher.t
 (** [fast_paths] is forwarded to {!Xl_xquery.Eval.make_ctx} for the
-    shared evaluation context (default [true]). *)
+    shared evaluation context (default [true]).  [pool], when given,
+    lets the batched membership oracle split large batches into
+    per-domain chunks (each chunk is an independent pure DFA pass). *)
+
+val path_membership_batch :
+  t -> ?pool:Xl_exec.Pool.t -> label:string -> context:Teacher.context ->
+  rel_paths:string list list -> unit -> bool list
+(** All paths of one observation-table fill answered by a single pass of
+    the task's path DFA over the batch's shared prefix trie (under an
+    [oracle.batch] span), instead of one automaton walk per word. *)
 
 val target_extent : t -> string -> Teacher.context -> Node.t list
 (** EXT_{e,context} of the task at a label. *)

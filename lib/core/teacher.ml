@@ -34,6 +34,16 @@ type t = {
       (** Membership query: is a node with this path (relative to the
           fragment's base) of the intended kind?  [witness] is the node
           XLearner highlights in the browser, when the instance has one. *)
+  path_membership_batch :
+    (label:string -> context:context -> rel_paths:string list list -> bool list)
+      option;
+      (** Answer many membership queries in one pass, one answer per
+          path, in order.  Only teachers that can amortize a shared
+          evaluation (the simulated oracle's single DFA scan over the
+          batch's prefix trie) provide it; an interactive teacher leaves
+          it [None] so each question still reaches the user one at a
+          time, in order.  Batching never changes which distinct paths
+          are asked, so interaction counts are identical either way. *)
   equivalence :
     label:string -> context:context -> extent:Node.t list -> eq_answer;
       (** Equivalence query: XLearner highlights [extent]; the user

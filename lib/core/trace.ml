@@ -50,6 +50,17 @@ let wrap (t : t) (teacher : Teacher.t) : Teacher.t =
         in
         push t (Membership { label; rel_path; answer });
         answer);
+    path_membership_batch =
+      Option.map
+        (fun batch ~label ~context ~rel_paths ->
+          let answers = batch ~label ~context ~rel_paths in
+          (* one record per word, in ask order: a transcript reads the
+             same whether the teacher answered one word or one batch *)
+          List.iter2
+            (fun rel_path answer -> push t (Membership { label; rel_path; answer }))
+            rel_paths answers;
+          answers)
+        teacher.Teacher.path_membership_batch;
     equivalence =
       (fun ~label ~context ~extent ->
         let result = teacher.Teacher.equivalence ~label ~context ~extent in

@@ -74,6 +74,48 @@ let cursor_admits (c : cursor) (rel : string list) : bool =
     (rel <> [] || not at_root) && walk node rel
   | Generic (t, prefix) -> admits t (prefix @ rel)
 
+(** [cursor_admits_trie c trie ~symbols terminals] answers
+    [cursor_admits c rel] for many relative words at once, where each
+    word is spelled by a terminal node of a shared prefix trie and
+    [symbols.(i)] names the symbol on the edge into trie node [i].  The
+    incremental sources (DTD stepper, DataGuide) propagate their state in
+    one forward pass over the trie nodes — each shared prefix is stepped
+    once for the whole batch instead of once per word. *)
+let cursor_admits_trie (c : cursor) (trie : Xl_automata.Trie.t)
+    ~(symbols : string array) (terminals : int list) : bool list =
+  let n = Xl_automata.Trie.size trie in
+  match c with
+  | Dead -> List.map (fun _ -> false) terminals
+  | Dtd_cursor (sp, q0) ->
+    let states = Array.make n q0 in
+    for i = 1 to n - 1 do
+      states.(i) <-
+        Schema_paths.step sp states.(Xl_automata.Trie.parent trie i) symbols.(i)
+    done;
+    List.map (fun t -> Schema_paths.accepting sp states.(t)) terminals
+  | Guide_cursor (node, at_root) ->
+    let states = Array.make n (Some node) in
+    for i = 1 to n - 1 do
+      states.(i) <-
+        (match states.(Xl_automata.Trie.parent trie i) with
+        | None -> None
+        | Some nd -> Dataguide.step nd symbols.(i))
+    done;
+    List.map
+      (fun t ->
+        (* the empty total path names no node *)
+        (t <> Xl_automata.Trie.root || not at_root) && states.(t) <> None)
+      terminals
+  | Generic (t, prefix) ->
+    let word term =
+      let rec up acc i =
+        if i = Xl_automata.Trie.root then acc
+        else up (symbols.(i) :: acc) (Xl_automata.Trie.parent trie i)
+      in
+      up [] term
+    in
+    List.map (fun term -> admits t (prefix @ word term)) terminals
+
 (** The path language as a DFA, where the source supports it (used to
     tighten learned automata for presentation). *)
 let to_dfa (t : t) (alphabet : Xl_automata.Alphabet.t) :

@@ -29,6 +29,13 @@ val cursor : t -> string list -> cursor
 val cursor_admits : cursor -> string list -> bool
 (** [cursor_admits (cursor t prefix) rel = admits t (prefix @ rel)]. *)
 
+val cursor_admits_trie :
+  cursor -> Xl_automata.Trie.t -> symbols:string array -> int list -> bool list
+(** Batched {!cursor_admits}: each queried word is a terminal node of a
+    shared prefix trie, [symbols.(i)] names the edge into node [i], and
+    the incremental sources answer the whole batch in one forward state
+    pass over the trie. *)
+
 val to_dfa : t -> Xl_automata.Alphabet.t -> Xl_automata.Dfa.t option
 (** Where the source supports a DFA rendering. *)
 

@@ -120,6 +120,7 @@ let test_nfa_direct () =
 let exact_teacher target =
   {
     Lstar.membership = (fun w -> Dfa.accepts target w);
+    membership_batch = None;
     equivalence =
       (fun h -> match Dfa.equivalent h target with Ok () -> None | Error w -> Some w);
   }

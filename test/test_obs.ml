@@ -198,6 +198,7 @@ let test_trace_jsonl () =
         {
           Xl_core.Teacher.path_membership =
             (fun ~label:_ ~context:_ ~rel_path:_ ~witness:_ -> true);
+          path_membership_batch = None;
           equivalence = (fun ~label:_ ~context:_ ~extent:_ -> Xl_core.Teacher.Equal);
           condition_box = (fun ~label:_ ~context:_ ~negative_example:_ -> None);
           order_box = (fun ~label:_ -> []);
@@ -269,7 +270,10 @@ let has_sub sub l =
 
 let run_xmp_q2 ~fast_paths =
   let sc = List.assoc "Q2" (Xl_workload.Xmp_scenarios.all ()) in
-  let config = { Xl_core.Learn.default_config with fast_paths } in
+  (* word-at-a-time: batched fills answer R1 through the compiled schema
+     DFA, which bypasses the step memo by design — the memo serves the
+     sequential query path, so that is the path this test must drive *)
+  let config = { Xl_core.Learn.default_config with fast_paths; batch = false } in
   ignore (Xl_core.Learn.run ~config sc)
 
 let test_cache_counters_enabled () =

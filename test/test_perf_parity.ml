@@ -304,6 +304,74 @@ let test_learner_parity () =
     (fun f n -> Alcotest.(check string) "interaction counts" n f)
     fast naive
 
+(* Batched-oracle invariance (DESIGN.md §5h): the batched membership
+   oracle and the intra-scenario pool change who computes answers, never
+   the answers — every Figure-16 stats row must be byte-identical with
+   batching on and off, and with the fan-outs on one domain and on four.
+   Scenarios run on the main domain here so the config's pool is the
+   only pool in play. *)
+let sweep_configs () =
+  let pool4 = Xl_exec.Pool.create ~domains:4 () in
+  [
+    ("batch=off pool=seq", { Xl_core.Learn.default_config with batch = false });
+    ("batch=on  pool=seq", { Xl_core.Learn.default_config with batch = true });
+    ( "batch=on  pool=4",
+      { Xl_core.Learn.default_config with batch = true; pool = Some pool4 } );
+  ]
+
+let test_learner_batch_parity () =
+  let scenarios = fig16_scenarios () in
+  let rows_under config =
+    List.map
+      (fun (suite, name, sc) ->
+        let label = suite ^ "-" ^ name in
+        match Xl_core.Learn.run ~config sc with
+        | r -> stats_row label r
+        | exception e -> label ^ " FAILED " ^ Printexc.to_string e)
+      scenarios
+  in
+  match sweep_configs () with
+  | [] -> assert false
+  | (ref_label, ref_config) :: rest ->
+    let reference = rows_under ref_config in
+    List.iter
+      (fun (label, config) ->
+        List.iter2
+          (fun expected got ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s vs %s" label ref_label)
+              expected got)
+          reference (rows_under config))
+      rest
+
+(* The same invariance over the randomized corpus: 25 deterministic fuzz
+   cases sweep many more DTD/alphabet/counterexample shapes through the
+   batch resolver (compiled-DFA R1, deferred genuine questions, Any_last
+   fallback) than the two paper suites do. *)
+let test_fuzz_batch_parity () =
+  let configs = sweep_configs () in
+  List.iter
+    (fun index ->
+      let case () = Xl_fuzz.Case.generate ~seed:20040301 ~index in
+      match configs with
+      | [] -> assert false
+      | (ref_label, ref_config) :: rest ->
+        let row config =
+          let sc = Xl_fuzz.Case.scenario (case ()) in
+          match Xl_core.Learn.run ~config sc with
+          | r -> stats_row (Printf.sprintf "case %d" index) r
+          | exception e ->
+            Printf.sprintf "case %d FAILED %s" index (Printexc.to_string e)
+        in
+        let reference = row ref_config in
+        List.iter
+          (fun (label, config) ->
+            Alcotest.(check string)
+              (Printf.sprintf "fuzz case %d: %s vs %s" index label ref_label)
+              reference (row config))
+          rest)
+    (List.init 25 Fun.id)
+
 (* The committed perf baseline (BENCH_perf.json, a declared test dep)
    pins the Figure-16 interaction counts: re-learning a scenario must
    reproduce its stats row byte for byte, whatever the engine does
@@ -381,6 +449,10 @@ let () =
         [
           Alcotest.test_case "fig16 suites, fast vs naive" `Slow
             test_learner_parity;
+          Alcotest.test_case "fig16 suites, batch on/off x pool 1/4" `Slow
+            test_learner_batch_parity;
+          Alcotest.test_case "fuzz corpus, batch on/off x pool 1/4, 25 seeds"
+            `Slow test_fuzz_batch_parity;
           Alcotest.test_case "interaction counts pinned to BENCH_perf.json"
             `Slow test_pinned_fig16_counts;
         ] );
