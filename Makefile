@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen obs-demo fuzz clean
+.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream obs-demo fuzz clean
 
 build:
 	dune build
@@ -36,11 +36,12 @@ bench-check:
 
 # Perf regression gate: stage the committed BENCH_perf.json as the
 # baseline, regenerate it on this machine, and fail if path-eval-deep,
-# the Q1 hash join, the fig16 total wall time or the fig16 parallel
-# speedup regressed by more than 25% (bench/main.ml perf-gate; the
-# speedup is gated relative to the committed baseline, not against an
-# absolute ratio — CI core counts vary).  The staged baseline is
-# removed so a later bench-check never diffs against a stale copy.
+# the Q1 hash join, snapshot-load, parse throughput, the fig16 total
+# wall time or the fig16 parallel speedup regressed by more than 25%
+# (bench/main.ml perf-gate; the speedup is gated relative to the
+# committed baseline, not against an absolute ratio — CI core counts
+# vary).  The staged baseline is removed so a later bench-check never
+# diffs against a stale copy.
 bench-gate:
 	dune build bench/main.exe
 	cp BENCH_perf.json BENCH_baseline.json
@@ -55,6 +56,15 @@ bench-frozen:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- frozen -j 1
 	dune exec bench/main.exe -- frozen -j 4
+
+# Streaming ingestion ladder (DESIGN.md §5i): one-pass builder vs tree
+# walk + freeze at XMark 1x/10x/100x, XML parse throughput, snapshot
+# save/load, then the Figure-16 XMark suite on a 10x streamed store.
+# Every leg is parity-checked (exit 1 on any structural difference);
+# the 10x snapshot is left behind as XMARK_10x.snapshot.
+bench-stream:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- stream
 
 # Property-based differential fuzzing (DESIGN.md §5f): 500 seeded cases
 # on the domain pool; exits non-zero and writes FUZZ_counterexamples.txt

@@ -14,6 +14,9 @@
                                                  BENCH_baseline.json (make bench-gate)
      dune exec bench/main.exe -- frozen       -- frozen-store scan micro on the
                                                  domain pool (make bench-frozen)
+     dune exec bench/main.exe -- stream       -- streaming ingestion + snapshot
+                                                 scale ladder, 10x fig16 variant
+                                                 (make bench-stream)
      dune exec bench/main.exe -- batch        -- batched vs per-word membership
                                                  oracle (make bench-batch)
 
@@ -403,6 +406,31 @@ let perf_json () =
   in
   ignore (bench "xmark-generate" (fun () -> ignore (Xl_workload.Xmark_gen.generate scale)));
   ignore (bench "xml-parse" (fun () -> ignore (Xl_xml.Xml_parser.parse xml_text)));
+  (* document ingestion: the legacy two-walk path (parse to a tree, index
+     it, re-walk to freeze) against the one-pass streaming builder, plus
+     binary snapshot save/load of the streamed result *)
+  let tree_ns =
+    bench "parse-plus-freeze" (fun () ->
+        ignore (Xl_xml.Frozen.freeze (Xl_xml.Xml_parser.parse_doc xml_text)))
+  in
+  let stream_ns =
+    bench "stream-freeze" (fun () -> ignore (Xl_xml.Frozen_builder.parse xml_text))
+  in
+  let _, ingest_fz = Xl_xml.Frozen_builder.parse xml_text in
+  let snap = Xl_xml.Snapshot.to_string ingest_fz in
+  ignore
+    (bench "snapshot-save" (fun () ->
+         ignore (Xl_xml.Snapshot.to_string ingest_fz)));
+  let snap_load_ns =
+    bench "snapshot-load" (fun () -> ignore (Xl_xml.Snapshot.of_string snap))
+  in
+  let xml_bytes = String.length xml_text in
+  let parse_mb_s = float_of_int xml_bytes /. (stream_ns /. 1e9) /. 1e6 in
+  let stream_speedup = tree_ns /. stream_ns in
+  let load_speedup = tree_ns /. snap_load_ns in
+  Printf.printf
+    "=> ingest: stream %.2fx vs parse+freeze, %.1f MB/s; snapshot load %.1fx vs re-parse\n%!"
+    stream_speedup parse_mb_s load_speedup;
   ignore (bench "store-nodes" (fun () -> ignore (Xl_xml.Store.nodes store)));
   ignore (bench "data-graph-build" (fun () -> ignore (Xl_core.Data_graph.build store)));
   (* the deep-path workload under each selection engine (the AST is
@@ -460,6 +488,33 @@ let perf_json () =
     in
     (rows, Unix.gettimeofday () -. t0)
   in
+  (* scaled XMark: one-shot wall clock at 10x the default populations —
+     the document sizes the streaming path exists for.  Single runs, not
+     adaptive batches: at this size the times are far above timer noise. *)
+  let scaled_factor = 10 in
+  let sscale = Xl_workload.Xmark_gen.scale_factor scaled_factor in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let (_, sfz), stream_gen_s =
+    wall (fun () -> Xl_workload.Xmark_gen.generate_frozen sscale)
+  in
+  let tree_doc, tree_gen_s = wall (fun () -> Xl_workload.Xmark_gen.generate sscale) in
+  let _, tree_freeze_s = wall (fun () -> Xl_xml.Frozen.freeze tree_doc) in
+  let snap_scaled, scaled_save_s =
+    wall (fun () -> Xl_xml.Snapshot.to_string sfz)
+  in
+  let scaled_loaded, scaled_load_s =
+    wall (fun () -> Xl_xml.Snapshot.of_string snap_scaled)
+  in
+  let scaled_load_ok = Xl_xml.Frozen.structural_equal sfz scaled_loaded in
+  let scaled_nodes = Xl_xml.Frozen.size sfz in
+  Printf.printf
+    "=> xmark x%d: %d nodes; stream gen %.3f s vs tree gen+freeze %.3f s; snapshot %d bytes, save %.3f s, load %.3f s, round-trip equal: %b\n%!"
+    scaled_factor scaled_nodes stream_gen_s (tree_gen_s +. tree_freeze_s)
+    (String.length snap_scaled) scaled_save_s scaled_load_s scaled_load_ok;
   let xmark_scenarios = prepare_scenarios (Xl_workload.Xmark_scenarios.all ()) in
   let xmp_scenarios = prepare_scenarios (Xl_workload.Xmp_scenarios.all ()) in
   Obs.reset ();
@@ -530,6 +585,22 @@ let perf_json () =
     "nested_ns_per_run": %.1f,
     "speedup": %.2f
   },
+  "ingest": {
+    "xml_bytes": %d,
+    "parse_throughput_mb_s": %.1f,
+    "stream_vs_tree_speedup": %.2f,
+    "snapshot_load_vs_reparse": %.2f
+  },
+  "xmark_scaled": {
+    "factor": %d,
+    "nodes": %d,
+    "stream_generate_s": %.3f,
+    "tree_generate_freeze_s": %.3f,
+    "snapshot_bytes": %d,
+    "snapshot_save_s": %.3f,
+    "snapshot_load_s": %.3f,
+    "roundtrip_equal": %b
+  },
   "fig16": {
     "xmark": { "wall_s": %.3f, "scenarios": [
       %s
@@ -549,7 +620,11 @@ let perf_json () =
   "telemetry": %s
 }
 |}
-      micro_json hash_ns nested_ns speedup xmark_s
+      micro_json hash_ns nested_ns speedup xml_bytes parse_mb_s
+      stream_speedup load_speedup scaled_factor scaled_nodes stream_gen_s
+      (tree_gen_s +. tree_freeze_s)
+      (String.length snap_scaled)
+      scaled_save_s scaled_load_s scaled_load_ok xmark_s
       (String.concat ",\n      " xmark_rows)
       xmp_s
       (String.concat ",\n      " xmp_rows)
@@ -568,6 +643,22 @@ let perf_json () =
   if speedup <= 1.0 then begin
     Printf.eprintf "FAIL: hash join (%.0f ns) not faster than nested loop (%.0f ns)\n"
       hash_ns nested_ns;
+    exit 1
+  end;
+  if stream_speedup <= 1.0 then begin
+    Printf.eprintf
+      "FAIL: streaming ingest (%.0f ns) not faster than parse+freeze (%.0f ns)\n"
+      stream_ns tree_ns;
+    exit 1
+  end;
+  if load_speedup < 10.0 then begin
+    Printf.eprintf
+      "FAIL: snapshot load (%.0f ns) not >= 10x faster than re-parsing (%.0f ns)\n"
+      snap_load_ns tree_ns;
+    exit 1
+  end;
+  if not scaled_load_ok then begin
+    Printf.eprintf "FAIL: scaled snapshot round-trip is not structurally equal\n";
     exit 1
   end
 
@@ -655,6 +746,100 @@ let frozen_bench () =
   end;
   Printf.printf "=> frozen scan %.2fx vs pointer walk at %d jobs, results identical\n\n%!"
     (pw_s /. fz_s) jobs
+
+(* ---------- streaming ingestion bench (make bench-stream) ---------------- *)
+
+(* [stream] measures document ingestion at growing XMark scales — the
+   one-pass streaming builder against the tree walk + freeze, XML parse
+   throughput, and binary snapshot save/load — then runs the Figure-16
+   XMark suite over a 10x streamed store to show the learner is
+   oblivious to how its documents entered the store. *)
+let stream_bench () =
+  Obs.set_enabled false;
+  print_endline line;
+  print_endline "Streaming ingestion vs the tree path (XMark scale ladder)";
+  print_endline line;
+  Printf.printf "%6s %9s %9s %9s %6s %9s %8s %8s %7s\n" "factor" "nodes"
+    "tree_s" "stream_s" "gain" "parse" "snap_MB" "load_ms" "vs_rep";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun factor ->
+      let scale = Xl_workload.Xmark_gen.scale_factor factor in
+      (* same fragment for both legs: the comparison is pure ingestion *)
+      let frag = Xl_workload.Xmark_gen.generate_frag scale in
+      (* untimed warm-up build: grow the heap to the peak working set up
+         front, so whichever timed leg runs while the other leg's result
+         is still live doesn't pay the one-time allocator growth *)
+      ignore (Xl_xml.Frozen_builder.of_frag ~uri:"auction.xml" frag);
+      let tree_fz, tree_s =
+        wall (fun () -> Xl_xml.Frozen.freeze (Xl_xml.Doc.of_frag ~uri:"auction.xml" frag))
+      in
+      let (_, stream_fz), stream_s =
+        wall (fun () -> Xl_xml.Frozen_builder.of_frag ~uri:"auction.xml" frag)
+      in
+      if not (Xl_xml.Frozen.structural_equal tree_fz stream_fz) then begin
+        Printf.eprintf "FAIL: streamed snapshot differs from frozen tree at x%d\n"
+          factor;
+        exit 1
+      end;
+      let xml_text =
+        Xl_xml.Serialize.node_to_string
+          (Xl_xml.Doc.root (Xl_xml.Frozen.doc tree_fz))
+      in
+      let (_, parsed_fz), parse_s =
+        wall (fun () -> Xl_xml.Frozen_builder.parse ~uri:"auction.xml" xml_text)
+      in
+      let mb_s = float_of_int (String.length xml_text) /. parse_s /. 1e6 in
+      let snap, _save_s = wall (fun () -> Xl_xml.Snapshot.to_string stream_fz) in
+      let loaded, load_s = wall (fun () -> Xl_xml.Snapshot.of_string snap) in
+      if not (Xl_xml.Frozen.structural_equal stream_fz loaded) then begin
+        Printf.eprintf "FAIL: snapshot round-trip differs at x%d\n" factor;
+        exit 1
+      end;
+      ignore parsed_fz;
+      (* persist the 10x snapshot: CI uploads it as a build artifact so a
+         scaled store can be loaded without re-running the generator *)
+      if factor = 10 then Xl_xml.Snapshot.save "XMARK_10x.snapshot" stream_fz;
+      Printf.printf "%6d %9d %9.3f %9.3f %5.1fx %7.1fMB/s %7.2f %8.1f %6.1fx\n%!"
+        factor
+        (Xl_xml.Frozen.size stream_fz)
+        tree_s stream_s (tree_s /. stream_s) mb_s
+        (float_of_int (String.length snap) /. 1e6)
+        (load_s *. 1e3) (parse_s /. load_s))
+    [ 1; 10; 100 ];
+  (* the scaled Figure-16 variant: the whole XMark suite over a 10x
+     document that entered the store through the streaming builder *)
+  print_endline line;
+  print_endline "Figure 16 (XMark suite) on a 10x streamed store";
+  print_endline line;
+  let scenarios =
+    prepare_scenarios
+      (Xl_workload.Xmark_scenarios.all
+         ~scale:(Xl_workload.Xmark_gen.scale_factor 10)
+         ~streamed:true ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    Pool.map (pool ())
+      (fun (name, sc) ->
+        let r = Xl_core.Learn.run sc in
+        (name, r.Xl_core.Learn.verified, Xl_core.Stats.to_row r.Xl_core.Learn.stats))
+      scenarios
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (name, verified, row) ->
+      Printf.printf "%-5s %s %s\n" name (if verified then "ok  " else "FAIL") row)
+    rows;
+  let bad = List.filter (fun (_, v, _) -> not v) rows in
+  Printf.printf "=> %d/%d scenarios verified on the streamed 10x store in %.2f s\n\n%!"
+    (List.length rows - List.length bad)
+    (List.length rows) dt;
+  if bad <> [] then exit 1
 
 (* ---------- batched-oracle micro + end-to-end (make bench-batch) --------- *)
 
@@ -835,6 +1020,7 @@ let perf_gate () =
   let metrics =
     [
       ("path-eval-deep ns/run", {|"name":"path-eval-deep","ns_per_run":|});
+      ("snapshot-load ns/run", {|"name":"snapshot-load","ns_per_run":|});
       ("q1 hash-join ns/run", {|"hash_ns_per_run": |});
       ("fig16 total wall s", {|"total_wall_s": |});
     ]
@@ -882,6 +1068,20 @@ let perf_gate () =
    | _ ->
      failed := true;
      Printf.printf "%-24s wall metrics missing\n" "fig16 parallel speedup");
+  (* higher-is-better: streaming parse throughput (MB/s) must not fall
+     below the baseline's by more than the tolerance *)
+  (let key = {|"parse_throughput_mb_s": |} in
+   match scan_float baseline key, scan_float fresh key with
+   | Some b, Some f when b > 0. ->
+     let ratio = f /. b in
+     let ok = ratio >= 1. /. tolerance in
+     if not ok then failed := true;
+     Printf.printf "%-24s %14.1f %14.1f %7.2fx  %s\n" "parse throughput MB/s" b f
+       ratio
+       (if ok then "ok" else "REGRESSED")
+   | _ ->
+     failed := true;
+     Printf.printf "%-24s metric missing\n" "parse throughput MB/s");
   if !failed then begin
     Printf.eprintf "FAIL: perf gate — a gated metric regressed beyond %.0f%%\n"
       ((tolerance -. 1.) *. 100.);
@@ -1006,6 +1206,7 @@ let () =
     | "perf-json" -> perf_json ()
     | "perf-gate" -> perf_gate ()
     | "frozen" -> frozen_bench ()
+    | "stream" -> stream_bench ()
     | "batch" -> batch_bench ()
     | "fuzz" -> fuzz ()
     | "all" ->
@@ -1018,7 +1219,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | batch | fuzz | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | fuzz | all)\n"
         other;
       exit 2
   in

@@ -29,7 +29,31 @@ let default_scale =
 let tiny_scale =
   { categories = 3; items_per_region = 2; people = 5; open_auctions = 3; closed_auctions = 5 }
 
+(** [scale_factor f] is the default scale with every population
+    multiplied by [f] — node counts grow roughly linearly in [f], so
+    [scale_factor 10] / [scale_factor 100] are the 10x / 100x documents
+    of the scaled experiments. *)
+let scale_factor f =
+  if f < 1 then invalid_arg "Xmark_gen.scale_factor: factor must be >= 1";
+  {
+    categories = default_scale.categories * f;
+    items_per_region = default_scale.items_per_region * f;
+    people = default_scale.people * f;
+    open_auctions = default_scale.open_auctions * f;
+    closed_auctions = default_scale.closed_auctions * f;
+  }
+
 let regions = [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]
+
+(* rough preorder row count, used to pre-size the streaming builder *)
+let estimated_nodes (s : scale) =
+  let items = s.items_per_region * List.length regions in
+  256
+  + (s.categories * 14)
+  + (items * 32)
+  + (s.people * 28)
+  + (s.open_auctions * 38)
+  + (s.closed_auctions * 22)
 
 let nouns =
   [ "gold"; "duty"; "prove"; "rusty"; "seven"; "march"; "crown"; "ocean"; "table";
@@ -96,7 +120,7 @@ let description rng ~force_gold ~deep =
       ]
   else Frag.e "description" [ text_node rng ~force_gold ]
 
-let generate ?(seed = 20040301) (scale : scale) : Doc.t =
+let generate_frag ?(seed = 20040301) (scale : scale) : Frag.t =
   let rng = Prng.create ~seed in
   let ncat = max 2 scale.categories in
   let cat_id k = Printf.sprintf "category%d" k in
@@ -284,11 +308,19 @@ let generate ?(seed = 20040301) (scale : scale) : Doc.t =
                ]
              else [])))
   in
-  let site =
-    Frag.e "site"
-      [ regions_frag; categories; catgraph; people; open_auctions; closed_auctions ]
-  in
-  Doc.of_frag ~uri:"auction.xml" site
+  Frag.e "site"
+    [ regions_frag; categories; catgraph; people; open_auctions; closed_auctions ]
+
+let generate ?seed (scale : scale) : Doc.t =
+  Doc.of_frag ~uri:"auction.xml" (generate_frag ?seed scale)
+
+(** Generate straight into the streaming builder: the fragment is walked
+    exactly once, producing the document and its frozen snapshot together
+    (no [Doc.of_frag] + [Frozen.freeze] double walk).  This is the path
+    that makes 10-100x documents ({!scale_factor}) affordable. *)
+let generate_frozen ?seed (scale : scale) : Doc.t * Frozen.t =
+  Frozen_builder.of_frag ~uri:"auction.xml" ~hint:(estimated_nodes scale)
+    (generate_frag ?seed scale)
 
 (** Generate and validate against the DTD (used by tests). *)
 let generate_valid ?seed scale : Doc.t * Xl_schema.Validate.violation list =

@@ -19,10 +19,25 @@ type scale = {
 val default_scale : scale
 val tiny_scale : scale
 
+val scale_factor : int -> scale
+(** The default scale with every population multiplied by the factor —
+    node counts grow roughly linearly, so [scale_factor 10] and
+    [scale_factor 100] are the 10x / 100x documents of the scaled
+    experiments.  Raises [Invalid_argument] on a factor < 1. *)
+
 val regions : string list
 (** The six XMark continents. *)
 
+val generate_frag : ?seed:int -> scale -> Xl_xml.Frag.t
+(** The raw auction-site fragment, before any document indexing. *)
+
 val generate : ?seed:int -> scale -> Xl_xml.Doc.t
+
+val generate_frozen : ?seed:int -> scale -> Xl_xml.Doc.t * Xl_xml.Frozen.t
+(** One-pass generation straight into the streaming builder: document
+    and frozen snapshot together, without the [Doc.of_frag] +
+    [Frozen.freeze] double walk.  Use with {!scale_factor} for large
+    instances. *)
 
 val generate_valid :
   ?seed:int -> scale -> Xl_xml.Doc.t * Xl_schema.Validate.violation list

@@ -1,0 +1,45 @@
+(** Streaming construction of frozen documents.
+
+    Appends preorder rows (node, interned symbol, parent, subtree end
+    patched on close) while a document is parsed or a fragment walked,
+    preserving the attributes-before-children preorder contract — so the
+    resulting {!Frozen.t} is {!Frozen.structural_equal} to
+    [Frozen.freeze (Doc.of_frag frag)] while touching each node exactly
+    once.  This is the document-ingestion fast path: {!parse} replaces
+    parse → [Doc.of_frag] → [Frozen.freeze] with a single pass. *)
+
+type t
+(** A builder in progress.  Not domain-safe; build on one domain, share
+    the finished (immutable) snapshot. *)
+
+val create : ?uri:string -> ?hint:int -> unit -> t
+(** Fresh builder for one document.  [hint] pre-sizes the row arrays
+    (default 1024 rows). *)
+
+val open_element : t -> string -> (string * string) list -> unit
+(** Append an element row and its attribute rows (declaration order),
+    and leave the element open. *)
+
+val text : t -> string -> unit
+(** Append a text-node row under the innermost open element.  The text
+    is ingested as given; whitespace-only dropping is the parser's job. *)
+
+val close_element : t -> unit
+(** Close the innermost open element, patching its subtree end. *)
+
+val event : t -> Xml_parser.event -> unit
+(** Dispatch one parser event to the builder. *)
+
+val finish : t -> Doc.t * Frozen.t
+(** Seal the builder (all elements must be closed) and return the
+    indexed document plus its frozen snapshot.  One-shot: the builder
+    cannot be reused afterwards. *)
+
+val of_frag : ?uri:string -> ?hint:int -> Frag.t -> Doc.t * Frozen.t
+(** One-pass fragment ingestion — [Doc.of_frag] and [Frozen.freeze] in a
+    single walk.  Raises [Invalid_argument] on a text root. *)
+
+val parse : ?uri:string -> ?hint:int -> string -> Doc.t * Frozen.t
+(** One-pass streaming ingestion: XML text straight to a snapshot via
+    {!Xml_parser.iter_events}.  Raises {!Xml_parser.Parse_error} on
+    malformed input. *)

@@ -1,0 +1,256 @@
+(** Versioned binary snapshots of frozen documents.
+
+    Layout (all integers little-endian, version 1):
+
+    {v
+    offset 0   magic "XLFROZEN"                      8 bytes
+           8   version                               u32
+          12   n        (node count)                 u32
+          16   nsym     (symbol count)               u32
+          20   nstr     (string-table entries)       u32
+          24   uri_id   (string id of the doc URI)   u32
+          28   string offsets                        (nstr+1) x u32
+               string blob                           offsets[nstr] bytes
+               sym          (position -> symbol id)  n x i32
+               parent       (-1 for the doc node)    n x i32
+               subtree_end  (exclusive)              n x i32
+               name_id      (string id)              n x i32
+               value_id     (string id)              n x i32
+               kind         (0 doc, 1 elem, 2 attr, 3 text)   n x u8
+               MD5 digest of everything above        16 bytes
+    v}
+
+    The string table is deduplicated and its first [nsym] entries are
+    the snapshot's symbol strings, in symbol-id order — so the symbols
+    section needs no indirection of its own.  Sibling links, Dewey codes
+    and the id -> position index are derived in one linear pass at load
+    (they are functions of [parent]/[subtree_end]/[kind]); every stored
+    section is a flat fixed-width array at a computable offset, so a
+    future mmap loader can map the file and use the int arrays in
+    place.  The trailing checksum makes truncation and bit corruption a
+    loud {!Corrupt} instead of a silent wrong answer. *)
+
+exception Corrupt of string
+
+let magic = "XLFROZEN"
+let version = 1
+let header_bytes = 28
+let digest_bytes = 16
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let kind_code : Node.kind -> int = function
+  | Node.Document -> 0
+  | Node.Element -> 1
+  | Node.Attribute -> 2
+  | Node.Text -> 3
+
+let kind_of_code = function
+  | 0 -> Node.Document
+  | 1 -> Node.Element
+  | 2 -> Node.Attribute
+  | 3 -> Node.Text
+  | c -> corrupt "bad node kind %d" c
+
+(* ---------------------------------------------------------------------- *)
+(* Writing                                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let to_string (fz : Frozen.t) : string =
+  Xl_obs.Obs.span ~name:"snapshot.save" (fun () ->
+      let n = Frozen.size fz in
+      if n > 0x3FFFFFFF then invalid_arg "Snapshot.to_string: document too large";
+      (* string table: symbols first (ids 0..nsym-1), then names, values
+         and the URI, all deduplicated *)
+      let ids = Hashtbl.create (2 * n) in
+      let rev_strings = ref [] in
+      let count = ref 0 in
+      let intern s =
+        match Hashtbl.find_opt ids s with
+        | Some i -> i
+        | None ->
+          let i = !count in
+          incr count;
+          Hashtbl.replace ids s i;
+          rev_strings := s :: !rev_strings;
+          i
+      in
+      let nodes = Frozen.nodes fz in
+      Array.iter (fun s -> ignore (intern s)) fz.Frozen.symbols;
+      let nsym = !count in
+      let name_id = Array.make n 0 and value_id = Array.make n 0 in
+      Array.iteri
+        (fun p (nd : Node.t) ->
+          name_id.(p) <- intern nd.Node.name;
+          value_id.(p) <- intern nd.Node.value)
+        nodes;
+      let uri_id = intern (Doc.uri (Frozen.doc fz)) in
+      let strings = Array.of_list (List.rev !rev_strings) in
+      let nstr = Array.length strings in
+      let b = Buffer.create (header_bytes + (n * 21) + 1024) in
+      Buffer.add_string b magic;
+      add_u32 b version;
+      add_u32 b n;
+      add_u32 b nsym;
+      add_u32 b nstr;
+      add_u32 b uri_id;
+      let off = ref 0 in
+      Array.iter
+        (fun s ->
+          add_u32 b !off;
+          off := !off + String.length s)
+        strings;
+      add_u32 b !off;
+      Array.iter (Buffer.add_string b) strings;
+      let add_ints a = Array.iter (fun v -> add_u32 b v) a in
+      add_ints fz.Frozen.sym;
+      add_ints fz.Frozen.parent;
+      add_ints fz.Frozen.subtree_end;
+      add_ints name_id;
+      add_ints value_id;
+      Array.iter
+        (fun (nd : Node.t) -> Buffer.add_char b (Char.chr (kind_code nd.Node.kind)))
+        nodes;
+      let body = Buffer.contents b in
+      body ^ Digest.string body)
+
+let save (path : string) (fz : Frozen.t) : unit =
+  let data = to_string fz in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ---------------------------------------------------------------------- *)
+(* Reading                                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let u32 s off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF
+
+(* decode one stored i32 section with a manual loop: this is the hot
+   part of a load, and a plain [for] with unsafe writes is measurably
+   cheaper than [Array.init] with a closure *)
+let decode_ints (data : string) base n : int array =
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set a i (Int32.to_int (String.get_int32_le data (base + (4 * i))))
+  done;
+  a
+
+(* rebuild the pointer tree of a verified payload: one node record per
+   position with a fresh id, Dewey codes from one shared attribute/child
+   counter per parent (the Doc.of_frag numbering), child lists by a
+   backwards cons walk.  Deferred until first demand — see [of_string]. *)
+let rebuild_tree ~data ~strings ~nstr ~parent ~arrays_at ~n ~uri :
+    Doc.t * Node.t array =
+  let name_id = decode_ints data (arrays_at + (3 * 4 * n)) n in
+  let value_id = decode_ints data (arrays_at + (4 * 4 * n)) n in
+  let kinds_at = arrays_at + (5 * 4 * n) in
+  let str i =
+    if i < 0 || i >= nstr then corrupt "bad string id %d" i;
+    Array.unsafe_get (strings : string array) i
+  in
+  let nodes =
+    Array.init n (fun p ->
+        {
+          Node.id = Doc.fresh_id ();
+          kind = kind_of_code (Char.code data.[kinds_at + p]);
+          name = str name_id.(p);
+          value = str value_id.(p);
+          parent = None;
+          children = [];
+          attributes = [];
+          dewey = [];
+        })
+  in
+  if nodes.(0).Node.kind <> Node.Document then
+    corrupt "position 0 is not the document node";
+  if nodes.(1).Node.kind <> Node.Element then
+    corrupt "position 1 is not the root element";
+  let child_count = Array.make n 0 in
+  for p = 1 to n - 1 do
+    let par = parent.(p) in
+    if par < 0 || par >= p then corrupt "bad parent %d at position %d" par p;
+    let k = child_count.(par) + 1 in
+    child_count.(par) <- k;
+    let parent_node = nodes.(par) in
+    nodes.(p).Node.dewey <-
+      (if par = 0 then Dewey.root else Dewey.child parent_node.Node.dewey k);
+    nodes.(p).Node.parent <- Some parent_node
+  done;
+  (* child lists: walking positions backwards and consing yields document
+     order; attributes always precede children in preorder, so the two
+     lists partition cleanly *)
+  for p = n - 1 downto 1 do
+    let parent_node = nodes.(parent.(p)) in
+    let nd = nodes.(p) in
+    match nd.Node.kind with
+    | Node.Attribute ->
+      parent_node.Node.attributes <- nd :: parent_node.Node.attributes
+    | _ -> parent_node.Node.children <- nd :: parent_node.Node.children
+  done;
+  let by_id = Hashtbl.create (2 * n) in
+  Array.iter (fun (nd : Node.t) -> Hashtbl.replace by_id nd.Node.id nd) nodes;
+  ({ Doc.uri; doc_node = nodes.(0); root = nodes.(1); by_id }, nodes)
+
+let of_string ?uri (data : string) : Frozen.t =
+  Xl_obs.Obs.span ~name:"snapshot.load" (fun () ->
+      let len = String.length data in
+      if len < header_bytes + digest_bytes then corrupt "truncated snapshot (%d bytes)" len;
+      if not (String.equal (String.sub data 0 8) magic) then corrupt "bad magic";
+      let v = u32 data 8 in
+      if v <> version then corrupt "unsupported snapshot version %d (expected %d)" v version;
+      (* integrity first: everything after this point may assume the
+         payload is exactly what [to_string] wrote *)
+      let body_len = len - digest_bytes in
+      if
+        not
+          (String.equal
+             (Digest.substring data 0 body_len)
+             (String.sub data body_len digest_bytes))
+      then corrupt "checksum mismatch (truncated or corrupted snapshot)";
+      let n = u32 data 12 in
+      let nsym = u32 data 16 in
+      let nstr = u32 data 20 in
+      let uri_id = u32 data 24 in
+      let offs_at = header_bytes in
+      let blob_at = offs_at + (4 * (nstr + 1)) in
+      if blob_at + 4 > len then corrupt "string table out of bounds";
+      let blob_len = u32 data (offs_at + (4 * nstr)) in
+      let arrays_at = blob_at + blob_len in
+      let expect = arrays_at + (n * ((5 * 4) + 1)) + digest_bytes in
+      if expect <> len then
+        corrupt "size mismatch: %d bytes for %d nodes, expected %d" len n expect;
+      if n < 2 then corrupt "snapshot has no root element";
+      let strings =
+        Array.init nstr (fun i ->
+            let a = u32 data (offs_at + (4 * i)) in
+            let b = u32 data (offs_at + (4 * (i + 1))) in
+            if a > b || blob_at + b > arrays_at then corrupt "bad string offset";
+            String.sub data (blob_at + a) (b - a))
+      in
+      if nsym > nstr then corrupt "symbol count exceeds string table";
+      if uri_id >= nstr then corrupt "bad uri string id";
+      let sym = decode_ints data arrays_at n in
+      let parent = decode_ints data (arrays_at + (4 * n)) n in
+      let subtree_end = decode_ints data (arrays_at + (2 * 4 * n)) n in
+      let uri = match uri with Some u -> u | None -> strings.(uri_id) in
+      (* the arrays are live now; the pointer tree (node records, Dewey
+         codes, child lists, id index) is rebuilt on first demand, so an
+         array-only consumer loads in O(array decode) *)
+      Frozen.of_arrays_deferred
+        ~symbols:(Array.sub strings 0 nsym)
+        ~sym ~parent ~subtree_end
+        ~tree:(fun () ->
+          Xl_obs.Obs.span ~name:"snapshot.materialize" (fun () ->
+              rebuild_tree ~data ~strings ~nstr ~parent ~arrays_at ~n ~uri)))
+
+let load ?uri (path : string) : Frozen.t =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ?uri data

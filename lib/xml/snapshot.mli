@@ -1,0 +1,39 @@
+(** Versioned binary snapshots of frozen documents.
+
+    A snapshot serializes a {!Frozen.t} as flat little-endian int arrays
+    plus a deduplicated string table, framed by a magic tag, a format
+    version and a trailing MD5 checksum.  Loading rebuilds the node tree
+    and the derived arrays in one linear pass and is much cheaper than
+    re-parsing the XML text; any framing, version or integrity problem
+    raises {!Corrupt} rather than producing a silently wrong document.
+
+    Every stored section is a fixed-width array at an offset computable
+    from the header, so a future mmap-based loader can use the file
+    contents in place. *)
+
+exception Corrupt of string
+(** Raised by the readers on bad magic, an unsupported version, a
+    truncated payload, a checksum mismatch, or out-of-bounds indices. *)
+
+val version : int
+(** Format version written by {!to_string} and required by {!of_string}. *)
+
+val to_string : Frozen.t -> string
+(** Serialize a snapshot to its binary image. *)
+
+val of_string : ?uri:string -> string -> Frozen.t
+(** Rebuild a snapshot from a binary image.  The framing and checksum
+    are verified and the int arrays decoded eagerly; the pointer tree
+    (node records, Dewey codes, child lists) materializes on first
+    demand ({!Frozen.of_arrays_deferred}), so loading for array-only
+    work skips the rebuild entirely.  Node ids are freshly drawn (ids
+    are process-local); the result is {!Frozen.structural_equal} to the
+    snapshot that was saved.  [uri] overrides the stored document URI.
+    Raises {!Corrupt} on any malformed input. *)
+
+val save : string -> Frozen.t -> unit
+(** [save path fz] writes {!to_string} to [path]. *)
+
+val load : ?uri:string -> string -> Frozen.t
+(** [load path] reads [path] and applies {!of_string}.
+    Raises {!Corrupt} on malformed content and [Sys_error] on I/O. *)

@@ -36,6 +36,13 @@ type t = {
   mutable strict : bool;
       (** raise instead of lazily building when an index is demanded —
           catches a missing [prepare] before a multi-domain fan-out *)
+  mutable prefrozen : (int * Frozen.t) list;
+      (** doc-node id -> snapshot supplied at registration (streaming
+          builder or snapshot loader output); [build_index] reuses these
+          instead of re-freezing.  Keyed by document identity, not epoch:
+          a snapshot stays valid as long as its document is registered,
+          while the generation bump on [add] still invalidates every
+          derived index as before. *)
 }
 
 let create () =
@@ -46,6 +53,7 @@ let create () =
     generation = 0;
     index = None;
     strict = false;
+    prefrozen = [];
   }
 
 (** [add ?default store doc] registers [doc] under its URI.  The first
@@ -58,9 +66,25 @@ let add ?(default = false) t doc =
   t.generation <- t.generation + 1;
   if default || t.default = None then t.default <- Some doc
 
+(** [add_frozen ?default store fz] registers [fz]'s document together
+    with its already-built snapshot, so the next index build reuses the
+    snapshot instead of re-freezing the tree.  This is how streamed
+    ({!Frozen_builder}) and loaded ({!Snapshot}) documents enter the
+    store without paying a second O(n) walk.  Invalidation is unchanged:
+    the registration bumps [generation] and drops the current indexes. *)
+let add_frozen ?default t (fz : Frozen.t) =
+  let doc = Frozen.doc fz in
+  t.prefrozen <- (doc.Doc.doc_node.Node.id, fz) :: t.prefrozen;
+  add ?default t doc
+
 let of_docs docs =
   let t = create () in
   List.iter (fun d -> add t d) docs;
+  t
+
+let of_frozen frozen =
+  let t = create () in
+  List.iter (fun fz -> add_frozen t fz) frozen;
   t
 
 let generation t = t.generation
@@ -127,7 +151,14 @@ let build_index t : index =
         Hashtbl.replace by_value v (n :: cur)
       | _ -> ())
     univ;
-  let frozen = List.map Frozen.freeze (docs t) in
+  let frozen =
+    List.map
+      (fun d ->
+        match List.assoc_opt d.Doc.doc_node.Node.id t.prefrozen with
+        | Some fz -> fz
+        | None -> Frozen.freeze d)
+      (docs t)
+  in
   { univ; by_id; by_tag; by_value; frozen })
 
 let index t =

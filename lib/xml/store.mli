@@ -16,7 +16,17 @@ val add : ?default:bool -> t -> Doc.t -> unit
 (** Register a document under its URI.  The first document added becomes
     the default unless overridden. *)
 
+val add_frozen : ?default:bool -> t -> Frozen.t -> unit
+(** Register a snapshot's document together with the snapshot itself, so
+    the next index build reuses it instead of re-freezing the tree — the
+    entry point for streamed ({!Frozen_builder}) and loaded
+    ({!Snapshot}) documents.  Invalidation is the same as {!add}: the
+    generation is bumped and the current indexes are dropped. *)
+
 val of_docs : Doc.t list -> t
+
+val of_frozen : Frozen.t list -> t
+(** A store over pre-built snapshots; the first becomes the default. *)
 
 val default : t -> Doc.t
 (** The target of paths starting at the plain document root.

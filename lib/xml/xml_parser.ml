@@ -1,17 +1,40 @@
-(** A small XML 1.0 parser.
+(** A small XML 1.0 parser with a streaming (SAX-style) event core.
 
     Supports elements, attributes (single or double quoted), character
     data, CDATA sections, comments, processing instructions, an optional
     XML declaration and an optional DOCTYPE (skipped; DTDs are parsed by
     [Xl_schema.Dtd_parser]).  Predefined and numeric character entities
     are decoded.  Whitespace-only text between elements is dropped, which
-    matches how the paper's data sets are used. *)
+    matches how the paper's data sets are used.
 
-exception Parse_error of string * int  (** message, byte position *)
+    The lexer drives a flat event loop ({!iter_events}); the tree parser
+    ({!parse}) is one consumer of those events, and {!Frozen_builder}
+    is another — both observe the identical event stream, which is what
+    makes the streaming ingestion path provably equivalent to the
+    freeze-of-tree path. *)
+
+type location = { offset : int; line : int; col : int }
+
+exception Parse_error of string * location
 
 type state = { src : string; mutable pos : int }
 
-let error st msg = raise (Parse_error (msg, st.pos))
+(* line/column are derived lazily, only when an error is raised: the hot
+   per-character loops stay branch-free.  Both are 1-based; [col] counts
+   bytes since the last newline (multi-byte UTF-8 sequences count per
+   byte, like most compilers' column numbers). *)
+let location_of src offset =
+  let offset = min offset (String.length src) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { offset; line = !line; col = offset - !bol + 1 }
+
+let error st msg = raise (Parse_error (msg, location_of st.src st.pos))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -153,27 +176,23 @@ let rec skip_misc st =
     skip_misc st
   end
 
-let rec parse_element st : Frag.t =
-  expect st "<";
-  let tag = read_name st in
-  let attrs = parse_attributes st [] in
-  if looking_at st "/>" then begin
-    expect st "/>";
-    Frag.E (tag, List.rev attrs, [])
-  end
-  else begin
-    expect st ">";
-    let children = parse_content st [] in
-    expect st "</";
-    let close = read_name st in
-    if not (String.equal close tag) then
-      error st (Printf.sprintf "mismatched close tag </%s> for <%s>" close tag);
-    skip_ws st;
-    expect st ">";
-    Frag.E (tag, List.rev attrs, children)
-  end
+(* ---------------------------------------------------------------------- *)
+(* SAX event core                                                          *)
+(* ---------------------------------------------------------------------- *)
 
-and parse_attributes st acc =
+type event =
+  | Start_element of string * (string * string) list
+      (** tag, attributes in declaration order.  A self-closing element
+          emits [Start_element] immediately followed by [End_element]. *)
+  | Text of string
+      (** one maximal run of character data (entities decoded) or one
+          CDATA section; whitespace-only runs are dropped *)
+  | End_element  (** closes the innermost open element *)
+
+let is_ws_only s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let rec parse_attributes st acc =
   skip_ws st;
   match peek st with
   | Some c when is_name_char c ->
@@ -185,66 +204,122 @@ and parse_attributes st acc =
     parse_attributes st ((name, value) :: acc)
   | _ -> acc
 
-and parse_content st acc =
-  if looking_at st "</" then flush_content acc []
-  else if looking_at st "<!--" then begin
-    skip_until st "-->";
-    parse_content st acc
+(* The open-tag lexeme: either pushes the tag (open) or emits the
+   start/end pair itself (self-closing).  Returns the new tag stack. *)
+let start_element st f stack =
+  expect st "<";
+  let tag = read_name st in
+  let attrs = List.rev (parse_attributes st []) in
+  if looking_at st "/>" then begin
+    expect st "/>";
+    f (Start_element (tag, attrs));
+    f End_element;
+    stack
   end
-  else if looking_at st "<![CDATA[" then begin
-    st.pos <- st.pos + String.length "<![CDATA[";
-    let start = st.pos in
-    skip_until st "]]>";
-    let data = String.sub st.src start (st.pos - start - 3) in
-    parse_content st (`Text data :: acc)
+  else begin
+    expect st ">";
+    f (Start_element (tag, attrs));
+    tag :: stack
   end
-  else if looking_at st "<?" then begin
-    skip_until st "?>";
-    parse_content st acc
-  end
-  else if looking_at st "<" then
-    let child = parse_element st in
-    parse_content st (`Node child :: acc)
-  else
-    match peek st with
-    | None -> error st "unterminated element content"
-    | Some _ ->
-      let b = Buffer.create 16 in
-      let rec text () =
-        match peek st with
-        | None | Some '<' -> ()
-        | Some '&' ->
-          advance st;
-          Buffer.add_string b (decode_entity st);
-          text ()
-        | Some c ->
-          advance st;
-          Buffer.add_char b c;
-          text ()
-      in
-      text ();
-      parse_content st (`Text (Buffer.contents b) :: acc)
 
-and flush_content rev_acc out =
-  (* merge adjacent text, drop whitespace-only runs *)
-  match rev_acc with
-  | [] -> out
-  | `Node n :: rest -> flush_content rest (n :: out)
-  | `Text s :: rest ->
-    let is_ws = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s in
-    if is_ws then flush_content rest out else flush_content rest (Frag.T s :: out)
+(* Emit the event stream of the document in [st] — prolog, exactly one
+   root element, trailing misc.  The event loop is iterative (the only
+   stack is the open-tag list), so document depth never stresses the
+   OCaml call stack. *)
+let run_events st (f : event -> unit) : unit =
+  skip_misc st;
+  if not (looking_at st "<") then error st "expected root element";
+  let stack = ref (start_element st f []) in
+  while !stack <> [] do
+    if looking_at st "</" then begin
+      st.pos <- st.pos + 2;
+      let close = read_name st in
+      (match !stack with
+      | tag :: rest ->
+        if not (String.equal close tag) then
+          error st
+            (Printf.sprintf "mismatched close tag </%s> for <%s>" close tag);
+        skip_ws st;
+        expect st ">";
+        f End_element;
+        stack := rest
+      | [] -> assert false)
+    end
+    else if looking_at st "<!--" then skip_until st "-->"
+    else if looking_at st "<![CDATA[" then begin
+      st.pos <- st.pos + String.length "<![CDATA[";
+      let start = st.pos in
+      skip_until st "]]>";
+      let data = String.sub st.src start (st.pos - start - 3) in
+      if not (is_ws_only data) then f (Text data)
+    end
+    else if looking_at st "<?" then skip_until st "?>"
+    else if looking_at st "<" then stack := start_element st f !stack
+    else begin
+      match peek st with
+      | None -> error st "unterminated element content"
+      | Some _ ->
+        let b = Buffer.create 16 in
+        let continue = ref true in
+        while !continue do
+          match peek st with
+          | None | Some '<' -> continue := false
+          | Some '&' ->
+            advance st;
+            Buffer.add_string b (decode_entity st)
+          | Some c ->
+            advance st;
+            Buffer.add_char b c
+        done;
+        let data = Buffer.contents b in
+        if not (is_ws_only data) then f (Text data)
+    end
+  done;
+  skip_misc st;
+  if st.pos <> String.length st.src then error st "content after the root element"
+
+(** Stream the document's events through [f] without building any tree.
+    Events are well-nested by construction: every [Start_element] is
+    eventually matched by an [End_element], and [Text] only occurs
+    between the root's start and end. *)
+let iter_events (src : string) (f : event -> unit) : unit =
+  run_events { src; pos = 0 } f
+
+(** Left fold over the event stream. *)
+let fold_events (src : string) ~(init : 'a) ~(f : 'a -> event -> 'a) : 'a =
+  let acc = ref init in
+  iter_events src (fun ev -> acc := f !acc ev);
+  !acc
+
+(* ---------------------------------------------------------------------- *)
+(* Tree parser, as one event consumer                                      *)
+(* ---------------------------------------------------------------------- *)
 
 (** Parse a complete document (prolog + one root element) into a fragment. *)
 let parse (src : string) : Frag.t =
   Xl_obs.Obs.span ~name:"xml.parse" (fun () ->
-      let st = { src; pos = 0 } in
-      skip_misc st;
-      if not (looking_at st "<") then error st "expected root element";
-      let root = parse_element st in
-      skip_misc st;
-      if st.pos <> String.length st.src then
-        error st "content after the root element";
-      root)
+      (* one frame per open element: tag, attrs, children so far (reversed) *)
+      let stack : (string * (string * string) list * Frag.t list) list ref =
+        ref []
+      in
+      let result = ref None in
+      iter_events src (fun ev ->
+          match ev, !stack with
+          | Start_element (tag, attrs), _ -> stack := (tag, attrs, []) :: !stack
+          | Text s, (tag, attrs, kids) :: rest ->
+            stack := (tag, attrs, Frag.T s :: kids) :: rest
+          | End_element, (tag, attrs, kids) :: rest ->
+            let e = Frag.E (tag, attrs, List.rev kids) in
+            (match rest with
+            | (ptag, pattrs, pkids) :: rest' ->
+              stack := (ptag, pattrs, e :: pkids) :: rest'
+            | [] -> result := Some e)
+          | (Text _ | End_element), [] ->
+            (* iter_events only emits these inside the root element *)
+            assert false);
+      match !result with
+      | Some root -> root
+      | None -> error { src; pos = 0 } "expected root element")
 
 (** Parse straight to an indexed {!Doc.t}. *)
 let parse_doc ?uri (src : string) : Doc.t = Doc.of_frag ?uri (parse src)

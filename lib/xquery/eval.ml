@@ -260,7 +260,7 @@ let frozen_select (ctx : ctx) (fz : Frozen.t) ~(base_pos : int)
   let sym = fz.Frozen.sym
   and parent = fz.Frozen.parent
   and sub_end = fz.Frozen.subtree_end
-  and nodes = fz.Frozen.nodes in
+  and nodes = Frozen.nodes fz in
   let b = base_pos in
   let e = sub_end.(b) in
   (* dirty scratch, grown on demand: [states.(parent.(p) - b)] below is

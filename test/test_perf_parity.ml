@@ -259,6 +259,69 @@ let test_select_engine_parity () =
         [] mismatches)
     outcomes
 
+(* Streaming-ingestion parity over the fuzz corpus: for each case's
+   training document, the one-pass builder (fragment walk and SAX text
+   parse) and a binary snapshot round-trip must all reproduce the
+   two-pass freeze-of-tree snapshot node for node. *)
+let test_streaming_fuzz_parity () =
+  let outcomes =
+    Xl_exec.Pool.map pool
+      (fun index ->
+        let case = Xl_fuzz.Case.generate ~seed:20040301 ~index in
+        let frag = case.Xl_fuzz.Case.training in
+        let tree_fz = Xml.Frozen.freeze (Xml.Doc.of_frag ~uri:"t.xml" frag) in
+        let _, frag_fz = Xml.Frozen_builder.of_frag ~uri:"t.xml" frag in
+        let text = Xml.Serialize.frag_to_string frag in
+        let _, parse_fz = Xml.Frozen_builder.parse ~uri:"t.xml" text in
+        let snap_fz = Xml.Snapshot.of_string (Xml.Snapshot.to_string tree_fz) in
+        let eq = Xml.Frozen.structural_equal tree_fz in
+        (index, eq frag_fz, eq parse_fz, eq snap_fz))
+      (List.init 25 Fun.id)
+  in
+  List.iter
+    (fun (index, frag_ok, parse_ok, snap_ok) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fuzz case %d streamed fragment walk" index)
+        true frag_ok;
+      Alcotest.(check bool)
+        (Printf.sprintf "fuzz case %d streamed text parse" index)
+        true parse_ok;
+      Alcotest.(check bool)
+        (Printf.sprintf "fuzz case %d snapshot roundtrip" index)
+        true snap_ok)
+    outcomes
+
+(* The same parity on the Figure-16 documents: the XMark generator's
+   direct-to-builder path against generate-then-freeze (same seed, same
+   scale), and each XMP document re-ingested through the SAX parser. *)
+let test_streaming_fig16_parity () =
+  List.iter
+    (fun seed ->
+      let tree_fz =
+        Xml.Frozen.freeze
+          (Xl_workload.Xmark_gen.generate ~seed Xl_workload.Xmark_gen.tiny_scale)
+      in
+      let _, stream_fz =
+        Xl_workload.Xmark_gen.generate_frozen ~seed
+          Xl_workload.Xmark_gen.tiny_scale
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "xmark seed %d streamed vs tree" seed)
+        true
+        (Xml.Frozen.structural_equal tree_fz stream_fz))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun (d : Xml.Doc.t) ->
+      let text = Xml.Serialize.node_to_string (Xml.Doc.root d) in
+      let uri = Xml.Doc.uri d in
+      let tree_fz = Xml.Frozen.freeze (Xml.Xml_parser.parse_doc ~uri text) in
+      let _, stream_fz = Xml.Frozen_builder.parse ~uri text in
+      Alcotest.(check bool)
+        (Printf.sprintf "xmp %s streamed vs tree" uri)
+        true
+        (Xml.Frozen.structural_equal tree_fz stream_fz))
+    (Xml.Store.docs (Xl_workload.Xmp_data.store ()))
+
 (* The learner drives the evaluator on every membership/equivalence
    query; identical interaction counts under both strategies show the
    fast paths never change what the teacher observes. *)
@@ -303,6 +366,30 @@ let test_learner_parity () =
   List.iter2
     (fun f n -> Alcotest.(check string) "interaction counts" n f)
     fast naive
+
+(* A streamed XMark store (documents ingested through the builder and
+   registered with their pre-built snapshots) must be indistinguishable
+   from the tree-built store: same interaction counts on every Figure-16
+   scenario. *)
+let test_streamed_store_learner_parity () =
+  let rows scenarios =
+    List.iter
+      (fun (_, sc) -> Xml.Store.prepare sc.Xl_core.Scenario.store)
+      scenarios;
+    Xl_exec.Pool.map pool
+      (fun (name, sc) ->
+        match Xl_core.Learn.run sc with
+        | r -> stats_row name r
+        | exception e -> name ^ " FAILED " ^ Printexc.to_string e)
+      scenarios
+  in
+  let tree = rows (Xl_workload.Xmark_scenarios.all ()) in
+  let streamed = rows (Xl_workload.Xmark_scenarios.all ~streamed:true ()) in
+  Alcotest.(check int) "same number of scenarios" (List.length tree)
+    (List.length streamed);
+  List.iter2
+    (fun t s -> Alcotest.(check string) "interaction counts" t s)
+    tree streamed
 
 (* Batched-oracle invariance (DESIGN.md §5h): the batched membership
    oracle and the intra-scenario pool change who computes answers, never
@@ -445,10 +532,19 @@ let () =
           Alcotest.test_case "fig16 stores, select-engine parity" `Quick
             test_select_engine_parity;
         ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "fuzz corpus, streamed vs tree vs snapshot" `Quick
+            test_streaming_fuzz_parity;
+          Alcotest.test_case "fig16 documents, streamed vs tree" `Quick
+            test_streaming_fig16_parity;
+        ] );
       ( "learner",
         [
           Alcotest.test_case "fig16 suites, fast vs naive" `Slow
             test_learner_parity;
+          Alcotest.test_case "xmark suite, streamed store vs tree store" `Slow
+            test_streamed_store_learner_parity;
           Alcotest.test_case "fig16 suites, batch on/off x pool 1/4" `Slow
             test_learner_batch_parity;
           Alcotest.test_case "fuzz corpus, batch on/off x pool 1/4, 25 seeds"

@@ -174,16 +174,16 @@ let test_frozen_document_order () =
   (* Doc.all_nodes omits the document node, which freezing puts at 0 *)
   let expected = List.sort Node.compare_order (d.Doc.doc_node :: Doc.all_nodes d) in
   check cint "size is node count" (List.length expected) (Frozen.size fz);
-  check cint "nodes array matches size" (Frozen.size fz) (Array.length fz.Frozen.nodes);
+  check cint "nodes array matches size" (Frozen.size fz) (Array.length (Frozen.nodes fz));
   List.iteri
     (fun p n ->
       check cbool
         (Printf.sprintf "position %d is document-order node %d" p n.Node.id)
         true
-        (Node.equal fz.Frozen.nodes.(p) n))
+        (Node.equal (Frozen.node fz p) n))
     expected;
   check cbool "position 0 is the doc node" true
-    (fz.Frozen.nodes.(0).Node.kind = Node.Document);
+    ((Frozen.node fz 0).Node.kind = Node.Document);
   (* per-position symbol ids decode to the node's symbol *)
   Array.iteri
     (fun p n ->
@@ -191,7 +191,7 @@ let test_frozen_document_order () =
         (Printf.sprintf "symbol at %d" p)
         (Node.symbol n)
         fz.Frozen.symbols.(fz.Frozen.sym.(p)))
-    fz.Frozen.nodes
+    (Frozen.nodes fz)
 
 let test_frozen_structure_consistency () =
   let d = doc () in
@@ -234,10 +234,224 @@ let test_frozen_pos_of_node () =
       match Frozen.pos_of_node fz n with
       | Some p' -> check cint (Printf.sprintf "pos_of_node roundtrip %d" p) p p'
       | None -> Alcotest.failf "node at position %d not found" p)
-    fz.Frozen.nodes;
+    (Frozen.nodes fz);
   let other = Doc.of_frag ~uri:"other.xml" (Frag.elem "a" "x") in
   check cbool "foreign node has no position" true
     (Frozen.pos_of_node fz (Doc.root other) = None)
+
+(* ---------- SAX events and error locations ------------------------------ *)
+
+let test_sax_events () =
+  let src = "<a x=\"1\"><!-- c --><b/>hi<![CDATA[ there ]]></a>" in
+  let events = List.rev (Xml_parser.fold_events src ~init:[] ~f:(fun acc e -> e :: acc)) in
+  check cbool "event stream" true
+    (events
+    = [
+        Xml_parser.Start_element ("a", [ ("x", "1") ]);
+        Xml_parser.Start_element ("b", []);
+        Xml_parser.End_element;
+        Xml_parser.Text "hi";
+        Xml_parser.Text " there ";
+        Xml_parser.End_element;
+      ]);
+  (* whitespace-only text (CDATA included) never reaches the consumer *)
+  let ws = "<a>\n  <b> </b> <![CDATA[\n]]></a>" in
+  let texts =
+    Xml_parser.fold_events ws ~init:0 ~f:(fun acc -> function
+      | Xml_parser.Text _ -> acc + 1 | _ -> acc)
+  in
+  check cint "no ws-only text events" 0 texts
+
+let test_parse_error_location () =
+  let expect_loc src line col =
+    match Xml_parser.parse src with
+    | _ -> Alcotest.failf "parse of %S should fail" src
+    | exception Xml_parser.Parse_error (_, loc) ->
+      check cint (Printf.sprintf "line of %S" src) line loc.Xml_parser.line;
+      check cint (Printf.sprintf "col of %S" src) col loc.Xml_parser.col
+  in
+  (* mismatched close tag on line 2 *)
+  expect_loc "<a>\n  <b></c>\n</a>" 2 9;
+  (* unterminated document: error at EOF, line 3 *)
+  expect_loc "<a>\n<b>\n</b>" 3 5;
+  (* broken attribute syntax on line 1 *)
+  expect_loc "<a x=1></a>" 1 6
+
+(* ---------- Streaming builder ------------------------------------------- *)
+
+let streaming_sample_xml =
+  "<site><regions><europe><item id=\"i7\" featured=\"yes\"><name>H. \
+   Potter</name><desc>Best &amp; <em>seller</em><!-- note --></desc></item>\n\
+   <item id=\"i8\"/></europe></regions><people/></site>"
+
+let test_streaming_matches_tree () =
+  let tree_fz =
+    Frozen.freeze (Xml_parser.parse_doc ~uri:"s.xml" streaming_sample_xml)
+  in
+  let _, stream_fz = Frozen_builder.parse ~uri:"s.xml" streaming_sample_xml in
+  check cbool "streamed snapshot equals frozen tree" true
+    (Frozen.structural_equal tree_fz stream_fz);
+  (* the builder's document side behaves like Doc.of_frag's *)
+  let sdoc, fz2 = Frozen_builder.parse ~uri:"s.xml" streaming_sample_xml in
+  check cbool "builder doc indexed" true
+    (Doc.node_with_path sdoc [ "site"; "regions"; "europe"; "item" ] <> None);
+  check cint "doc node count matches rows" (Doc.node_count sdoc) (Frozen.size fz2)
+
+let test_streaming_of_frag () =
+  let tree_fz = Frozen.freeze (Doc.of_frag ~uri:"sample.xml" sample) in
+  let _, stream_fz = Frozen_builder.of_frag ~uri:"sample.xml" sample in
+  check cbool "of_frag parity on the shared sample" true
+    (Frozen.structural_equal tree_fz stream_fz);
+  check cbool "text root rejected" true
+    (match Frozen_builder.of_frag (Frag.T "x") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_builder_misuse () =
+  let b = Frozen_builder.create () in
+  check cbool "close without open" true
+    (match Frozen_builder.close_element b with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Frozen_builder.open_element b "r" [];
+  Frozen_builder.close_element b;
+  check cbool "second root rejected" true
+    (match Frozen_builder.open_element b "r2" [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let b2 = Frozen_builder.create () in
+  Frozen_builder.open_element b2 "r" [];
+  check cbool "finish with open elements rejected" true
+    (match Frozen_builder.finish b2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Position index ---------------------------------------------- *)
+
+let counter name =
+  match Xl_obs.Obs.Counter.find name with
+  | Some c -> Xl_obs.Obs.Counter.value c
+  | None -> Alcotest.failf "counter %s not registered" name
+
+let test_pos_index_dense_and_sparse () =
+  Xl_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Xl_obs.Obs.set_enabled false) @@ fun () ->
+  let dense_before = counter "frozen_pos_dense" in
+  let fz = Frozen.freeze (doc ()) in
+  check cbool "fresh document takes the dense index" true
+    (Frozen.pos_index_is_dense fz);
+  check cint "dense counter ticked" (dense_before + 1) (counter "frozen_pos_dense");
+  (* a document with a hole in its id range must fall back to the
+     hashtable: hand-assemble one the way the evaluator's element
+     constructor would *)
+  let mk kind name value =
+    {
+      Node.id = Doc.fresh_id ();
+      kind;
+      name;
+      value;
+      parent = None;
+      children = [];
+      attributes = [];
+      dewey = [];
+    }
+  in
+  let doc_node = mk Node.Document "" "" in
+  ignore (Doc.fresh_id ());
+  (* the hole *)
+  let root = mk Node.Element "r" "" in
+  root.Node.dewey <- Dewey.root;
+  root.Node.parent <- Some doc_node;
+  doc_node.Node.children <- [ root ];
+  let by_id = Hashtbl.create 4 in
+  List.iter (fun n -> Hashtbl.replace by_id n.Node.id n) [ doc_node; root ];
+  let gappy = { Doc.uri = "gap.xml"; doc_node; root; by_id } in
+  let sparse_before = counter "frozen_pos_sparse" in
+  let gz = Frozen.freeze gappy in
+  check cbool "gappy ids fall back to the hashtable" false
+    (Frozen.pos_index_is_dense gz);
+  check cint "sparse counter ticked" (sparse_before + 1)
+    (counter "frozen_pos_sparse");
+  check cbool "sparse lookup still works" true
+    (Frozen.pos_of_node gz root = Some 1)
+
+(* ---------- Binary snapshots -------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let d = doc () in
+  let fz = Frozen.freeze d in
+  let loaded = Snapshot.of_string (Snapshot.to_string fz) in
+  check cbool "round-trip is structurally equal" true
+    (Frozen.structural_equal fz loaded);
+  (* node-for-node: kinds, names, values and Dewey codes per position *)
+  let a = Frozen.nodes fz and b = Frozen.nodes loaded in
+  check cint "same node count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun p (x : Node.t) ->
+      let y = b.(p) in
+      check cbool
+        (Printf.sprintf "node %d matches" p)
+        true
+        (x.Node.kind = y.Node.kind
+        && x.Node.name = y.Node.name
+        && x.Node.value = y.Node.value
+        && x.Node.dewey = y.Node.dewey))
+    a;
+  (* the rebuilt tree serializes identically and is fully indexed *)
+  check cstr "serialization matches"
+    (Serialize.node_to_string (Doc.root d))
+    (Serialize.node_to_string (Doc.root (Frozen.doc loaded)));
+  check cstr "uri preserved" (Doc.uri d) (Doc.uri (Frozen.doc loaded));
+  check cbool "loaded doc indexed" true
+    (Doc.node_with_path (Frozen.doc loaded) [ "site"; "regions"; "europe"; "item" ]
+    <> None)
+
+let test_snapshot_lazy_tree () =
+  let fz = Frozen.freeze (doc ()) in
+  let loaded = Snapshot.of_string (Snapshot.to_string fz) in
+  check cbool "tree deferred right after load" false (Frozen.tree_forced loaded);
+  check cint "arrays usable without the tree" (Frozen.size fz) (Frozen.size loaded);
+  ignore (Frozen.nodes loaded);
+  check cbool "tree materialized on demand" true (Frozen.tree_forced loaded)
+
+let test_snapshot_rejects_corruption () =
+  let fz = Frozen.freeze (doc ()) in
+  let snap = Snapshot.to_string fz in
+  let rejects what s =
+    check cbool what true
+      (match Snapshot.of_string s with
+      | exception Snapshot.Corrupt _ -> true
+      | _ -> false)
+  in
+  rejects "empty input" "";
+  rejects "truncated header" (String.sub snap 0 10);
+  rejects "truncated body" (String.sub snap 0 (String.length snap - 7));
+  rejects "bad magic" ("XLBROKEN" ^ String.sub snap 8 (String.length snap - 8));
+  (* future format version *)
+  let future = Bytes.of_string snap in
+  Bytes.set future 8 '\xff';
+  rejects "unsupported version" (Bytes.to_string future);
+  (* single flipped bytes all along the payload trip the checksum *)
+  let len = String.length snap in
+  List.iter
+    (fun frac ->
+      let i = 12 + (frac * (len - 13) / 100) in
+      let b = Bytes.of_string snap in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+      rejects (Printf.sprintf "flipped byte at %d%%" frac) (Bytes.to_string b))
+    [ 0; 25; 50; 75; 100 ]
+
+let test_snapshot_store_reuse () =
+  let _, fz = Frozen_builder.of_frag ~uri:"sample.xml" sample in
+  let store = Store.of_frozen [ fz ] in
+  Store.prepare store;
+  (* build_index must reuse the registered snapshot, not re-freeze *)
+  check cbool "store reuses the supplied snapshot" true
+    (match Store.frozen_docs store with
+    | [ fz' ] -> fz' == fz
+    | _ -> false);
+  check cbool "store queries work" true
+    (List.length (Store.nodes_with_tag store "item") = 1)
 
 (* ---------- Properties ------------------------------------------------------ *)
 
@@ -336,6 +550,21 @@ let () =
           Alcotest.test_case "prolog and doctype" `Quick test_parse_prolog_doctype;
           Alcotest.test_case "whitespace dropped" `Quick test_parse_whitespace_dropped;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "sax events" `Quick test_sax_events;
+          Alcotest.test_case "error locations" `Quick test_parse_error_location;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches tree path" `Quick test_streaming_matches_tree;
+          Alcotest.test_case "of_frag parity" `Quick test_streaming_of_frag;
+          Alcotest.test_case "builder misuse" `Quick test_builder_misuse;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "lazy tree" `Quick test_snapshot_lazy_tree;
+          Alcotest.test_case "rejects corruption" `Quick test_snapshot_rejects_corruption;
+          Alcotest.test_case "store reuse" `Quick test_snapshot_store_reuse;
         ] );
       ( "serializer",
         [
@@ -348,6 +577,7 @@ let () =
           Alcotest.test_case "document order" `Quick test_frozen_document_order;
           Alcotest.test_case "structure consistency" `Quick test_frozen_structure_consistency;
           Alcotest.test_case "pos_of_node roundtrip" `Quick test_frozen_pos_of_node;
+          Alcotest.test_case "dense and sparse index" `Quick test_pos_index_dense_and_sparse;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
