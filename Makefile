@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream obs-demo fuzz clean
+.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream obs-demo obs-report fuzz clean
 
 build:
 	dune build
@@ -73,9 +73,19 @@ fuzz:
 	dune exec bench/main.exe -- fuzz --cases 500 --seed 20040301
 
 # One XMP learning session with telemetry on: writes a JSONL trace
-# (spans + metrics + the teacher dialog) and prints the summary table.
+# (spans + metrics + the teacher dialog) plus a Chrome trace-event file
+# (open demo.perfetto.json in ui.perfetto.dev) and a folded flamegraph
+# profile (demo.folded), and prints the summary table.
 obs-demo:
-	dune exec bin/xlearner_cli.exe -- learn xmp Q5 --trace xlearner_trace.jsonl
+	dune exec bin/xlearner_cli.exe -- learn xmp Q5 --trace xlearner_trace.jsonl \
+	  --perfetto demo.perfetto.json --profile demo.folded
+
+# Offline analysis of the obs-demo trace: span-tree self vs child time,
+# top self-time names, per-worker utilization and the critical path.
+# Analyze any other trace with:
+#   dune exec bench/main.exe -- obs-report path/to/trace.jsonl
+obs-report:
+	dune exec bench/main.exe -- obs-report xlearner_trace.jsonl
 
 clean:
 	dune clean

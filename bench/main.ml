@@ -19,6 +19,10 @@
                                                  (make bench-stream)
      dune exec bench/main.exe -- batch        -- batched vs per-word membership
                                                  oracle (make bench-batch)
+     dune exec bench/main.exe -- obs-report T -- offline analysis of a JSONL
+                                                 trace T: span-tree self time,
+                                                 worker utilization, critical
+                                                 path (make obs-report)
 
    The Figure-16 suites and the perf-json baseline fan their independent
    learn-and-verify scenario runs across OCaml 5 domains (Xl_exec.Pool).
@@ -29,6 +33,9 @@
 
 module Pool = Xl_exec.Pool
 module Obs = Xl_obs.Obs
+module Profiler = Xl_obs.Profiler
+module Perfetto = Xl_obs.Perfetto
+module Trace_analysis = Xl_obs.Trace_analysis
 
 let jobs_override : int option ref = ref None
 let pool () = Pool.create ?domains:!jobs_override ()
@@ -36,6 +43,20 @@ let pool () = Pool.create ?domains:!jobs_override ()
 (* --trace PATH (or XLEARNER_TRACE=PATH): enable telemetry and write the
    JSONL trace + summary table when the selected benchmarks finish *)
 let trace_path : string option ref = ref None
+
+(* --perfetto PATH: also write the merged spans as a Chrome trace-event
+   file (opens in ui.perfetto.dev); --profile PATH: run the sampling
+   profiler for the whole selection and write folded (flamegraph)
+   stacks; --profile-interval-us N tunes the sampling period *)
+let perfetto_path : string option ref = ref None
+let profile_path : string option ref = ref None
+let profile_interval_us = ref 1000
+
+(* obs-report options *)
+let obs_report_top = ref 10
+let obs_check_perfetto : string option ref = ref None
+let obs_check_folded : string option ref = ref None
+let obs_expect_stack : string option ref = ref None
 
 (* a suite's scenarios share one store; freeze its lazy indexes while the
    store is still visible to a single domain (Pool's confinement rule),
@@ -521,8 +542,14 @@ let perf_json () =
   Obs.set_enabled true;
   print_endline "running fig16 suites (sequential)...";
   let seq = Pool.create ~domains:1 () in
+  (* sequence watermarks bracket each sequential leg: the xmark and xmp
+     scenarios share names (Q1..Q19), so per-scenario latency spans are
+     attributed by the seq window of their own suite *)
+  let w0 = Obs.next_seq () in
   let xmark_rows, xmark_s = run_suite ~on:seq xmark_scenarios in
+  let w1 = Obs.next_seq () in
   let xmp_rows, xmp_s = run_suite ~on:seq xmp_scenarios in
+  let w2 = Obs.next_seq () in
   Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" xmark_s xmp_s;
   let par = pool () in
   Printf.printf "running fig16 suites (parallel, %d jobs)...\n%!" (Pool.domains par);
@@ -542,6 +569,44 @@ let perf_json () =
   let par_xmp_stats = Pool.stats par in
   Printf.printf "fig16-xmark %.2f s, fig16-xmp %.2f s\n%!" par_xmark_s par_xmp_s;
   let rows_match = xmark_rows = par_xmark_rows && xmp_rows = par_xmp_rows in
+  (* per-scenario latency quantiles from the sequential leg's learn.task
+     spans (detail = "scenario/task"), appended to the row strings only
+     AFTER the sequential/parallel comparison above: the compared rows
+     must stay latency-free, or timing jitter would fail rows_match *)
+  let scenario_latency ~lo ~hi scenarios rows =
+    let spans = Obs.spans () in
+    let durs_for name =
+      let prefix = name ^ "/" in
+      let plen = String.length prefix in
+      List.filter_map
+        (fun (r : Obs.span_rec) ->
+          if
+            r.Obs.sp_seq >= lo && r.Obs.sp_seq < hi
+            && String.equal r.Obs.sp_name "learn.task"
+          then
+            match r.Obs.sp_detail with
+            | Some d
+              when String.length d >= plen && String.equal (String.sub d 0 plen) prefix
+              ->
+              Some r.Obs.sp_dur_ns
+            | _ -> None
+          else None)
+        spans
+    in
+    List.map2
+      (fun (name, _) row ->
+        match durs_for name with
+        | [] -> row
+        | durs ->
+          let p q = Obs.quantile_of durs q in
+          Printf.sprintf
+            "%s,\"latency_ns\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"samples\":%d}}"
+            (String.sub row 0 (String.length row - 1))
+            (p 0.5) (p 0.95) (p 0.99) (List.length durs))
+      scenarios rows
+  in
+  let xmark_rows = scenario_latency ~lo:w0 ~hi:w1 xmark_scenarios xmark_rows in
+  let xmp_rows = scenario_latency ~lo:w1 ~hi:w2 xmp_scenarios xmp_rows in
   let seq_total = xmark_s +. xmp_s and par_total = par_xmark_s +. par_xmp_s in
   Printf.printf
     "=> fig16 wall: sequential %.2f s, parallel %.2f s (%.2fx on %d jobs), rows match: %b\n%!"
@@ -1089,6 +1154,74 @@ let perf_gate () =
   end;
   Printf.printf "=> all gated metrics within tolerance\n\n"
 
+(* ---------- offline trace analysis (make obs-report) --------------------- *)
+
+(* [obs-report TRACE] replays a JSONL trace written by --trace through
+   [Trace_analysis]: span-tree self vs child time, top self-time names,
+   per-worker utilization/imbalance, and the critical path through the
+   scenario fan-out.  With --check-perfetto / --check-folded it also
+   round-trip-validates a Perfetto export and a folded profile (CI runs
+   it in exactly that mode); --expect-stack NAME additionally requires
+   at least one folded sample whose stack contains NAME. *)
+let obs_report path =
+  (match Trace_analysis.load path with
+  | Error e ->
+    Printf.eprintf "FAIL: obs-report: malformed trace %s: %s\n" path e;
+    exit 1
+  | Ok t -> print_string (Trace_analysis.report ~top:!obs_report_top t));
+  (match !obs_check_perfetto with
+  | None -> ()
+  | Some p -> (
+    match Perfetto.validate (read_file p) with
+    | Ok n -> Printf.printf "perfetto %s: valid (%d span events)\n" p n
+    | Error e ->
+      Printf.eprintf "FAIL: perfetto %s: %s\n" p e;
+      exit 1));
+  match !obs_check_folded with
+  | None -> ()
+  | Some p ->
+    let lines =
+      String.split_on_char '\n' (read_file p)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let parse_line l =
+      (* "outer;inner;leaf COUNT" — count after the last space *)
+      match String.rindex_opt l ' ' with
+      | None -> None
+      | Some i -> (
+        let stack = String.sub l 0 i in
+        match int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1)) with
+        | Some n when n > 0 && stack <> "" ->
+          Some (String.split_on_char ';' stack, n)
+        | _ -> None)
+    in
+    let parsed = List.map parse_line lines in
+    List.iteri
+      (fun i po ->
+        if po = None then begin
+          Printf.eprintf "FAIL: folded %s: malformed line %d: %s\n" p (i + 1)
+            (List.nth lines i);
+          exit 1
+        end)
+      parsed;
+    let samples = List.filter_map Fun.id parsed in
+    Printf.printf "folded %s: valid (%d stacks, %d samples)\n" p
+      (List.length samples)
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 samples);
+    (match !obs_expect_stack with
+    | None -> ()
+    | Some name ->
+      let hits =
+        List.fold_left
+          (fun acc (stack, n) -> if List.mem name stack then acc + n else acc)
+          0 samples
+      in
+      if hits = 0 then begin
+        Printf.eprintf "FAIL: folded %s: no sample with %S on the stack\n" p name;
+        exit 1
+      end;
+      Printf.printf "folded %s: %d samples with %S on the stack\n" p hits name)
+
 (* ---------- property-based differential fuzzing ------------------------- *)
 
 let fuzz_cases = ref 100
@@ -1173,6 +1306,37 @@ let () =
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
       trace_path := Some (String.sub arg 8 (String.length arg - 8));
       parse_jobs acc rest
+    | "--perfetto" :: path :: rest ->
+      perfetto_path := Some path;
+      parse_jobs acc rest
+    | "--profile" :: path :: rest ->
+      profile_path := Some path;
+      parse_jobs acc rest
+    | "--profile-interval-us" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+        profile_interval_us := v;
+        parse_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad --profile-interval-us %S\n" n;
+        exit 2)
+    | "--top" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+        obs_report_top := v;
+        parse_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad --top %S\n" n;
+        exit 2)
+    | "--check-perfetto" :: path :: rest ->
+      obs_check_perfetto := Some path;
+      parse_jobs acc rest
+    | "--check-folded" :: path :: rest ->
+      obs_check_folded := Some path;
+      parse_jobs acc rest
+    | "--expect-stack" :: name :: rest ->
+      obs_expect_stack := Some name;
+      parse_jobs acc rest
     | (("--cases" | "--seed" | "--fresh" | "--only") as opt) :: n :: rest -> (
       match int_of_string_opt n with
       | Some v ->
@@ -1194,7 +1358,10 @@ let () =
   (match !trace_path with
   | None -> trace_path := Sys.getenv_opt "XLEARNER_TRACE"
   | Some _ -> ());
-  if !trace_path <> None then Obs.set_enabled true;
+  if !trace_path <> None || !perfetto_path <> None || !profile_path <> None then
+    Obs.set_enabled true;
+  if !profile_path <> None then
+    Profiler.start ~interval_us:!profile_interval_us ();
   let run = function
     | "fig15" -> fig15 ()
     | "fig16-xmark" -> fig16_xmark ()
@@ -1219,14 +1386,37 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | fuzz | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | fuzz | obs-report TRACE | all)\n"
         other;
       exit 2
   in
-  (match args with [] -> run "all" | args -> List.iter run args);
-  match !trace_path with
+  (match args with
+  | "obs-report" :: rest -> (
+    match rest with
+    | [ path ] -> obs_report path
+    | [] ->
+      Printf.eprintf "obs-report: missing trace file argument\n";
+      exit 2
+    | _ ->
+      Printf.eprintf "obs-report: expected exactly one trace file\n";
+      exit 2)
+  | [] -> run "all"
+  | args -> List.iter run args);
+  Profiler.stop ();
+  (match !trace_path with
   | None -> ()
   | Some path ->
     Obs.write_jsonl path;
     Printf.printf "wrote trace %s\n" path;
-    print_string (Obs.summary_table ())
+    print_string (Obs.summary_table ()));
+  (match !perfetto_path with
+  | None -> ()
+  | Some path ->
+    Perfetto.write ~counter_samples:(Profiler.counter_samples ()) path;
+    Printf.printf "wrote perfetto trace %s\n" path);
+  match !profile_path with
+  | None -> ()
+  | Some path ->
+    Profiler.write_folded path;
+    Printf.printf "wrote folded profile %s (%d samples over %d ticks)\n" path
+      (Profiler.sample_count ()) (Profiler.ticks ())

@@ -5,7 +5,10 @@
                                            [--interactive]
      xlearner generate [--scale tiny] [--seed N] [-o out.xml]
      xlearner template [--suite xmark|xmp] -- show the target-side template
-     xlearner eval -q QUERY [-f data.xml]  -- run an XQuery on a document *)
+     xlearner eval -q QUERY [-f data.xml]  -- run an XQuery on a document
+     xlearner obs-report trace.jsonl       -- offline analysis of a recorded
+                                              trace (self time, utilization,
+                                              critical path) *)
 
 open Cmdliner
 
@@ -66,8 +69,26 @@ let learn_cmd =
             "Enable telemetry and write a JSONL trace (spans, metrics and \
              the teacher dialog) to $(docv); also prints a summary table")
   in
+  let perfetto_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"PATH"
+          ~doc:
+            "Also write the recorded spans as a Chrome trace-event file \
+             (open it in ui.perfetto.dev)")
+  in
+  let profile_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"PATH"
+          ~doc:
+            "Run the wall-clock sampling profiler during the learning run \
+             and write folded (flamegraph) stacks to $(docv)")
+  in
   let run suite query show_query show_tree no_r1 no_r2 worst interactive
-      transcript trace_file =
+      transcript trace_file perfetto_file profile_file =
     let scenarios = suite_scenarios suite in
     match List.assoc_opt query scenarios with
     | None ->
@@ -81,7 +102,9 @@ let learn_cmd =
           strategy = (if worst then Xl_core.Oracle.Worst else Xl_core.Oracle.Best);
         }
       in
-      if trace_file <> None then Xl_obs.Obs.set_enabled true;
+      if trace_file <> None || perfetto_file <> None || profile_file <> None then
+        Xl_obs.Obs.set_enabled true;
+      if profile_file <> None then Xl_obs.Profiler.start ();
       let tr = Xl_core.Trace.create () in
       let wrap_teacher t =
         let t = if interactive then Interactive.teacher t else t in
@@ -105,7 +128,8 @@ let learn_cmd =
         print_endline "\nlearned query:";
         print_endline r.Xl_core.Learn.query_text
       end;
-      match trace_file with
+      Xl_obs.Profiler.stop ();
+      (match trace_file with
       | None -> ()
       | Some path ->
         (* teacher-dialog records interleave with the spans by the shared
@@ -113,13 +137,28 @@ let learn_cmd =
         Xl_obs.Obs.write_jsonl ~extra:(Xl_core.Trace.to_jsonl_events tr) path;
         Printf.printf "\nwrote trace %s (%d dialog events)\n" path
           (Xl_core.Trace.length tr);
-        print_string (Xl_obs.Obs.summary_table ())
+        print_string (Xl_obs.Obs.summary_table ()));
+      (match perfetto_file with
+      | None -> ()
+      | Some path ->
+        Xl_obs.Perfetto.write
+          ~counter_samples:(Xl_obs.Profiler.counter_samples ())
+          path;
+        Printf.printf "wrote perfetto trace %s\n" path);
+      match profile_file with
+      | None -> ()
+      | Some path ->
+        Xl_obs.Profiler.write_folded path;
+        Printf.printf "wrote folded profile %s (%d samples over %d ticks)\n"
+          path
+          (Xl_obs.Profiler.sample_count ())
+          (Xl_obs.Profiler.ticks ())
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Run a learning scenario and report the interaction counts")
     Term.(
       const run $ suite $ query $ show_query $ show_tree $ no_r1 $ no_r2 $ worst
-      $ interactive $ transcript $ trace_file)
+      $ interactive $ transcript $ trace_file $ perfetto_file $ profile_file)
 
 (* ---- generate ----------------------------------------------------------- *)
 
@@ -201,6 +240,34 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate an XQuery expression against a document")
     Term.(const run $ query $ file)
 
+(* ---- obs-report ---------------------------------------------------------- *)
+
+let obs_report_cmd =
+  let trace =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A JSONL trace written with --trace")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per report section")
+  in
+  let run trace top =
+    match Xl_obs.Trace_analysis.load trace with
+    | Error e ->
+      Printf.eprintf "obs-report: malformed trace %s: %s\n" trace e;
+      exit 1
+    | Ok t -> print_string (Xl_obs.Trace_analysis.report ~top t)
+  in
+  Cmd.v
+    (Cmd.info "obs-report"
+       ~doc:
+         "Analyze a recorded JSONL trace: span-tree self time, per-worker \
+          utilization and the critical path")
+    Term.(const run $ trace $ top)
+
 (* ---- fig16 shortcut ------------------------------------------------------- *)
 
 let bench_cmd =
@@ -214,4 +281,8 @@ let () =
   let info = Cmd.info "xlearner" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; learn_cmd; generate_cmd; template_cmd; eval_cmd; bench_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd; learn_cmd; generate_cmd; template_cmd; eval_cmd;
+            obs_report_cmd; bench_cmd;
+          ]))

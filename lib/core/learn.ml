@@ -702,7 +702,8 @@ let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
   let results =
     List.map
       (fun task ->
-        Xl_obs.Obs.span ~name:"learn.task" ~detail:(Task.label task) (fun () ->
+        Xl_obs.Obs.span ~name:"learn.task"
+          ~detail:(scenario.Scenario.name ^ "/" ^ Task.label task) (fun () ->
             learn_task ~config ~stats ~teacher ~ctx ~dg ~schemas ~schema_dfas
               ~tree
               ~session:(Option.map (fun s -> (s, scenario.Scenario.name)) session)

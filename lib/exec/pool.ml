@@ -88,6 +88,11 @@ let parallel_map ~workers ~chunk ~(record : worker_stat array -> unit) f
      spawns and [workers] domains never means [workers + 1] threads *)
   worker (workers - 1);
   Array.iter Domain.join spawned;
+  (* every worker flushed before dying; a non-empty buffer here would be
+     spans about to be lost with the domain *)
+  Array.iter
+    (fun d -> assert (Obs.domain_buffer_empty (Domain.get_id d :> int)))
+    spawned;
   record (Array.init workers (fun i -> { tasks = tasks.(i); busy_ns = busy.(i) }));
   match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt

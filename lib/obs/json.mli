@@ -1,0 +1,31 @@
+(** A minimal JSON reader for the trace-analysis layer (no external
+    dependency; the container is sealed).  Accepts arbitrary
+    well-formed JSON; used to round-trip-validate the JSONL traces and
+    the Perfetto export in tests and CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; [Error] carries a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+(** Numbers round to the nearest integer. *)
+
+val to_list_opt : t -> t list option
+
+val mem_str : string -> t -> string option
+(** [mem_str k j] = [member k j] coerced to a string. *)
+
+val mem_int : string -> t -> int option
+val mem_float : string -> t -> float option

@@ -9,16 +9,54 @@
       cons into domain-local state, no lock, no atomic;
     - counters and histogram buckets are [Atomic.t] cells, so updates
       from concurrent pool workers never lose increments and never
-      block. *)
+      block;
+    - each domain's buffer is registered in a global table on first use
+      and flushed by a [Domain.at_exit] hook, so spans recorded on a
+      domain that never calls {!flush_domain} are merged when the
+      domain dies instead of being silently dropped. *)
 
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* ---------- clock ------------------------------------------------------- *)
+
+(* clock_gettime(CLOCK_MONOTONIC) via the C stub: immune to NTP steps, so
+   a span duration can never go negative.  The stub answers -1 where the
+   monotonic clock is unavailable; then the pure-OCaml gettimeofday
+   fallback keeps the module working (microsecond resolution, wall
+   base).  Probed once at startup. *)
+external monotonic_clock_ns : unit -> int = "xl_obs_monotonic_ns" [@@noalloc]
+
+let gettimeofday_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let monotonic = monotonic_clock_ns () >= 0
+let now_ns = if monotonic then monotonic_clock_ns else gettimeofday_ns
 
 let seq_counter = Atomic.make 0
 let next_seq () = Atomic.fetch_and_add seq_counter 1
+
+(* ---------- quantiles over raw samples ---------------------------------- *)
+
+(* exact q-quantile of a sample list, linear interpolation between order
+   statistics (the [q * (n-1)] convention): shared by the span-total
+   aggregation here and the per-scenario latency rows of the bench *)
+let quantile_of_sorted (a : int array) (q : float) : int =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float pos in
+    if i + 1 >= n then a.(n - 1)
+    else
+      let frac = pos -. float_of_int i in
+      a.(i) + int_of_float (frac *. float_of_int (a.(i + 1) - a.(i)))
+  end
+
+let quantile_of (xs : int list) (q : float) : int =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  quantile_of_sorted a q
 
 (* ---------- spans ------------------------------------------------------- *)
 
@@ -37,26 +75,110 @@ type span_total = {
   st_count : int;
   st_total_ns : int;
   st_max_ns : int;
+  st_p50_ns : int;
+  st_p95_ns : int;
+  st_p99_ns : int;
 }
 
-type dbuf = { mutable buf_spans : span_rec list; mutable buf_depth : int }
-
-let buf_key : dbuf Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { buf_spans = []; buf_depth = 0 })
+(* Per-domain state: the span buffer plus the profiler's active-span
+   stack.  The stack is written by this domain only ([span] pushes and
+   pops) and read by the sampler domain: the element count is an
+   [Atomic.t] so a frame write happens-before the count that publishes
+   it — the sampler sees initialized strings for every index below the
+   count it read.  A concurrently popped-and-repushed frame may be
+   observed stale; a sampling profiler tolerates that. *)
+type dbuf = {
+  dom : int;
+  mutable buf_spans : span_rec list;
+  mutable buf_depth : int;
+  mutable stk : string array;
+  stk_n : int Atomic.t;
+}
 
 let merge_mutex = Mutex.create ()
 let merged : span_rec list ref = ref []
 
+(* registry of live per-domain buffers, keyed by domain id: lets the
+   profiler sample every domain's stack and lets [Xl_exec.Pool] assert
+   that a joined worker left nothing unflushed *)
+let registry_mutex = Mutex.create ()
+let buf_registry : (int, dbuf) Hashtbl.t = Hashtbl.create 16
+
+let flush_buf (buf : dbuf) =
+  match buf.buf_spans with
+  | [] -> ()
+  | spans ->
+    buf.buf_spans <- [];
+    Mutex.protect merge_mutex (fun () -> merged := List.rev_append spans !merged)
+
+let buf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let dom = (Domain.self () :> int) in
+      let buf =
+        {
+          dom;
+          buf_spans = [];
+          buf_depth = 0;
+          stk = Array.make 16 "";
+          stk_n = Atomic.make 0;
+        }
+      in
+      Mutex.protect registry_mutex (fun () ->
+          Hashtbl.replace buf_registry dom buf);
+      (* the span-loss fix: whatever this domain recorded is merged when
+         the domain dies, even if nothing ever called flush_domain *)
+      Domain.at_exit (fun () ->
+          flush_buf buf;
+          Atomic.set buf.stk_n 0;
+          Mutex.protect registry_mutex (fun () ->
+              (* a reused id slot may belong to a younger domain *)
+              match Hashtbl.find_opt buf_registry dom with
+              | Some b when b == buf -> Hashtbl.remove buf_registry dom
+              | _ -> ()));
+      buf)
+
 let flush_domain () =
-  if !enabled_flag then begin
-    let buf = Domain.DLS.get buf_key in
-    match buf.buf_spans with
-    | [] -> ()
-    | spans ->
-      buf.buf_spans <- [];
-      Mutex.protect merge_mutex (fun () ->
-          merged := List.rev_append spans !merged)
-  end
+  if !enabled_flag then flush_buf (Domain.DLS.get buf_key)
+
+let domain_buffer_empty dom =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt buf_registry dom with
+      | None -> true
+      | Some b -> b.buf_spans == [])
+
+(* ---------- profiler hooks ---------------------------------------------- *)
+
+(* [span] maintains the active-span stack only while a sampler is
+   attached: one atomic load on the enabled path, nothing at all when
+   telemetry is off.  Owned by [Profiler]. *)
+let profiler_hooks = Atomic.make false
+let set_profiler_hooks b = Atomic.set profiler_hooks b
+let profiler_hooks_on () = Atomic.get profiler_hooks
+
+let stack_push buf name =
+  let n = Atomic.get buf.stk_n in
+  if n >= Array.length buf.stk then begin
+    let bigger = Array.make (2 * Array.length buf.stk) "" in
+    Array.blit buf.stk 0 bigger 0 n;
+    buf.stk <- bigger
+  end;
+  buf.stk.(n) <- name;
+  Atomic.set buf.stk_n (n + 1)
+
+let stack_pop buf = Atomic.set buf.stk_n (Atomic.get buf.stk_n - 1)
+
+let active_stacks () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold
+        (fun dom buf acc ->
+          let n = Atomic.get buf.stk_n in
+          if n <= 0 then acc
+          else begin
+            let arr = buf.stk in
+            let n = min n (Array.length arr) in
+            (dom, Array.to_list (Array.sub arr 0 n)) :: acc
+          end)
+        buf_registry [])
 
 let span ~name ?detail f =
   if not !enabled_flag then f ()
@@ -65,9 +187,12 @@ let span ~name ?detail f =
     let seq = next_seq () in
     let depth = buf.buf_depth in
     buf.buf_depth <- depth + 1;
+    let sampled = Atomic.get profiler_hooks in
+    if sampled then stack_push buf name;
     let t0 = now_ns () in
     let record () =
       let dur = now_ns () - t0 in
+      if sampled then stack_pop buf;
       buf.buf_depth <- depth;
       buf.buf_spans <-
         {
@@ -96,29 +221,29 @@ let spans () =
   List.sort (fun a b -> compare a.sp_seq b.sp_seq) all
 
 let span_totals () =
-  let tbl : (string, span_total ref) Hashtbl.t = Hashtbl.create 32 in
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun r ->
       match Hashtbl.find_opt tbl r.sp_name with
-      | Some t ->
-        t :=
-          {
-            !t with
-            st_count = !t.st_count + 1;
-            st_total_ns = !t.st_total_ns + r.sp_dur_ns;
-            st_max_ns = max !t.st_max_ns r.sp_dur_ns;
-          }
-      | None ->
-        Hashtbl.replace tbl r.sp_name
-          (ref
-             {
-               st_name = r.sp_name;
-               st_count = 1;
-               st_total_ns = r.sp_dur_ns;
-               st_max_ns = r.sp_dur_ns;
-             }))
+      | Some durs -> durs := r.sp_dur_ns :: !durs
+      | None -> Hashtbl.replace tbl r.sp_name (ref [ r.sp_dur_ns ]))
     (spans ());
-  Hashtbl.fold (fun _ t acc -> !t :: acc) tbl []
+  Hashtbl.fold
+    (fun name durs acc ->
+      let a = Array.of_list !durs in
+      Array.sort compare a;
+      let n = Array.length a in
+      {
+        st_name = name;
+        st_count = n;
+        st_total_ns = Array.fold_left ( + ) 0 a;
+        st_max_ns = a.(n - 1);
+        st_p50_ns = quantile_of_sorted a 0.50;
+        st_p95_ns = quantile_of_sorted a 0.95;
+        st_p99_ns = quantile_of_sorted a 0.99;
+      }
+      :: acc)
+    tbl []
   |> List.sort (fun a b -> String.compare a.st_name b.st_name)
 
 (* ---------- metrics registry -------------------------------------------- *)
@@ -155,7 +280,17 @@ module Counter = struct
 end
 
 module Histogram = struct
-  let bucket_count = 63
+  (* Log-linear buckets (the HdrHistogram idea): each power-of-two
+     octave splits into [sub_buckets] equal linear sub-buckets, so the
+     relative width of any bucket is at most 1/sub_buckets = 6.25% —
+     tight enough for interpolated p50/p95/p99.  Values below
+     [sub_buckets] get an exact bucket each (bucket 0 also absorbs
+     v <= 0), and the two schemes meet seamlessly at v = 16. *)
+  let sub_buckets = 16
+  let sub_bits = 4
+
+  (* the top octave starts at 2^61 (OCaml ints are 63-bit) *)
+  let bucket_count = ((61 - (sub_bits - 1)) * sub_buckets) + sub_buckets
 
   type t = { h_name : string; h_buckets : int Atomic.t array; h_sum : int Atomic.t }
 
@@ -179,12 +314,24 @@ module Histogram = struct
 
   let bucket_of v =
     if v <= 0 then 0
+    else if v < sub_buckets then v
     else begin
-      let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
-      min (bucket_count - 1) (bits 0 v)
+      (* e = floor(log2 v) >= sub_bits; the sub-bucket is the next
+         [sub_bits] bits below the leading one *)
+      let rec msb acc n = if n <= 1 then acc else msb (acc + 1) (n lsr 1) in
+      let e = msb 0 v in
+      min (bucket_count - 1)
+        (((e - (sub_bits - 1)) * sub_buckets) + ((v lsr (e - sub_bits)) land (sub_buckets - 1)))
     end
 
-  let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+  let bucket_lo i =
+    if i <= 0 then 0
+    else if i < sub_buckets then i
+    else begin
+      let e = (i / sub_buckets) + (sub_bits - 1) in
+      let sub = i land (sub_buckets - 1) in
+      (1 lsl e) + (sub lsl (e - sub_bits))
+    end
 
   let observe h v =
     if !enabled_flag then begin
@@ -196,6 +343,33 @@ module Histogram = struct
   let sum h = Atomic.get h.h_sum
   let buckets h = Array.map Atomic.get h.h_buckets
   let name h = h.h_name
+
+  let quantile h q =
+    let total = count h in
+    if total = 0 then 0
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank =
+        max 1 (min total (int_of_float (ceil (q *. float_of_int total))))
+      in
+      let rec go i cum =
+        let c = Atomic.get h.h_buckets.(i) in
+        if cum + c >= rank then begin
+          let lo = bucket_lo i in
+          let hi =
+            if i + 1 >= bucket_count then 2 * lo else bucket_lo (i + 1)
+          in
+          (* place the rank at sub-bucket midpoints: a width-1 (exact)
+             bucket answers its exact value *)
+          let frac =
+            (float_of_int (rank - cum) -. 0.5) /. float_of_int c
+          in
+          lo + int_of_float (frac *. float_of_int (hi - lo))
+        end
+        else go (i + 1) (cum + c)
+      in
+      go 0 0
+    end
 
   let all () =
     Mutex.protect reg_mutex (fun () ->
@@ -292,6 +466,9 @@ let snapshot_events () =
             [
               ("count", string_of_int (Histogram.count h));
               ("sum", string_of_int (Histogram.sum h));
+              ("p50", string_of_int (Histogram.quantile h 0.50));
+              ("p95", string_of_int (Histogram.quantile h 0.95));
+              ("p99", string_of_int (Histogram.quantile h 0.99));
               ("buckets", histogram_buckets_json h);
             ]
           ())
@@ -324,14 +501,18 @@ let summary_table () =
   in
   Buffer.add_string b "telemetry summary\n";
   Buffer.add_string b
-    (Printf.sprintf "%-26s %8s %14s %14s %14s\n" "span" "count" "total ms"
-       "mean us" "max ms");
+    (Printf.sprintf "%-26s %8s %12s %11s %11s %11s %11s %12s\n" "span" "count"
+       "total ms" "mean us" "p50 us" "p95 us" "p99 us" "max ms");
   List.iter
     (fun t ->
       Buffer.add_string b
-        (Printf.sprintf "%-26s %8d %14.2f %14.1f %14.2f\n" t.st_name t.st_count
+        (Printf.sprintf "%-26s %8d %12.2f %11.1f %11.1f %11.1f %11.1f %12.2f\n"
+           t.st_name t.st_count
            (float_of_int t.st_total_ns /. 1e6)
            (float_of_int t.st_total_ns /. 1e3 /. float_of_int t.st_count)
+           (float_of_int t.st_p50_ns /. 1e3)
+           (float_of_int t.st_p95_ns /. 1e3)
+           (float_of_int t.st_p99_ns /. 1e3)
            (float_of_int t.st_max_ns /. 1e6)))
     totals;
   let counters = List.filter (fun c -> Counter.value c <> 0) (Counter.all ()) in
@@ -348,8 +529,8 @@ let summary_table () =
   in
   if histograms <> [] then begin
     Buffer.add_string b
-      (Printf.sprintf "%-26s %8s %12s  %s\n" "histogram" "count" "sum"
-         "buckets lo:count");
+      (Printf.sprintf "%-26s %8s %12s %8s %8s %8s  %s\n" "histogram" "count"
+         "sum" "p50" "p95" "p99" "buckets lo:count");
     List.iter
       (fun h ->
         let bs = Histogram.buckets h in
@@ -360,8 +541,11 @@ let summary_table () =
               parts := Printf.sprintf "%d:%d" (Histogram.bucket_lo i) c :: !parts)
           bs;
         Buffer.add_string b
-          (Printf.sprintf "%-26s %8d %12d  %s\n" (Histogram.name h)
+          (Printf.sprintf "%-26s %8d %12d %8d %8d %8d  %s\n" (Histogram.name h)
              (Histogram.count h) (Histogram.sum h)
+             (Histogram.quantile h 0.50)
+             (Histogram.quantile h 0.95)
+             (Histogram.quantile h 0.99)
              (String.concat " " (List.rev !parts))))
       histograms
   end;
@@ -373,8 +557,9 @@ let telemetry_json ?(indent = "") () =
     List.map
       (fun t ->
         Printf.sprintf
-          {|{"name":%s,"count":%d,"total_ns":%d,"max_ns":%d}|}
-          (json_string t.st_name) t.st_count t.st_total_ns t.st_max_ns)
+          {|{"name":%s,"count":%d,"total_ns":%d,"max_ns":%d,"p50_ns":%d,"p95_ns":%d,"p99_ns":%d}|}
+          (json_string t.st_name) t.st_count t.st_total_ns t.st_max_ns
+          t.st_p50_ns t.st_p95_ns t.st_p99_ns)
       (span_totals ())
   in
   let counters_json =
@@ -394,9 +579,13 @@ let telemetry_json ?(indent = "") () =
         if Histogram.count h = 0 then None
         else
           Some
-            (Printf.sprintf {|{"name":%s,"count":%d,"sum":%d,"buckets":%s}|}
+            (Printf.sprintf
+               {|{"name":%s,"count":%d,"sum":%d,"p50":%d,"p95":%d,"p99":%d,"buckets":%s}|}
                (json_string (Histogram.name h))
                (Histogram.count h) (Histogram.sum h)
+               (Histogram.quantile h 0.50)
+               (Histogram.quantile h 0.95)
+               (Histogram.quantile h 0.99)
                (histogram_buckets_json h)))
       (Histogram.all ())
   in

@@ -7,15 +7,25 @@
     - {b Spans} ({!span}) record wall-clock timing of named phases into
       per-domain buffers (a [Domain.DLS] list, no lock on the hot path).
       Buffers merge into a global list under a mutex when a pool worker
-      joins ({!flush_domain}, called by [Xl_exec.Pool]) or when an
-      exporter runs.
+      joins ({!flush_domain}, called by [Xl_exec.Pool]), when an
+      exporter runs, or — the backstop — when the recording domain dies
+      (a [Domain.at_exit] hook registered on first use, so spans on a
+      domain that never flushes are no longer lost).
     - {b Metrics} ({!Counter}, {!Histogram}) are registered once by name
       and updated with atomics, so concurrent domains never lose an
-      increment.  Histograms use log-scale (power-of-two) buckets.
+      increment.  Histograms use log-linear buckets (16 linear
+      sub-buckets per power-of-two octave, ≤ 6.25% relative width) and
+      answer interpolated quantiles.
     - {b Exporters} render everything as JSONL trace events (one JSON
       object per line, ordered by the global sequence counter), a
-      human-readable summary table, or the [telemetry] JSON block of
-      [BENCH_perf.json].
+      human-readable summary table with per-span-name p50/p95/p99, or
+      the [telemetry] JSON block of [BENCH_perf.json].
+
+    The analysis layer builds on these primitives: [Perfetto] renders
+    the merged spans as a Chrome trace-event file, [Profiler] samples
+    every domain's active-span stack into folded (flamegraph) output,
+    and [Trace_analysis] answers where-does-the-time-go questions over
+    a written JSONL trace.
 
     When telemetry is disabled (the default) every instrumentation point
     reduces to a single flag check: {!span} tail-calls its thunk without
@@ -29,20 +39,36 @@ val set_enabled : bool -> unit
     read the flag without synchronization (the spawn publishes it). *)
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds ([Unix.gettimeofday] based, so microsecond
-    resolution).  Monotonic in practice at span granularity. *)
+(** Nanoseconds from [clock_gettime(CLOCK_MONOTONIC)] (C stub): never
+    steps backwards, so span durations cannot go negative across NTP
+    adjustments.  Falls back to [Unix.gettimeofday] (microsecond
+    resolution, wall base) where the monotonic clock is unavailable —
+    see {!monotonic}.  The base is arbitrary; only differences and
+    ordering are meaningful. *)
+
+val monotonic : bool
+(** Whether {!now_ns} is backed by the monotonic C stub (otherwise the
+    pure-OCaml gettimeofday fallback is in effect). *)
 
 val next_seq : unit -> int
 (** The global event sequence number (atomic).  Shared with
     [Xl_core.Trace] so teacher-dialog events interleave correctly with
     spans in a merged JSONL trace. *)
 
+val quantile_of : int list -> float -> int
+(** [quantile_of samples q] is the exact [q]-quantile of [samples]
+    (linear interpolation between order statistics, the [q * (n-1)]
+    convention); [0] on the empty list.  [q] is clamped to [0, 1]. *)
+
 val span : name:string -> ?detail:string -> (unit -> 'a) -> 'a
 (** [span ~name f] runs [f] and, when enabled, records its wall-clock
     duration into this domain's buffer.  [detail] carries per-instance
     attribution (a scenario name, a task label) without splitting the
     aggregate: totals group by [name] only.  Nesting is tracked with a
-    per-domain depth counter; an exception is recorded and re-raised. *)
+    per-domain depth counter; an exception is recorded and re-raised.
+    While a [Profiler] sampler is attached, entry and exit also push and
+    pop [name] on this domain's active-span stack (one extra atomic
+    load; nothing at all when telemetry is off). *)
 
 (** Named monotonic counters.  [make] is idempotent per name. *)
 module Counter : sig
@@ -62,10 +88,15 @@ module Counter : sig
   val find : string -> t option
   (** Look up a registered counter without creating it — for tests and
       exporters that inspect counters owned by other modules. *)
+
+  val all : unit -> t list
+  (** Every registered counter, sorted by name. *)
 end
 
-(** Named log-scale histograms: bucket 0 holds values [<= 0], bucket [i]
-    ([i >= 1]) holds values in [[2^(i-1), 2^i)]. *)
+(** Named log-linear histograms: each power-of-two octave splits into 16
+    equal linear sub-buckets, so every bucket's relative width is at
+    most 6.25%.  Values [1..15] get an exact bucket each; bucket 0
+    absorbs [v <= 0]. *)
 module Histogram : sig
   type t
 
@@ -78,6 +109,13 @@ module Histogram : sig
 
   val bucket_lo : int -> int
   (** Inclusive lower bound of bucket [i] ([0] for bucket 0). *)
+
+  val quantile : t -> float -> int
+  (** [quantile h q] is the interpolated [q]-quantile of the recorded
+      distribution (midpoint placement inside the landing bucket, so an
+      exact small-value bucket answers its exact value; larger values
+      carry the bucket's ≤ 6.25% relative error).  [0] when the
+      histogram is empty; [q] is clamped to [0, 1].  Monotone in [q]. *)
 
   val count : t -> int
   val sum : t -> int
@@ -96,18 +134,28 @@ type span_rec = {
   sp_domain : int;
 }
 
-(** Per-name span aggregate. *)
+(** Per-name span aggregate with exact latency quantiles (computed from
+    the raw recorded durations, not the bucketed histograms). *)
 type span_total = {
   st_name : string;
   st_count : int;
   st_total_ns : int;
   st_max_ns : int;
+  st_p50_ns : int;
+  st_p95_ns : int;
+  st_p99_ns : int;
 }
 
 val flush_domain : unit -> unit
 (** Merge this domain's span buffer into the global list.  Called by
-    [Xl_exec.Pool] when a worker finishes (spans recorded on a spawned
-    domain that never flushes are lost with the domain). *)
+    [Xl_exec.Pool] when a worker finishes; also runs automatically via
+    [Domain.at_exit] when any recording domain dies. *)
+
+val domain_buffer_empty : int -> bool
+(** Whether the span buffer of domain [id] is empty (or the domain never
+    recorded / already unregistered at exit).  [Xl_exec.Pool] asserts
+    this for each worker after the join: a non-empty buffer there would
+    mean spans about to be lost. *)
 
 val spans : unit -> span_rec list
 (** All merged spans (flushes the calling domain first), ascending
@@ -115,6 +163,20 @@ val spans : unit -> span_rec list
 
 val span_totals : unit -> span_total list
 (** Aggregates grouped by span name, sorted by name. *)
+
+(* ---- profiler hooks (owned by [Profiler]) ---- *)
+
+val set_profiler_hooks : bool -> unit
+(** Attach/detach the active-span stack maintenance in {!span}.  Set by
+    [Profiler.start]/[Profiler.stop]; not meant for direct use. *)
+
+val profiler_hooks_on : unit -> bool
+
+val active_stacks : unit -> (int * string list) list
+(** Snapshot of every live domain's active-span stack, outermost first,
+    domains with empty stacks omitted.  Racy by design: the sampler
+    reads concurrently with span entry/exit and may observe a frame one
+    push/pop out of date — acceptable for statistical profiles. *)
 
 (* ---- JSON / JSONL ---- *)
 
@@ -135,7 +197,8 @@ val span_events : unit -> (int * string) list
 
 val snapshot_events : unit -> string list
 (** Counter and histogram snapshot lines (kind ["counter"] /
-    ["histogram"]), stamped with fresh sequence numbers. *)
+    ["histogram"], the latter carrying interpolated p50/p95/p99),
+    stamped with fresh sequence numbers. *)
 
 val write_jsonl : ?extra:(int * string) list -> string -> unit
 (** Write the JSONL trace to a file: merged spans and [extra] events
@@ -143,13 +206,14 @@ val write_jsonl : ?extra:(int * string) list -> string -> unit
     followed by the metrics snapshot. *)
 
 val summary_table : unit -> string
-(** Human-readable summary: span totals (sorted by total time),
-    counters, and histograms. *)
+(** Human-readable summary: span totals (sorted by total time, with
+    p50/p95/p99 latency columns), counters, and histograms. *)
 
 val telemetry_json : ?indent:string -> unit -> string
 (** The [telemetry] block for [BENCH_perf.json]: a JSON object with
-    [spans], [counters] and [histograms] arrays (sorted by name).
-    [indent] prefixes every line after the first. *)
+    [spans] (each carrying [p50_ns]/[p95_ns]/[p99_ns]), [counters] and
+    [histograms] (each carrying interpolated [p50]/[p95]/[p99]) arrays,
+    sorted by name.  [indent] prefixes every line after the first. *)
 
 val reset : unit -> unit
 (** Drop all recorded spans (global and this domain's buffer) and zero

@@ -1,0 +1,34 @@
+/* Monotonic wall-clock for Obs.now_ns.
+ *
+ * clock_gettime(CLOCK_MONOTONIC) never steps backwards across NTP
+ * adjustments, so span durations can never go negative.  Returns -1
+ * when the clock is unavailable; the OCaml side then falls back to
+ * Unix.gettimeofday.  The result is a tagged immediate, so the
+ * external is [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+
+CAMLprim value xl_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return Val_long(-1);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value xl_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return Val_long((intnat)ts.tv_sec * (intnat)1000000000 + (intnat)ts.tv_nsec);
+#endif
+  return Val_long(-1);
+}
+
+#endif

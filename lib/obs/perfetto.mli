@@ -1,0 +1,24 @@
+(** Chrome trace-event (Perfetto) exporter over the merged spans.
+
+    The output opens directly in https://ui.perfetto.dev or
+    chrome://tracing: each span is a complete event ([ph = "X"]) on a
+    track keyed by its recording domain ([pid = tid = domain id]), so
+    the pool fan-out shows as parallel lanes; counter samples render as
+    counter tracks ([ph = "C"]). *)
+
+val to_string : ?counter_samples:(int * string * int) list -> unit -> string
+(** Render the current merged spans (plus a final snapshot of every
+    non-zero counter) as a trace-event JSON document.
+    [counter_samples] — [(ts_ns, name, value)] triples, typically
+    [Profiler.counter_samples ()] — add counter-track points over
+    time. *)
+
+val write : ?counter_samples:(int * string * int) list -> string -> unit
+(** [write path] writes {!to_string} to [path]. *)
+
+val validate : string -> (int, string) result
+(** Round-trip check used by tests, CI and [bench obs-report]: parse a
+    trace-event document and verify the structural contract ([traceEvents]
+    array; every event has [ph]/[name]/[pid]/[tid]; complete events have
+    numeric [ts]/[dur] and [pid = tid]; counter events have
+    [args.value]).  [Ok n] is the number of complete (span) events. *)

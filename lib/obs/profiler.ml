@@ -1,0 +1,109 @@
+(** Wall-clock sampling profiler over the active-span stacks.
+
+    Every domain that records spans maintains its stack of open span
+    names in domain-local state (pushed and popped by [Obs.span] while
+    the hooks are attached).  [start] spawns one sampler domain that
+    wakes every [interval_us] microseconds, snapshots all stacks
+    ([Obs.active_stacks]), and accumulates each non-empty stack into a
+    folded-stack table — the input format flamegraph tools eat
+    ("outer;inner;leaf count").  Each tick also samples every non-zero
+    counter, giving [Perfetto] its counter tracks over time.
+
+    Cost model: when the profiler is not running, [Obs.span] pays one
+    extra atomic load on the enabled path and nothing when telemetry is
+    off (the zero-allocation disabled-span property is preserved).
+    While running, span entry/exit each pay one array store and one
+    atomic store.  Stack reads are racy by design — the sampler may
+    observe a frame one push/pop out of date, which biases no aggregate
+    by more than one sample. *)
+
+(* sampler state: one sampler at a time, owned by the starting domain *)
+let sampler : unit Domain.t option ref = ref None
+let stop_requested = Atomic.make false
+
+let samples_mutex = Mutex.create ()
+let samples_tbl : (string list, int ref) Hashtbl.t = Hashtbl.create 64
+let counter_samples_rev : (int * string * int) list ref = ref []
+let tick_counter = ref 0
+
+let running () = !sampler <> None
+
+let record_tick () =
+  let stacks = Obs.active_stacks () in
+  let ts = Obs.now_ns () in
+  Mutex.protect samples_mutex (fun () ->
+      incr tick_counter;
+      List.iter
+        (fun (_dom, stack) ->
+          match Hashtbl.find_opt samples_tbl stack with
+          | Some r -> incr r
+          | None -> Hashtbl.replace samples_tbl stack (ref 1))
+        stacks;
+      List.iter
+        (fun c ->
+          let v = Obs.Counter.value c in
+          if v <> 0 then
+            counter_samples_rev := (ts, Obs.Counter.name c, v) :: !counter_samples_rev)
+        (Obs.Counter.all ()))
+
+let sampler_loop interval_us =
+  let interval_s = float_of_int interval_us /. 1e6 in
+  while not (Atomic.get stop_requested) do
+    Unix.sleepf interval_s;
+    if not (Atomic.get stop_requested) then record_tick ()
+  done
+
+let start ?(interval_us = 1000) () =
+  (* a profiler without telemetry has no stacks to sample: starting
+     while disabled is the documented no-op that keeps the disabled
+     paths at zero cost and zero samples *)
+  if Obs.enabled () && not (running ()) then begin
+    let interval_us = max 50 interval_us in
+    Atomic.set stop_requested false;
+    Obs.set_profiler_hooks true;
+    sampler := Some (Domain.spawn (fun () -> sampler_loop interval_us))
+  end
+
+let stop () =
+  match !sampler with
+  | None -> ()
+  | Some d ->
+    Atomic.set stop_requested true;
+    Domain.join d;
+    sampler := None;
+    Obs.set_profiler_hooks false
+
+let samples () =
+  Mutex.protect samples_mutex (fun () ->
+      Hashtbl.fold (fun stack r acc -> (stack, !r) :: acc) samples_tbl [])
+  |> List.sort compare
+
+let counter_samples () =
+  Mutex.protect samples_mutex (fun () -> List.rev !counter_samples_rev)
+
+let ticks () = Mutex.protect samples_mutex (fun () -> !tick_counter)
+
+let sample_count () =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (samples ())
+
+let folded () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (stack, n) ->
+      Buffer.add_string b (String.concat ";" stack);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_char b '\n')
+    (samples ());
+  Buffer.contents b
+
+let write_folded path =
+  let oc = open_out path in
+  output_string oc (folded ());
+  close_out oc
+
+let reset () =
+  Mutex.protect samples_mutex (fun () ->
+      Hashtbl.reset samples_tbl;
+      counter_samples_rev := [];
+      tick_counter := 0)

@@ -1,0 +1,46 @@
+(** Wall-clock sampling profiler over the active-span stacks.
+
+    [start] spawns a sampler domain that snapshots every domain's stack
+    of open span names at a fixed interval; [folded] renders the
+    accumulated samples in folded-stack format ("outer;inner;leaf N",
+    one stack per line), ready for any flamegraph tool.  Each tick also
+    samples the non-zero counters for [Perfetto]'s counter tracks.
+
+    When telemetry is disabled, [start] is a no-op: the profiler
+    collects zero samples and [Obs.span] keeps its zero-allocation
+    disabled path.  When telemetry is on but no sampler runs, the only
+    added cost is one atomic load per span. *)
+
+val start : ?interval_us:int -> unit -> unit
+(** Attach the span-stack hooks and spawn the sampler ([interval_us]
+    default 1000, floor 50).  No-op when telemetry is disabled or a
+    sampler is already running. *)
+
+val stop : unit -> unit
+(** Stop and join the sampler, detach the hooks.  Idempotent.
+    Accumulated samples survive until {!reset}. *)
+
+val running : unit -> bool
+
+val samples : unit -> (string list * int) list
+(** Accumulated (stack, hits) pairs, stacks outermost-first, sorted. *)
+
+val sample_count : unit -> int
+(** Total stack hits across all samples. *)
+
+val ticks : unit -> int
+(** Sampler wake-ups so far (a tick with all stacks empty records no
+    stack sample but still counts). *)
+
+val counter_samples : unit -> (int * string * int) list
+(** Per-tick counter values as [(ts_ns, name, value)], chronological;
+    zero-valued counters are skipped. *)
+
+val folded : unit -> string
+(** The folded-stack rendering of {!samples}. *)
+
+val write_folded : string -> unit
+(** Write {!folded} to a file. *)
+
+val reset : unit -> unit
+(** Drop accumulated samples (does not stop a running sampler). *)

@@ -1,0 +1,63 @@
+(** Offline analysis of a JSONL trace written by [Obs.write_jsonl]:
+    span-tree self/child time, top self-time names, per-worker
+    utilization and imbalance, and the critical path through the
+    fan-out.  Backs [bench obs-report] and
+    [xlearner_cli --obs-report]. *)
+
+type span = {
+  name : string;
+  detail : string option;
+  t0_ns : int;
+  dur_ns : int;
+  seq : int;
+  depth : int;
+  domain : int;
+  mutable children : span list;  (** direct children, sequence order *)
+  mutable child_ns : int;  (** summed duration of direct children *)
+}
+
+val self_ns : span -> int
+(** Exclusive time: [dur_ns] minus the children's total, floored at 0. *)
+
+type trace = {
+  spans : span list;  (** every span, ascending sequence order *)
+  roots : span list;  (** depth-0 spans, ascending sequence order *)
+  events : int;  (** all non-empty trace lines *)
+  other_events : int;  (** non-span lines (counters, dialog events, …) *)
+}
+
+type name_stat = {
+  ns_name : string;
+  ns_count : int;
+  ns_total_ns : int;  (** inclusive of children *)
+  ns_self_ns : int;  (** exclusive of children *)
+}
+
+val load : string -> (trace, string) result
+(** Read and parse a JSONL trace file.  Every non-empty line must be a
+    JSON object with a [kind]; [kind = "span"] lines must carry
+    name/ts_ns/dur_ns/seq/depth/domain.  [Error] names the offending
+    line — this is the malformed-trace check CI relies on. *)
+
+val of_string : string -> (trace, string) result
+val of_lines : string list -> (trace, string) result
+
+val wall_ns : trace -> int
+(** Latest span end minus earliest span start; [0] on an empty trace. *)
+
+val by_name : trace -> name_stat list
+(** Aggregates per span name, sorted by descending self time. *)
+
+val utilization : trace -> (int * int * float) list
+(** Per domain: [(domain, busy_ns, busy/wall)], sorted by domain id.
+    Busy time counts root spans only (nested spans overlap their
+    parents). *)
+
+val critical_path : trace -> span list
+(** Root-to-leaf chain obtained by starting at the latest-finishing
+    root and descending into the latest-finishing child at each level —
+    in a fork-join fan-out, the straggler chain a speedup must
+    shorten. *)
+
+val report : ?top:int -> trace -> string
+(** The human-readable report ([top] rows per section, default 10). *)
