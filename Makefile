@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream obs-demo obs-report fuzz clean
+.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream bench-machine machine-test machine-demo obs-demo obs-report fuzz clean
 
 build:
 	dune build
@@ -65,6 +65,29 @@ bench-frozen:
 bench-stream:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- stream
+
+# The learner state-machine protocol on both Figure-16 suites: every
+# scenario recorded through Machine.step, replayed from its transcript,
+# and snapshot/restored at the middle question — all three rows must be
+# byte-identical to the synchronous driver's (exit 1 otherwise).
+bench-machine:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- machine
+
+# The replay / suspend-resume / corruption suites (test/test_machine.ml).
+machine-test:
+	dune build test/test_machine.exe
+	dune exec test/test_machine.exe
+
+# Suspend/resume across processes: learn xmp Q1, snapshot at the fifth
+# answer and exit; then resume the snapshot in a second process and
+# finish the session.  The resumed run prints the same interaction row
+# and verified flag as an uninterrupted one.
+machine-demo:
+	dune build bin/xlearner_cli.exe
+	dune exec bin/xlearner_cli.exe -- learn xmp Q1 --suspend-at 5 --snapshot machine_demo.snapshot
+	dune exec bin/xlearner_cli.exe -- learn xmp Q1 --resume machine_demo.snapshot
+	rm -f machine_demo.snapshot
 
 # Property-based differential fuzzing (DESIGN.md §5f): 500 seeded cases
 # on the domain pool; exits non-zero and writes FUZZ_counterexamples.txt

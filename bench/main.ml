@@ -1033,6 +1033,102 @@ let batch_bench () =
     (float_of_int lstar_w /. float_of_int (max 1 lstar_b))
     (wall_w /. wall_b)
 
+(* ---------- resumable machine smoke (bench machine) ---------------------- *)
+
+(* The learner state-machine protocol end-to-end on both Figure-16
+   suites.  For every scenario: [record] drive it through Machine.step,
+   checking the interaction row against the synchronous Learn.run;
+   [replay] re-feed the recorded answers into a fresh machine and check
+   the row again; [resume] snapshot at the middle question, restore the
+   snapshot and finish, checking the final query and row once more.
+   Exits non-zero on any mismatch. *)
+let machine_bench () =
+  print_endline line;
+  print_endline "Resumable learner machine: record, replay, snapshot/restore";
+  print_endline line;
+  let module M = Xl_core.Machine in
+  let scenarios =
+    prepare_scenarios (Xl_workload.Xmark_scenarios.all ())
+    @ prepare_scenarios (Xl_workload.Xmp_scenarios.all ())
+  in
+  let failures = ref 0 in
+  let total_steps = ref 0 in
+  List.iter
+    (fun (name, sc) ->
+      Printf.printf "  %-5s %!" name;
+      match Xl_core.Learn.run sc with
+      | exception e ->
+        Printf.printf "skip (%s)\n%!" (Printexc.to_string e)
+      | reference ->
+        let ref_row = Xl_core.Stats.to_row reference.Xl_core.Learn.stats in
+        (* record *)
+        let m0 = M.start sc in
+        let teacher = M.oracle_teacher m0 in
+        let rec record answers m =
+          match M.outcome m with
+          | `Done r -> (r, List.rev answers)
+          | `Ask q ->
+            let a = M.answer_with teacher q in
+            record (a :: answers) (snd (M.step m a))
+        in
+        let r_rec, answers = record [] m0 in
+        let row_rec = Xl_core.Stats.to_row r_rec.Xl_core.Learn.stats in
+        let nsteps = List.length answers in
+        total_steps := !total_steps + nsteps;
+        (* replay the recorded answers into a fresh machine *)
+        let row_replay =
+          let rec refeed m = function
+            | [] -> m
+            | a :: rest -> refeed (snd (M.step m a)) rest
+          in
+          match M.outcome (refeed (M.start sc) answers) with
+          | `Done r -> Xl_core.Stats.to_row r.Xl_core.Learn.stats
+          | `Ask _ -> "replay still asking after the full transcript"
+        in
+        (* snapshot at the middle question, restore, finish.  The fresh
+           machine is driven by its own oracle teacher — the condition-box
+           queues are per-run state, so a teacher borrowed from another
+           machine would already be drained *)
+        let row_resume, query_resume =
+          let mid = nsteps / 2 in
+          let m_fresh = M.start sc in
+          let t2 = M.oracle_teacher m_fresh in
+          let rec to_mid i m =
+            match M.outcome m with
+            | `Done _ -> m
+            | `Ask _ when i = mid -> m
+            | `Ask q -> to_mid (i + 1) (snd (M.step m (M.answer_with t2 q)))
+          in
+          let m_mid = to_mid 0 m_fresh in
+          let snap = M.snapshot m_mid in
+          M.abort m_mid;
+          let m = M.restore ~scenario:sc snap in
+          let r = M.drive ~teacher:(M.oracle_teacher m) m in
+          (Xl_core.Stats.to_row r.Xl_core.Learn.stats, r.Xl_core.Learn.query_text)
+        in
+        let ok =
+          String.equal ref_row row_rec
+          && String.equal ref_row row_replay
+          && String.equal ref_row row_resume
+          && String.equal reference.Xl_core.Learn.query_text query_resume
+        in
+        if not ok then begin
+          incr failures;
+          Printf.printf "FAIL\n    sync   %s\n    record %s\n    replay %s\n    resume %s\n%!"
+            ref_row row_rec row_replay row_resume
+        end
+        else
+          Printf.printf "ok  %3d steps, rows identical across record/replay/resume\n%!"
+            nsteps)
+    scenarios;
+  if !failures > 0 then begin
+    Printf.eprintf "FAIL: %d scenarios diverged under the machine protocol\n" !failures;
+    exit 1
+  end;
+  Printf.printf
+    "=> %d scenarios, %d machine steps: every row byte-identical to the synchronous driver\n\n%!"
+    (List.length scenarios) !total_steps
+
 (* ---------- perf regression gate (make bench-gate) ----------------------- *)
 
 let read_file path =
@@ -1375,6 +1471,7 @@ let () =
     | "frozen" -> frozen_bench ()
     | "stream" -> stream_bench ()
     | "batch" -> batch_bench ()
+    | "machine" -> machine_bench ()
     | "fuzz" -> fuzz ()
     | "all" ->
       fig15 ();
@@ -1386,7 +1483,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | fuzz | obs-report TRACE | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | machine | fuzz | obs-report TRACE | all)\n"
         other;
       exit 2
   in

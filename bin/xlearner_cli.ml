@@ -3,6 +3,8 @@
      xlearner list                         -- available learning scenarios
      xlearner learn xmark Q14 [--show-query] [--no-r1] [--no-r2] [--worst]
                                            [--interactive]
+                                           [--suspend-at N --snapshot PATH]
+                                           [--resume PATH]
      xlearner generate [--scale tiny] [--seed N] [-o out.xml]
      xlearner template [--suite xmark|xmp] -- show the target-side template
      xlearner eval -q QUERY [-f data.xml]  -- run an XQuery on a document
@@ -59,6 +61,34 @@ let learn_cmd =
   let transcript =
     Arg.(value & flag & info [ "transcript" ] ~doc:"Print the interaction transcript")
   in
+  let suspend_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "suspend-at" ] ~docv:"N"
+          ~doc:
+            "Suspend the learner once $(docv) questions have been \
+             answered, write its state with $(b,--snapshot) and exit; \
+             resume later (in any process) with $(b,--resume)")
+  in
+  let snapshot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:"Where $(b,--suspend-at) writes the machine snapshot")
+  in
+  let resume_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Restore a machine snapshot written by $(b,--snapshot) and \
+             finish the session from its suspension point (the learning \
+             configuration is taken from the snapshot, so $(b,--no-r1) \
+             and friends are ignored)")
+  in
   let trace_file =
     Arg.(
       value
@@ -88,7 +118,8 @@ let learn_cmd =
              and write folded (flamegraph) stacks to $(docv)")
   in
   let run suite query show_query show_tree no_r1 no_r2 worst interactive
-      transcript trace_file perfetto_file profile_file =
+      transcript suspend_at snapshot_file resume_file trace_file perfetto_file
+      profile_file =
     let scenarios = suite_scenarios suite in
     match List.assoc_opt query scenarios with
     | None ->
@@ -102,6 +133,10 @@ let learn_cmd =
           strategy = (if worst then Xl_core.Oracle.Worst else Xl_core.Oracle.Best);
         }
       in
+      if suspend_at <> None && snapshot_file = None then begin
+        Printf.eprintf "--suspend-at needs --snapshot PATH\n";
+        exit 1
+      end;
       if trace_file <> None || perfetto_file <> None || profile_file <> None then
         Xl_obs.Obs.set_enabled true;
       if profile_file <> None then Xl_obs.Profiler.start ();
@@ -110,24 +145,77 @@ let learn_cmd =
         let t = if interactive then Interactive.teacher t else t in
         if transcript || trace_file <> None then Xl_core.Trace.wrap tr t else t
       in
-      let r = Xl_core.Learn.run ~config ~wrap_teacher sc in
-      if transcript then begin
-        print_endline "interaction transcript:";
-        print_endline (Xl_core.Trace.to_string tr);
-        print_newline ()
-      end;
-      Printf.printf "scenario    : %s %s — %s\n" suite query sc.Xl_core.Scenario.description;
-      Printf.printf "interactions: %s\n" (Xl_core.Stats.to_row r.Xl_core.Learn.stats);
-      Printf.printf "              (D&D(#t)  MQ  CE  CB(#t)  OB  Reduced(R1,R2,Both))\n";
-      Printf.printf "verified    : %b\n" r.Xl_core.Learn.verified;
-      if show_tree then begin
-        print_endline "\nlearned XQ-Tree:";
-        print_endline (Xl_xqtree.Xqtree.to_listing r.Xl_core.Learn.learned)
-      end;
-      if show_query then begin
-        print_endline "\nlearned query:";
-        print_endline r.Xl_core.Learn.query_text
-      end;
+      (* the learning session as an explicit loop over the resumable
+         machine: start (or restore) it, answer each question with the
+         simulated oracle — decorated for interactive/transcript mode —
+         and feed the answer back through Machine.step *)
+      let m0 =
+        match resume_file with
+        | None -> Xl_core.Machine.start ~config sc
+        | Some path -> (
+          let data =
+            try
+              let ic = open_in_bin path in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              s
+            with Sys_error e ->
+              Printf.eprintf "cannot read snapshot %s: %s\n" path e;
+              exit 1
+          in
+          try Xl_core.Machine.restore ~scenario:sc data with
+          | Xl_core.Machine.Corrupt msg ->
+            Printf.eprintf "corrupt snapshot %s: %s\n" path msg;
+            exit 1)
+      in
+      (match resume_file with
+      | Some path ->
+        Printf.printf "resumed     : %s at step %d\n" path
+          (Xl_core.Machine.steps m0)
+      | None -> ());
+      let teacher = wrap_teacher (Xl_core.Machine.oracle_teacher m0) in
+      let rec loop m =
+        match Xl_core.Machine.outcome m with
+        | `Done r -> `Done r
+        | `Ask _ when suspend_at = Some (Xl_core.Machine.steps m) -> `Suspended m
+        | `Ask q ->
+          loop (snd (Xl_core.Machine.step m (Xl_core.Machine.answer_with teacher q)))
+      in
+      (match loop m0 with
+      | `Suspended m ->
+        let path = Option.get snapshot_file in
+        let data = Xl_core.Machine.snapshot m in
+        let oc = open_out_bin path in
+        output_string oc data;
+        close_out oc;
+        (* unwind the engine so its open telemetry spans record *)
+        Xl_core.Machine.abort m;
+        Printf.printf "scenario    : %s %s — %s\n" suite query
+          sc.Xl_core.Scenario.description;
+        Printf.printf "suspended   : after %d answers (%d-byte snapshot %s)\n"
+          (Xl_core.Machine.steps m) (String.length data) path;
+        Printf.printf "resume with : xlearner learn %s %s --resume %s\n" suite
+          query path
+      | `Done r ->
+        if transcript then begin
+          print_endline "interaction transcript:";
+          print_endline (Xl_core.Trace.to_string tr);
+          print_newline ()
+        end;
+        Printf.printf "scenario    : %s %s — %s\n" suite query
+          sc.Xl_core.Scenario.description;
+        Printf.printf "interactions: %s\n" (Xl_core.Stats.to_row r.Xl_core.Learn.stats);
+        Printf.printf "              (D&D(#t)  MQ  CE  CB(#t)  OB  Reduced(R1,R2,Both))\n";
+        Printf.printf "verified    : %b\n" r.Xl_core.Learn.verified;
+        if show_tree then begin
+          print_endline "\nlearned XQ-Tree:";
+          print_endline (Xl_xqtree.Xqtree.to_listing r.Xl_core.Learn.learned)
+        end;
+        if show_query then begin
+          print_endline "\nlearned query:";
+          print_endline r.Xl_core.Learn.query_text
+        end);
       Xl_obs.Profiler.stop ();
       (match trace_file with
       | None -> ()
@@ -158,7 +246,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Run a learning scenario and report the interaction counts")
     Term.(
       const run $ suite $ query $ show_query $ show_tree $ no_r1 $ no_r2 $ worst
-      $ interactive $ transcript $ trace_file $ perfetto_file $ profile_file)
+      $ interactive $ transcript $ suspend_at $ snapshot_file $ resume_file
+      $ trace_file $ perfetto_file $ profile_file)
 
 (* ---- generate ----------------------------------------------------------- *)
 

@@ -1,749 +1,54 @@
-(** LEARN-X1*+E — the top-level learning driver (Sections 5–7, 9).
+(* LEARN-X1*+E, synchronous driver.
 
-    Phases, following the paper:
+   The engine itself lives in {!Machine} as a resumable state machine;
+   [run] is the thin loop the ISSUE of record asked every driver to be:
+   start the machine, answer each question with a teacher, feed the
+   answer back, until the machine is done.  The types are re-exported
+   from {!Learn_types} so existing clients keep reading
+   [Learn.config]/[Learn.result]. *)
 
-    1. The user's drag-and-drops are simulated: for every learning task
-       (a Drop Box; collapse pairs form one task — Section 5) one example
-       node from its intended extent is "dropped", depth-first, so that
-       each task's context consists of already-dropped ancestors
-       (Section 4.2).
-    2. Each fragment is learned in depth-first order: P-Learner (L* with
-       rules R1/R2) learns the path automaton while C-Learner maintains
-       the strongest candidate-predicate conjunction; equivalence queries
-       compare the hypothesis extent with the teacher's intended extent,
-       and counterexamples are routed to the P- or C-Learner by the
-       IHT-consistency rule — a negative counterexample on a path some
-       positive example shares cannot be fixed by any path expression, so
-       a Condition Box is raised (Section 9(3)).
-    3. Explicit specifications (Condition Boxes, OrderBy Boxes, Drop-Box
-       functions) are taken from the teacher and merged into the learned
-       fragments.
-
-    The path of a fragment is anchored structurally: at the deepest
-    context node whose subtree contains the dropped example (relative
-    learning, e.g. [$i/description]), otherwise at the document root
-    (absolute learning with join conditions, e.g. the item fragment of
-    q1).  The result contains the learned XQ-Tree, its XQuery rendering,
-    the interaction statistics, and an end-to-end verification flag. *)
-
-open Xl_xml
-open Xl_xqtree
-
-type config = {
+type config = Learn_types.config = {
   rules : Plearner.config;
   strategy : Oracle.strategy;
-  max_rounds : int;  (** bound on equivalence-query rounds per task *)
+  max_rounds : int;
   fast_paths : bool;
-      (** evaluator fast paths (tag index, hash join) for this run's
-          context — per run, not a process global, so parity sweeps can
-          run optimized and naive scenarios concurrently *)
   batch : bool;
-      (** answer each observation-table fill through the teacher's
-          batched membership oracle (one shared pass per fill) instead of
-          word at a time; interaction counts are identical either way *)
   pool : Xl_exec.Pool.t option;
-      (** intra-scenario parallelism: schema compilation, the C-Learner
-          relay scan and large oracle batches fan out over this pool
-          (results are merged in deterministic order, so a pooled run is
-          bit-identical to a sequential one) *)
 }
 
-let default_config =
-  {
-    rules = Plearner.default_config;
-    strategy = Oracle.Best;
-    max_rounds = 400;
-    fast_paths = true;
-    batch = true;
-    pool = None;
-  }
+let default_config = Learn_types.default_config
 
-type node_result = {
+type node_result = Learn_types.node_result = {
   task_label : string;
   learned_dfa : Xl_automata.Dfa.t;
   parent_path : Xl_xquery.Path_expr.t option;
-      (** collapse split: the parent fragment's path *)
-  own_path : Xl_xquery.Path_expr.t;  (** the task node's own path *)
-  learned_conds : Cond.t list;
-  spare_conds : Cond.t list;
+  own_path : Xl_xquery.Path_expr.t;
+  learned_conds : Xl_xqtree.Cond.t list;
+  spare_conds : Xl_xqtree.Cond.t list;
   learned_order : (Xl_xquery.Simple_path.t * bool) list;
   anchored_at_root : bool;
 }
 
-type result = {
+type result = Learn_types.result = {
   scenario : Scenario.t;
   stats : Stats.t;
   node_results : node_result list;
-  learned : Xqtree.t;
+  learned : Xl_xqtree.Xqtree.t;
   query_text : string;
   verified : bool;
 }
 
-exception Learning_failed of string
-
-(* -------- drop phase --------------------------------------------------- *)
-
-(* choose a dropped example for every task, depth-first with backtracking
-   so no descendant faces an empty extent.  Returns variable bindings per
-   XQ-Tree label (a collapse pair yields bindings for both halves). *)
-let choose_drops (o : Oracle.t) (scenario : Scenario.t) :
-    (string * (string * Node.t)) list =
-  let tree = scenario.Scenario.target in
-  let rec assign_children children context =
-    List.fold_left
-      (fun acc c ->
-        match acc with
-        | None -> None
-        | Some drops -> (
-          match assign c context with
-          | None -> None
-          | Some more -> Some (drops @ more)))
-      (Some []) children
-  and assign (n : Xqtree.node) (context : Teacher.context) :
-      (string * (string * Node.t)) list option =
-    match n.Xqtree.var with
-    | None -> assign_children n.Xqtree.children context
-    | Some v -> (
-      match Xqtree.collapse_child n with
-      | Some child when Xqtree.collapse_parent tree child.Xqtree.label <> None ->
-        (* collapse pair: one drop in the child's box binds both halves *)
-        let task = { Task.node = child; parent = Some n } in
-        let extent = Oracle.target_extent o child.Xqtree.label context in
-        if extent = [] then None
-        else
-          let preferred = Scenario.pick scenario child.Xqtree.label in
-          let ordered =
-            let idx = List.mapi (fun i e -> (i, e)) extent in
-            List.filter (fun (i, _) -> i = preferred) idx
-            @ List.filter (fun (i, _) -> i <> preferred) idx
-          in
-          List.find_map
-            (fun (_, e) ->
-              let bindings = Task.bindings_of task e in
-              let context' = context @ bindings in
-              let rest_children =
-                List.filter
-                  (fun c -> not (String.equal c.Xqtree.label child.Xqtree.label))
-                  n.Xqtree.children
-                @ child.Xqtree.children
-              in
-              match assign_children rest_children context' with
-              | Some kid_drops ->
-                Some
-                  ( (n.Xqtree.label, (v, List.assoc v bindings))
-                    :: (child.Xqtree.label, (Option.get child.Xqtree.var, e))
-                    :: kid_drops )
-              | None -> None)
-            ordered
-      | _ ->
-        let extent = Oracle.target_extent o n.Xqtree.label context in
-        if extent = [] then None
-        else
-          let preferred = Scenario.pick scenario n.Xqtree.label in
-          let ordered =
-            let idx = List.mapi (fun i e -> (i, e)) extent in
-            List.filter (fun (i, _) -> i = preferred) idx
-            @ List.filter (fun (i, _) -> i <> preferred) idx
-          in
-          List.find_map
-            (fun (_, e) ->
-              let context' = context @ [ (v, e) ] in
-              match assign_children n.Xqtree.children context' with
-              | Some kid_drops -> Some ((n.Xqtree.label, (v, e)) :: kid_drops)
-              | None -> None)
-            ordered)
-  in
-  match assign tree [] with
-  | Some drops -> drops
-  | None -> raise (Learning_failed "no consistent drag-and-drop assignment exists")
-
-(* -------- per-task learning ------------------------------------------- *)
-
-(* the context of a task: bindings of the ancestors of the task's anchor
-   (the collapse parent's own binding is part of the task, not context) *)
-let context_of (tree : Xqtree.t) (bindings : (string * (string * Node.t)) list)
-    (task : Task.t) : Teacher.context =
-  let anchor_label =
-    match task.Task.parent with
-    | Some p -> p.Xqtree.label
-    | None -> task.Task.node.Xqtree.label
-  in
-  List.filter_map
-    (fun (a : Xqtree.node) ->
-      match a.Xqtree.var with
-      | Some _ -> List.assoc_opt a.Xqtree.label bindings
-      | None -> None)
-    (Xqtree.ancestors tree anchor_label)
-
-exception Reanchor
-
-let learn_task ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
-    ~(ctx : Xl_xquery.Eval.ctx) ~(dg : Data_graph.t)
-    ~(schemas : Xl_schema.Schema_source.t list)
-    ~(schema_dfas : Xl_automata.Dfa.t list) ~(tree : Xqtree.t)
-    ~(session : (Session.t * string) option) ~on_auto
-    ~(bindings : (string * (string * Node.t)) list) (task : Task.t) : node_result
-    =
-  let label = Task.label task in
-  let context = context_of tree bindings task in
-  let dropped = snd (List.assoc label bindings) in
-  let doc_base = Node.root dropped in
-  (* anchor at the deepest context node containing the dropped example *)
-  let structural_anchor =
-    List.fold_left
-      (fun acc (_, cnode) ->
-        match Extent.rel_path ~base:cnode dropped with
-        | Some _ -> (
-          match acc with
-          | Some prev when Dewey.is_ancestor cnode.Node.dewey prev.Node.dewey -> acc
-          | _ -> Some cnode)
-        | None -> acc)
-      None context
-  in
-  let attempt ~(base : Node.t) : node_result =
-    let dropped_path =
-      match Extent.rel_path ~base dropped with
-      | Some p -> p
-      | None -> raise (Learning_failed (label ^ ": dropped node outside its base"))
-    in
-    let alphabet = ctx.Xl_xquery.Eval.alphabet in
-    let abs_prefix = Node.tag_path base in
-    let ask s =
-      teacher.Teacher.path_membership ~label ~context ~rel_path:s ~witness:None
-    in
-    let ask_batch =
-      match teacher.Teacher.path_membership_batch with
-      | Some f when config.batch -> Some (fun ss -> f ~label ~context ~rel_paths:ss)
-      | _ -> None
-    in
-    let shared, on_reuse =
-      match session with
-      | Some (sess, scenario_name) ->
-        ( Some (Session.table sess ~scenario:scenario_name ~label),
-          fun () -> Session.record_hit sess )
-      | None -> (None, Fun.id)
-    in
-    let pl =
-      Plearner.create ~config:config.rules ?shared ~on_reuse
-        ?on_auto:
-          (Option.map
-             (fun f ~rule ~path ~answer -> f ~label ~rule ~path ~answer)
-             on_auto)
-        ?ask_batch ~stats ~schemas ~alphabet ~abs_prefix ~dropped_path ~ask ()
-    in
-    let cl =
-      Clearner.create ?pool:config.pool dg context
-        ~endpoints:(Task.bindings_of task dropped)
-    in
-    let fixed : Cond.t list ref = ref [] in
-    let rounds = ref 0 in
-    let bind n = Task.bindings_of task n in
-    let equivalence (dfa : Xl_automata.Dfa.t) : int list option =
-      let rec loop () =
-        incr rounds;
-        if !rounds > config.max_rounds then
-          raise (Learning_failed (label ^ ": too many equivalence rounds"));
-        let conds = Clearner.hypothesis cl @ !fixed in
-        let extent =
-          Extent.select_by_dfa ctx dfa base
-          |> Extent.filter_conds ctx context ~bind conds
-        in
-        stats.Stats.eq <- stats.Stats.eq + 1;
-        match teacher.Teacher.equivalence ~label ~context ~extent with
-        | Teacher.Equal -> None
-        | Teacher.Counter { node; positive } -> (
-          stats.Stats.ce <- stats.Stats.ce + 1;
-          match Extent.rel_path ~base node with
-          | None ->
-            (* the intended extent escapes the structural anchor: the
-               fragment is absolute after all — re-anchor at the root *)
-            if positive && not (Node.equal base doc_base) then raise Reanchor
-            else
-              raise
-                (Learning_failed (label ^ ": counterexample outside the document"))
-          | Some s ->
-            let word = Xl_automata.Alphabet.encode alphabet s in
-            if positive then begin
-              let path_ok = Xl_automata.Dfa.accepts dfa word in
-              ignore (Clearner.observe_positive cl ctx ~bindings:(bind node));
-              Plearner.note_positive pl s;
-              if path_ok then loop () else Some word
-            end
-            else if Plearner.known_positive_paths pl |> List.mem s then begin
-              (* no path expression separates it: raise a Condition Box *)
-              match
-                teacher.Teacher.condition_box ~label ~context
-                  ~negative_example:(Some node)
-              with
-              | Some { Teacher.cond; terminals; negative = _ } ->
-                stats.Stats.cb <- stats.Stats.cb + 1;
-                stats.Stats.cb_terminals <- stats.Stats.cb_terminals + terminals;
-                fixed := !fixed @ [ cond ];
-                loop ()
-              | None ->
-                raise
-                  (Learning_failed
-                     (label ^ ": counterexample needs a condition the teacher cannot state"))
-            end
-            else begin
-              Plearner.note_negative pl s;
-              Some word
-            end)
-      in
-      loop ()
-    in
-    let dfa = Plearner.learn ~batch:config.batch pl ~equivalence in
-    let order = teacher.Teacher.order_box ~label in
-    if order <> [] then stats.Stats.ob <- stats.Stats.ob + List.length order;
-    (* the conjecture may over-generalize on paths the instance cannot
-       exhibit; intersecting with the schema's path language (what R1
-       already knows) recovers the tight path expression for output *)
-    let presentable_dfa =
-      (* tighten with the schema of this task's document: the schema whose
-         path language, started after the base prefix, still intersects
-         the learned language *)
-      let k = Xl_automata.Alphabet.size alphabet in
-      let dfa' = Xl_automata.Dfa.extend_alphabet dfa ~alphabet_size:k in
-      let tightened sdfa =
-        let sdfa = Xl_automata.Dfa.extend_alphabet sdfa ~alphabet_size:k in
-        match Xl_automata.Alphabet.encode_opt alphabet abs_prefix with
-        | None -> None
-        | Some w ->
-          let q = Xl_automata.Dfa.run sdfa w in
-          if q < 0 then None
-          else
-            let inter =
-              Xl_automata.Dfa.minimize
-                (Xl_automata.Dfa.intersection dfa' (Xl_automata.Dfa.with_start sdfa q))
-            in
-            if Xl_automata.Dfa.is_empty inter then None else Some inter
-      in
-      Option.value ~default:dfa (List.find_map tightened schema_dfas)
-    in
-    (* greedy condition minimization: drop hypothesis predicates that do
-       not change the extent (coincidental candidates that survived every
-       positive example are usually implied by the real join) *)
-    let final_conds =
-      let hyp = Clearner.minimized cl in
-      let extent_with conds =
-        Extent.select_by_dfa ctx dfa base
-        |> Extent.filter_conds ctx context ~bind conds
-        |> List.map (fun (n : Node.t) -> n.Node.id)
-      in
-      let reference = extent_with (hyp @ !fixed) in
-      let removal_order =
-        (* XML joins overwhelmingly run through ID/IDREF attributes (the
-           relay nodes of Figure 10 are attribute nodes); predicates whose
-           links touch element text are far more often coincidental, so
-           they are offered for removal first *)
-        let attr_ep (e : Cond.endpoint) =
-          match List.rev e.Cond.path with
-          | Xl_xquery.Simple_path.Attr_step _ :: _ -> true
-          | _ -> false
-        in
-        let attr_sp (p : Xl_xquery.Simple_path.t) =
-          match List.rev p with
-          | Xl_xquery.Simple_path.Attr_step _ :: _ -> true
-          | _ -> false
-        in
-        let attr_based = function
-          | Cond.Join (a, b) -> attr_ep a && attr_ep b
-          | Cond.Relay r ->
-            List.for_all (fun (e, q) -> attr_ep e && attr_sp q) r.Cond.links
-          | _ -> false
-        in
-        let score c =
-          match c with
-          | Cond.Relay _ when not (attr_based c) -> 0
-          | Cond.Join _ when not (attr_based c) -> 1
-          | Cond.Relay _ -> 2
-          | _ -> 3
-        in
-        List.stable_sort (fun a b -> compare (score a) (score b)) hyp
-      in
-      List.fold_left
-        (fun kept c ->
-          let trial = List.filter (fun c' -> not (Cond.equal c' c)) kept in
-          if extent_with (trial @ !fixed) = reference then trial else kept)
-        hyp removal_order
-    in
-    let composed = Path_of_dfa.path_expr ctx.Xl_xquery.Eval.alphabet presentable_dfa in
-    let parent_path, own_path =
-      match task.Task.parent with
-      | None -> (None, composed)
-      | Some _ -> (
-        match Path_split.split_last composed with
-        | Some (prefix, step) -> (Some prefix, step)
-        | None -> (Some composed, Xl_xquery.Path_expr.Eps))
-    in
-    {
-      task_label = label;
-      learned_dfa = presentable_dfa;
-      parent_path;
-      own_path;
-      learned_conds = final_conds @ !fixed;
-      spare_conds =
-        List.filter
-          (fun c -> not (List.exists (Cond.equal c) final_conds))
-          (Clearner.minimized cl);
-      learned_order = order;
-      anchored_at_root = Node.equal base doc_base;
-    }
-  in
-  match structural_anchor with
-  | Some anchor -> ( try attempt ~base:anchor with Reanchor -> attempt ~base:doc_base)
-  | None -> attempt ~base:doc_base
-
-(* -------- assembling the learned XQ-Tree ------------------------------- *)
-
-let task_parent_of tree (n : Xqtree.node) =
-  Xqtree.collapse_parent tree n.Xqtree.label
-
-let rebuild (tree : Xqtree.t) (results : node_result list) : Xqtree.t =
-  let find_task label =
-    List.find_opt (fun r -> String.equal r.task_label label) results
-  in
-  (* a collapse parent takes the prefix path and the conditions whose
-     variables are in scope there; the child keeps the last step *)
-  let rec go (n : Xqtree.node) : Xqtree.node =
-    let children = List.map go n.Xqtree.children in
-    let n = { n with Xqtree.children } in
-    match find_task n.Xqtree.label with
-    | Some r ->
-      let source =
-        match n.Xqtree.source, r.anchored_at_root, task_parent_of tree n with
-        | _, _, Some _ ->
-          (* child half of a collapse pair: relative last step *)
-          Some (Xqtree.Rel r.own_path)
-        | Some (Xqtree.Abs (uri, _)), true, None ->
-          Some (Xqtree.Abs (uri, r.own_path))
-        | _, true, None -> Some (Xqtree.Abs (None, r.own_path))
-        | _, false, None ->
-          (* the anchoring decides, not the target's own source kind: a
-             task learned relative to its structural anchor has a path
-             meaningless from the document root *)
-          Some (Xqtree.Rel r.own_path)
-      in
-      let conds, order_by =
-        match task_parent_of tree n with
-        | Some _ -> ([], [])  (* conditions and ordering live on the parent *)
-        | None -> (r.learned_conds, r.learned_order)
-      in
-      { n with Xqtree.source; conds; order_by }
-    | None -> (
-      (* maybe the parent half of a collapse pair *)
-      match Xqtree.collapse_child n with
-      | Some child when n.Xqtree.var <> None -> (
-        match find_task child.Xqtree.label with
-        | Some r ->
-          let parent_path =
-            Option.value ~default:Xl_xquery.Path_expr.Eps r.parent_path
-          in
-          let source =
-            match n.Xqtree.source, r.anchored_at_root with
-            | Some (Xqtree.Abs (uri, _)), true -> Some (Xqtree.Abs (uri, parent_path))
-            | _, true -> Some (Xqtree.Abs (None, parent_path))
-            | _, false -> Some (Xqtree.Rel parent_path)
-          in
-          { n with Xqtree.source; conds = r.learned_conds; order_by = r.learned_order }
-        | None -> n)
-      | _ -> n)
-  in
-  go tree
-
-(* -------- verification sweep ------------------------------------------- *)
-
-(* The C-Learner keeps the strongest candidate conjunction consistent
-   with the positives of the single drop context; a relationship that
-   holds there only by coincidence survives and over-restricts the
-   fragment in other contexts, which per-task equivalence queries never
-   examined.  When end-to-end verification fails, sweep the other
-   contexts with further equivalence queries and repair the conjunction:
-   a positive counterexample discards every learned condition it
-   violates (target conditions hold for every member of every intended
-   extent, so only coincidental conjuncts can be dropped), and a
-   negative counterexample restores a spare condition — one the drop
-   context could not distinguish from redundant — that excludes it.
-   Conditions discarded by a positive example are banned from
-   restoration, so the exchange terminates. *)
-
-let rec take n = function
-  | x :: rest when n > 0 -> x :: take (n - 1) rest
-  | _ -> []
-
-let sweep_once ~(config : config) ~(stats : Stats.t) ~(teacher : Teacher.t)
-    ~(ctx : Xl_xquery.Eval.ctx) (scenario : Scenario.t) (learned : Xqtree.t)
-    (results : node_result list) : node_result list option =
-  let lo, _ =
-    Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
-      { scenario with Scenario.target = learned }
-  in
-  let tasks = Task.tasks_of learned in
-  let task_owning (a : Xqtree.node) : Task.t option =
-    List.find_opt
-      (fun (t : Task.t) ->
-        String.equal (Task.label t) a.Xqtree.label
-        ||
-        match t.Task.parent with
-        | Some p -> String.equal p.Xqtree.label a.Xqtree.label
-        | None -> false)
-      tasks
-  in
-  let max_contexts = 64 in
-  (* all context assignments of a task's ancestor variables, per the
-     learned tree's own semantics (the learner knows nothing else) *)
-  let contexts_for (task : Task.t) : Teacher.context list =
-    let anchor_label =
-      match task.Task.parent with
-      | Some p -> p.Xqtree.label
-      | None -> task.Task.node.Xqtree.label
-    in
-    let rec extend acc bound = function
-      | [] -> acc
-      | (a : Xqtree.node) :: rest -> (
-        match a.Xqtree.var with
-        | Some v when not (List.mem v bound) -> (
-          match task_owning a with
-          | Some t ->
-            let acc' =
-              take max_contexts
-                (List.concat_map
-                   (fun c ->
-                     List.map
-                       (fun e -> c @ Task.bindings_of t e)
-                       (Oracle.target_extent lo (Task.label t) c))
-                   acc)
-            in
-            let bound' =
-              Task.var t :: (Option.to_list (Task.parent_var t)) @ bound
-            in
-            extend acc' bound' rest
-          | None -> extend acc bound rest)
-        | _ -> extend acc bound rest)
-    in
-    extend [ [] ] [] (Xqtree.ancestors learned anchor_label)
-  in
-  let store = scenario.Scenario.store in
-  let changed = ref false in
-  let sweep_task (r : node_result) : node_result =
-    match
-      List.find_opt
-        (fun (t : Task.t) -> String.equal (Task.label t) r.task_label)
-        tasks
-    with
-    | None -> r
-    | Some task when r.learned_conds = [] && r.spare_conds = [] ->
-      ignore task;
-      r
-    | Some task ->
-      let anchor =
-        match task.Task.parent with
-        | Some p -> p
-        | None -> task.Task.node
-      in
-      let source_path =
-        match Task.composed_source task with
-        | Some (Xqtree.Abs (_, p)) | Some (Xqtree.Rel p) -> Some p
-        | None -> None
-      in
-      let base_of (context : Teacher.context) : Node.t option =
-        match anchor.Xqtree.source with
-        | Some (Xqtree.Abs (uri, _)) ->
-          let doc =
-            match uri with
-            | None -> Store.default store
-            | Some u -> Store.find_exn store u
-          in
-          Some doc.Doc.doc_node
-        | _ -> (
-          match Xqtree.base_var learned anchor.Xqtree.label with
-          | Some v -> List.assoc_opt v context
-          | None -> Some (Store.default store).Doc.doc_node)
-      in
-      let conds = ref r.learned_conds in
-      let spares = ref r.spare_conds in
-      let give_up = ref false in
-      (match source_path with
-      | None -> ()
-      | Some p ->
-        let extent_in context =
-          match base_of context with
-          | None -> []
-          | Some base ->
-            Xl_xquery.Eval.eval_path ctx p base
-            |> Extent.filter_conds ctx context ~bind:(Task.bindings_of task)
-                 !conds
-        in
-        let holds context node c =
-          Extent.satisfies ctx context ~bindings:(Task.bindings_of task node)
-            [ c ]
-        in
-        List.iter
-          (fun context ->
-            let rec settle budget =
-              if budget > 0 && not !give_up then begin
-                stats.Stats.eq <- stats.Stats.eq + 1;
-                match
-                  teacher.Teacher.equivalence ~label:r.task_label ~context
-                    ~extent:(extent_in context)
-                with
-                | Teacher.Equal -> ()
-                | Teacher.Counter { node; positive } ->
-                  stats.Stats.ce <- stats.Stats.ce + 1;
-                  if positive then begin
-                    let keep, dropped =
-                      List.partition (holds context node) !conds
-                    in
-                    (* a spare a positive violates is coincidental
-                       everywhere — never offer it either; a dropped
-                       condition never re-enters [spares], so the
-                       drop/restore exchange cannot oscillate *)
-                    spares := List.filter (holds context node) !spares;
-                    if dropped = [] then
-                      (* every condition holds: the path misses it *)
-                      give_up := true
-                    else begin
-                      conds := keep;
-                      changed := true;
-                      settle (budget - 1)
-                    end
-                  end
-                  else begin
-                    (* under-constrained here: restore a spare that
-                       excludes the negative example *)
-                    match
-                      List.find_opt
-                        (fun c -> not (holds context node c))
-                        !spares
-                    with
-                    | Some c ->
-                      conds := !conds @ [ c ];
-                      spares := List.filter (fun c' -> not (Cond.equal c c')) !spares;
-                      changed := true;
-                      settle (budget - 1)
-                    | None -> give_up := true
-                  end
-              end
-            in
-            if not !give_up then settle 8)
-          (contexts_for task));
-      if
-        List.length !conds = List.length r.learned_conds
-        && List.for_all (fun c -> List.exists (Cond.equal c) r.learned_conds) !conds
-      then r
-      else { r with learned_conds = !conds; spare_conds = !spares }
-  in
-  let results' = List.map sweep_task results in
-  if !changed then Some results' else None
-
-(* -------- session ------------------------------------------------------ *)
-
-let dd_of_tree (tree : Xqtree.t) (stats : Stats.t) =
-  List.iter
-    (fun (_task : Task.t) ->
-      stats.Stats.dd <- stats.Stats.dd + 1;
-      stats.Stats.dd_terminals <- stats.Stats.dd_terminals + 1)
-    (Task.tasks_of tree);
-  List.iter
-    (fun (n : Xqtree.node) ->
-      match n.Xqtree.func with
-      | Some f ->
-        (* the typed-in function's own terminals; each hole's dropped
-           node is counted by the task above *)
-        stats.Stats.dd_terminals <-
-          stats.Stats.dd_terminals + Func_spec.terminals f
-          - List.length (Func_spec.holes f)
-      | None -> ())
-    (Xqtree.nodes tree)
+exception Learning_failed = Learn_types.Learning_failed
 
 let run ?(config = default_config) ?teacher ?(wrap_teacher = Fun.id) ?session
     ?on_auto (scenario : Scenario.t) : result =
-  Xl_obs.Obs.span ~name:"learn.scenario" ~detail:scenario.Scenario.name
-  @@ fun () ->
-  let oracle, oracle_teacher =
-    Xl_obs.Obs.span ~name:"oracle.init" (fun () ->
-        Oracle.create ~strategy:config.strategy ~fast_paths:config.fast_paths
-          ?pool:config.pool scenario)
+  let m = Machine.start ~config ?session ?on_auto scenario in
+  (* answering with the machine's own simulated oracle keeps the single
+     shared evaluation context (and its extent memoization) of the old
+     synchronous path; an explicit [teacher] replaces it, [wrap_teacher]
+     decorates either *)
+  let teacher =
+    wrap_teacher
+      (match teacher with Some t -> t | None -> Machine.oracle_teacher m)
   in
-  let teacher = wrap_teacher (Option.value ~default:oracle_teacher teacher) in
-  let ctx = Oracle.eval_ctx oracle in
-  let dg = Data_graph.build scenario.Scenario.store in
-  let schemas =
-    match Scenario.all_dtds scenario with
-    | [] ->
-      (* no schema supplied: rule R1 falls back to a DataGuide derived
-         from the instance, which is exact for the instance-parameterized
-         XQ_I semantics *)
-      [ Xl_schema.Schema_source.of_dataguide
-          (Xl_schema.Dataguide.of_store scenario.Scenario.store) ]
-    | dtds ->
-      (* step memoization follows the run's fast-path switch so parity
-         sweeps exercise the naive stepper too.  Each DTD compiles into
-         its own stepper with no shared state, so R1's reachability
-         precomputation fans out over the pool (order-preserving map). *)
-      let compile = Xl_schema.Schema_source.of_dtd ~memo:config.fast_paths in
-      (match config.pool with
-      | Some pool when List.length dtds > 1 -> Xl_exec.Pool.map pool compile dtds
-      | _ -> List.map compile dtds)
-  in
-  let stats = Stats.create () in
-  let tree = scenario.Scenario.target in
-  let bindings =
-    Xl_obs.Obs.span ~name:"learn.drops" (fun () -> choose_drops oracle scenario)
-  in
-  (* the alphabet is stable once the drop phase has interned all target
-     path symbols; the schema path DFA can now be shared by every task *)
-  let schema_dfas =
-    List.filter_map
-      (fun src -> Xl_schema.Schema_source.to_dfa src ctx.Xl_xquery.Eval.alphabet)
-      schemas
-  in
-  dd_of_tree tree stats;
-  let results =
-    List.map
-      (fun task ->
-        Xl_obs.Obs.span ~name:"learn.task"
-          ~detail:(scenario.Scenario.name ^ "/" ^ Task.label task) (fun () ->
-            learn_task ~config ~stats ~teacher ~ctx ~dg ~schemas ~schema_dfas
-              ~tree
-              ~session:(Option.map (fun s -> (s, scenario.Scenario.name)) session)
-              ~on_auto ~bindings task))
-      (Task.tasks_of tree)
-  in
-  let learned = rebuild tree results in
-  let out t =
-    let v = Xl_xquery.Eval.run ctx (Xqtree.to_ast t) in
-    String.concat "\n"
-      (List.map
-         (function
-           | Xl_xquery.Value.Node n -> Serialize.node_to_string n
-           | Xl_xquery.Value.Atom a -> Xl_xquery.Value.atom_to_string a)
-         v)
-  in
-  let reference = out tree in
-  let verify t = String.equal (out t) reference in
-  let verified =
-    Xl_obs.Obs.span ~name:"learn.verify" (fun () -> verify learned)
-  in
-  let results, learned, verified =
-    if verified then (results, learned, true)
-    else
-      (* coincidental conditions may have survived the drop context; try
-         to repair them with equivalence queries in the other contexts *)
-      Xl_obs.Obs.span ~name:"learn.sweep" (fun () ->
-          let rec refine results learned pass =
-            if pass >= 3 then (results, learned, false)
-            else
-              match
-                sweep_once ~config ~stats ~teacher ~ctx scenario learned results
-              with
-              | None -> (results, learned, false)
-              | Some results' ->
-                let learned' = rebuild tree results' in
-                if verify learned' then (results', learned', true)
-                else refine results' learned' (pass + 1)
-          in
-          refine results learned 0)
-  in
-  let query_text = Xl_xquery.Printer.to_string (Xqtree.to_ast learned) in
-  { scenario; stats; node_results = results; learned; query_text; verified }
+  Machine.drive ~teacher m

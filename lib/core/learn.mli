@@ -1,4 +1,4 @@
-(** LEARN-X1*+E — the top-level learning driver (Sections 5–7, 9).
+(** LEARN-X1*+E — the synchronous learning driver (Sections 5–7, 9).
 
     [run] simulates the whole session: the drag-and-drop phase (one drop
     per learning task, depth-first, with backtracking so no descendant
@@ -6,11 +6,16 @@
     path automaton, C-Learner for the condition conjunction, equivalence
     queries routed by IHT consistency, Condition/OrderBy/Function boxes
     merged in — and finally recomposes the learned XQ-Tree and verifies
-    it against the intended query on the instance. *)
+    it against the intended query on the instance.
+
+    The engine itself is the resumable state machine of {!Machine}; this
+    module is a thin loop over {!Machine.step} that answers every
+    question with a teacher.  Drivers that need suspension, transcripts
+    or snapshot/restore use {!Machine} directly. *)
 
 open Xl_xqtree
 
-type config = {
+type config = Learn_types.config = {
   rules : Plearner.config;
   strategy : Oracle.strategy;
   max_rounds : int;  (** bound on equivalence-query rounds per task *)
@@ -31,7 +36,7 @@ type config = {
 
 val default_config : config
 
-type node_result = {
+type node_result = Learn_types.node_result = {
   task_label : string;
   learned_dfa : Xl_automata.Dfa.t;
   parent_path : Xl_xquery.Path_expr.t option;
@@ -48,7 +53,7 @@ type node_result = {
           rather than relative to a context node *)
 }
 
-type result = {
+type result = Learn_types.result = {
   scenario : Scenario.t;
   stats : Stats.t;
   node_results : node_result list;
@@ -59,6 +64,7 @@ type result = {
 }
 
 exception Learning_failed of string
+(** The same exception the machine raises ({!Learn_types.Learning_failed}). *)
 
 val run :
   ?config:config -> ?teacher:Teacher.t ->

@@ -12,6 +12,7 @@ module Alphabet = Xl_automata.Alphabet
 module Dfa = Xl_automata.Dfa
 module Regex = Xl_automata.Regex
 module Learn = Xl_core.Learn
+module Machine = Xl_core.Machine
 module Task = Xl_core.Task
 open Xl_xqtree
 
@@ -213,8 +214,23 @@ let check ?bug ?(fresh = 3) (case : Case.t) : failure option =
           | `R1 -> r1_rejects := (label, path) :: !r1_rejects
           | `R2 -> ()
         in
+        (* the harness's simulated teacher is an explicit loop over the
+           learner state machine: each question is answered with the
+           machine's own oracle and fed back through [Machine.step] *)
+        let learn_stepwise () =
+          let m = Machine.start ~on_auto scenario in
+          let teacher = Machine.oracle_teacher m in
+          let rec loop m =
+            match Machine.outcome m with
+            | `Done r -> r
+            | `Ask q ->
+              let _, m' = Machine.step m (Machine.answer_with teacher q) in
+              loop m'
+          in
+          loop m
+        in
         match
-          try Ok (Learn.run ~on_auto scenario) with
+          try Ok (learn_stepwise ()) with
           | Learn.Learning_failed m -> Error ("Learning_failed: " ^ m)
           | e -> Error (Printexc.to_string e)
         with

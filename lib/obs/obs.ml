@@ -215,6 +215,22 @@ let span ~name ?detail f =
       raise e
   end
 
+let record_completed ~name ?detail ~t0_ns () =
+  if !enabled_flag then begin
+    let buf = Domain.DLS.get buf_key in
+    buf.buf_spans <-
+      {
+        sp_name = name;
+        sp_detail = detail;
+        sp_t0_ns = t0_ns;
+        sp_dur_ns = now_ns () - t0_ns;
+        sp_seq = next_seq ();
+        sp_depth = buf.buf_depth;
+        sp_domain = (Domain.self () :> int);
+      }
+      :: buf.buf_spans
+  end
+
 let spans () =
   flush_domain ();
   let all = Mutex.protect merge_mutex (fun () -> !merged) in

@@ -70,6 +70,16 @@ val span : name:string -> ?detail:string -> (unit -> 'a) -> 'a
     pop [name] on this domain's active-span stack (one extra atomic
     load; nothing at all when telemetry is off). *)
 
+val record_completed : name:string -> ?detail:string -> t0_ns:int -> unit -> unit
+(** Append an already-finished span record ([t0_ns] from {!now_ns},
+    duration measured now) to this domain's buffer without touching the
+    nesting depth or the profiler's active-span stack.  For work whose
+    dynamic extent is not a well-bracketed call — e.g. one step of the
+    resumable learner, which enters and leaves the engine's suspended
+    span stack: wrapping it in {!span} would pop a frame the step does
+    not own.  The record carries the current depth and a fresh sequence
+    number; a no-op when telemetry is disabled. *)
+
 (** Named monotonic counters.  [make] is idempotent per name. *)
 module Counter : sig
   type t
