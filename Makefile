@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream bench-machine machine-test machine-demo obs-demo obs-report fuzz clean
+.PHONY: build test bench bench-par bench-batch bench-check bench-gate bench-frozen bench-stream bench-machine bench-serve machine-test machine-demo serve obs-demo obs-report fuzz clean
 
 build:
 	dune build
@@ -35,17 +35,20 @@ bench-check:
 	test -s BENCH_perf.json
 
 # Perf regression gate: stage the committed BENCH_perf.json as the
-# baseline, regenerate it on this machine, and fail if path-eval-deep,
-# the Q1 hash join, snapshot-load, parse throughput, the fig16 total
-# wall time or the fig16 parallel speedup regressed by more than 25%
-# (bench/main.ml perf-gate; the speedup is gated relative to the
-# committed baseline, not against an absolute ratio — CI core counts
-# vary).  The staged baseline is removed so a later bench-check never
-# diffs against a stale copy.
+# baseline, regenerate it on this machine (perf-json then the session
+# server's `serve` leg, which owns the "server" block), and fail if
+# path-eval-deep, the Q1 hash join, snapshot-load, parse throughput,
+# the fig16 total wall time, the fig16 parallel speedup, the server's
+# sessions/sec or its request / suspend-resume p50 latencies regressed
+# by more than 25% (bench/main.ml perf-gate; ratios are gated relative
+# to the committed baseline, not against absolute numbers — CI core
+# counts vary).  The staged baseline is removed so a later bench-check
+# never diffs against a stale copy.
 bench-gate:
 	dune build bench/main.exe
 	cp BENCH_perf.json BENCH_baseline.json
 	dune exec bench/main.exe -- perf-json
+	dune exec bench/main.exe -- serve
 	test -s BENCH_perf.json
 	dune exec bench/main.exe -- perf-gate; status=$$?; rm -f BENCH_baseline.json; exit $$status
 
@@ -73,6 +76,23 @@ bench-stream:
 bench-machine:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- machine
+
+# Learning-as-a-service load harness: in-process lib/server over a real
+# Unix socket — Figure-16 parity through the wire, 1024 concurrent
+# sessions driven by interleaved client threads (sessions/sec and
+# request p50/p95/p99), and suspend/resume round-trip micros.  Updates
+# the "server" block of BENCH_perf.json; exit 1 on any parity mismatch,
+# request error or failed verification.
+bench-serve:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- serve
+
+# Run the session server on a Unix socket (SOCKET to relocate it; stop
+# with Ctrl-C or `curl --unix-socket $(SOCKET) -X POST http://x/shutdown`).
+SOCKET ?= /tmp/xlearner.sock
+serve:
+	dune build bin/xlearner_cli.exe
+	dune exec bin/xlearner_cli.exe -- serve --socket $(SOCKET)
 
 # The replay / suspend-resume / corruption suites (test/test_machine.ml).
 machine-test:

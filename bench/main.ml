@@ -389,6 +389,68 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The "server": {...} block of BENCH_perf.json is owned by [bench
+   serve], while the rest of the file is owned by [perf-json] — so each
+   writer splices the other's part in unchanged.  The block is
+   machine-written and none of its strings contain braces, so matching
+   the closing brace by nesting depth is exact. *)
+let server_block_span text =
+  let n = String.length text and key = {|"server":|} in
+  let k = String.length key in
+  let rec find i =
+    if i + k > n then None
+    else if String.equal (String.sub text i k) key then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some key_at -> (
+    match String.index_from_opt text key_at '{' with
+    | None -> None
+    | Some brace ->
+      let rec scan i depth =
+        if i >= n then None
+        else
+          match text.[i] with
+          | '{' -> scan (i + 1) (depth + 1)
+          | '}' -> if depth = 1 then Some (i + 1) else scan (i + 1) (depth - 1)
+          | _ -> scan (i + 1) depth
+      in
+      Option.map (fun stop -> (key_at, brace, stop)) (scan brace 0))
+
+(* replace (or add) the "server" block, keeping everything else;
+   [block] is the {...} object text *)
+let splice_server_block text block =
+  let text =
+    match server_block_span text with
+    | None -> text
+    | Some (key_at, _, stop) ->
+      (* also drop the comma and whitespace that introduced the block *)
+      let s = ref key_at in
+      while !s > 0 && (text.[!s - 1] = ' ' || text.[!s - 1] = '\n') do decr s done;
+      let s = if !s > 0 && text.[!s - 1] = ',' then !s - 1 else !s in
+      String.sub text 0 s ^ String.sub text stop (String.length text - stop)
+  in
+  match String.rindex_opt text '}' with
+  | None -> Printf.sprintf "{\n  \"server\": %s\n}\n" block
+  | Some last ->
+    let pre = String.trim (String.sub text 0 last) in
+    Printf.sprintf "%s,\n  \"server\": %s\n}\n" pre block
+
+let existing_server_block path =
+  if not (Sys.file_exists path) then None
+  else
+    let text = read_file path in
+    match server_block_span text with
+    | None -> None
+    | Some (_, brace, stop) -> Some (String.sub text brace (stop - brace))
+
 let perf_json () =
   (* micro-benchmarks run with telemetry off: the span buffer over
      thousands of timed iterations would distort the numbers it measures.
@@ -695,6 +757,12 @@ let perf_json () =
       (String.concat ",\n      " xmp_rows)
       (xmark_s +. xmp_s) (Pool.domains par) seq_total par_total
       (seq_total /. par_total) rows_match telemetry_json
+  in
+  (* keep the "server" block (owned by `bench serve`) across rewrites *)
+  let json =
+    match existing_server_block "BENCH_perf.json" with
+    | Some block -> splice_server_block json block
+    | None -> json
   in
   let oc = open_out "BENCH_perf.json" in
   output_string oc json;
@@ -1129,13 +1197,313 @@ let machine_bench () =
     "=> %d scenarios, %d machine steps: every row byte-identical to the synchronous driver\n\n%!"
     (List.length scenarios) !total_steps
 
-(* ---------- perf regression gate (make bench-gate) ----------------------- *)
+(* ---------- learning-as-a-service load harness (bench serve) ------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
+let serve_sessions = ref 1024
+let serve_no_block = ref false
+
+(* [serve] measures lib/server end-to-end over a real Unix socket: an
+   in-process server, client threads speaking actual HTTP/1.1 + JSON.
+   Three legs:
+
+   - parity: every Figure-16 scenario driven to completion through
+     [POST .../answer {"auto":n}] must report the same interaction row,
+     stats JSON and verified flag as a synchronous [Learn.run] on an
+     independently built scenario — the server path answers the paper's
+     numbers byte-for-byte;
+   - load: [--sessions N] (default 1024) sessions created first — all
+     live at once — then driven to completion by interleaved auto-steps
+     from several client threads, measuring sessions/sec and
+     per-request latency quantiles at the client;
+   - suspend/resume: round-trip micros for snapshot-to-spool and back
+     on a live session, which must still finish verified afterwards.
+
+   The results land in the "server" block of BENCH_perf.json (gated by
+   perf-gate); --no-block skips that write (CI smoke mode).  Exits
+   non-zero on any parity mismatch, request error or failed
+   verification. *)
+let serve_bench () =
+  let module Server = Xl_server.Server in
+  let module Client = Xl_server.Client in
+  let module Json = Xl_json.Json in
+  print_endline line;
+  print_endline
+    "Learning-as-a-service: concurrent sessions over a Unix socket (bench serve)";
+  print_endline line;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xlearner-bench-%d.sock" (Unix.getpid ()))
+  in
+  let spool = socket ^ ".spool" in
+  let server = Server.create ?workers:!jobs_override ~spool ~socket () in
+  let server_thread = Thread.create Server.serve server in
+  let failures = ref 0 in
+  let req c meth path ?body () =
+    let status, j = Client.request c ~meth ~path ?body () in
+    if status >= 400 then
+      failwith
+        (Printf.sprintf "%s %s -> %d: %s" meth path status (Json.to_string j));
+    j
+  in
+  let auto n = Json.Obj [ ("auto", Json.int n) ] in
+  let drive c id first =
+    let rec go j =
+      match Json.member "done" j with
+      | Some d -> d
+      | None ->
+        go (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 10_000) ())
+    in
+    go first
+  in
+  (* -- parity ---------------------------------------------------------- *)
+  let catalog =
+    List.map
+      (fun (n, sc) -> ("xmark/" ^ n, sc))
+      (prepare_scenarios (Xl_workload.Xmark_scenarios.all ()))
+    @ List.map
+        (fun (n, sc) -> ("xmp/" ^ n, sc))
+        (prepare_scenarios (Xl_workload.Xmp_scenarios.all ()))
+  in
+  let c0 = Client.connect socket in
+  let health = req c0 "GET" "/health" () in
+  let workers = Option.value ~default:0 (Json.mem_int "workers" health) in
+  Printf.printf "server up: %d workers, %d catalog scenarios for parity\n%!"
+    workers (List.length catalog);
+  let parity_bad = ref 0 in
+  List.iter
+    (fun (ref_name, sc) ->
+      (* the local run uses a freshly built scenario: parity across
+         independently constructed stores, not shared state *)
+      match Xl_core.Learn.run sc with
+      | exception e ->
+        incr parity_bad;
+        Printf.printf "  %-10s local run FAILED: %s\n%!" ref_name
+          (Printexc.to_string e)
+      | local -> (
+        let local_row = Xl_core.Stats.to_row local.Xl_core.Learn.stats in
+        let local_stats =
+          match Json.parse (Xl_core.Stats.to_json local.Xl_core.Learn.stats) with
+          | Ok j -> Json.to_string j
+          | Error e -> "unparseable: " ^ e
+        in
+        match
+          let j =
+            req c0 "POST" "/sessions"
+              ~body:(Json.Obj [ ("scenario", Json.Str ref_name) ])
+              ()
+          in
+          let id = Option.get (Json.mem_str "id" j) in
+          let d = drive c0 id j in
+          ignore (req c0 "DELETE" ("/sessions/" ^ id) ());
+          d
+        with
+        | exception e ->
+          incr parity_bad;
+          Printf.printf "  %-10s server run FAILED: %s\n%!" ref_name
+            (Printexc.to_string e)
+        | d ->
+          let row = Option.value ~default:"?" (Json.mem_str "row" d) in
+          let verified = Json.mem_bool "verified" d = Some true in
+          let stats =
+            match Json.member "stats" d with
+            | Some s -> Json.to_string s
+            | None -> "missing"
+          in
+          let ok =
+            String.equal local_row row
+            && String.equal local_stats stats
+            && verified && local.Xl_core.Learn.verified
+          in
+          if not ok then begin
+            incr parity_bad;
+            Printf.printf
+              "  %-10s MISMATCH\n    local  %s verified:%b\n    server %s verified:%b\n    local  %s\n    server %s\n%!"
+              ref_name local_row local.Xl_core.Learn.verified row verified
+              local_stats stats
+          end))
+    catalog;
+  Client.close c0;
+  Printf.printf
+    "parity: %d scenarios, %d mismatches — server rows %s synchronous Learn.run\n%!"
+    (List.length catalog) !parity_bad
+    (if !parity_bad = 0 then "byte-identical to" else "DIFFER from");
+  if !parity_bad > 0 then incr failures;
+  (* -- load ------------------------------------------------------------ *)
+  let n_sessions = !serve_sessions in
+  let n_threads = min 8 (max 2 ((n_sessions + 63) / 64)) in
+  let scen_names = Array.of_list (List.map fst catalog) in
+  let ids = Array.make n_sessions "" in
+  let lat = Array.make n_threads [] in
+  let errors = Atomic.make 0 in
+  let spawn_each f =
+    let ts = List.init n_threads (fun ti -> Thread.create f ti) in
+    List.iter Thread.join ts
+  in
+  let t0 = Unix.gettimeofday () in
+  (* phase 1: create every session — all of them live at once *)
+  spawn_each (fun ti ->
+      let c = Client.connect socket in
+      let i = ref ti in
+      while !i < n_sessions do
+        let scen = scen_names.(!i mod Array.length scen_names) in
+        let q0 = Unix.gettimeofday () in
+        (match
+           Client.request c ~meth:"POST" ~path:"/sessions"
+             ~body:(Json.Obj [ ("scenario", Json.Str scen) ])
+             ()
+         with
+        | 201, j -> ids.(!i) <- Option.value ~default:"" (Json.mem_str "id" j)
+        | _, _ -> Atomic.incr errors
+        | exception _ -> Atomic.incr errors);
+        lat.(ti) <-
+          int_of_float ((Unix.gettimeofday () -. q0) *. 1e6) :: lat.(ti);
+        i := !i + n_threads
+      done;
+      Client.close c);
+  let concurrent_peak =
+    let c = Client.connect socket in
+    let h = req c "GET" "/health" () in
+    Client.close c;
+    Option.value ~default:0 (Json.mem_int "sessions" h)
+  in
+  Printf.printf "load: %d sessions live after create phase (%d threads)\n%!"
+    concurrent_peak n_threads;
+  (* phase 2: drive them to completion, interleaved — each thread
+     round-robins small auto-steps over its slice, so one worker serves
+     many part-way dialogues at every moment, like real users would *)
+  spawn_each (fun ti ->
+      let c = Client.connect socket in
+      let slice = ref [] in
+      let i = ref ti in
+      while !i < n_sessions do
+        if ids.(!i) <> "" then slice := ids.(!i) :: !slice;
+        i := !i + n_threads
+      done;
+      while !slice <> [] do
+        slice :=
+          List.filter
+            (fun id ->
+              let q0 = Unix.gettimeofday () in
+              let keep =
+                match
+                  Client.request c ~meth:"POST"
+                    ~path:("/sessions/" ^ id ^ "/answer")
+                    ~body:(auto 5) ()
+                with
+                | 200, j -> Option.is_none (Json.member "done" j)
+                | _, _ ->
+                  Atomic.incr errors;
+                  false
+                | exception _ ->
+                  Atomic.incr errors;
+                  false
+              in
+              lat.(ti) <-
+                int_of_float ((Unix.gettimeofday () -. q0) *. 1e6) :: lat.(ti);
+              keep)
+            !slice
+      done;
+      Client.close c);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* phase 3 (untimed): tear the finished sessions down *)
+  spawn_each (fun ti ->
+      let c = Client.connect socket in
+      let i = ref ti in
+      while !i < n_sessions do
+        if ids.(!i) <> "" then
+          (try
+             ignore
+               (Client.request c ~meth:"DELETE" ~path:("/sessions/" ^ ids.(!i)) ())
+           with _ -> Atomic.incr errors);
+        i := !i + n_threads
+      done;
+      Client.close c);
+  let micros = List.concat (Array.to_list lat) in
+  let p q = Obs.quantile_of micros q in
+  let requests = List.length micros in
+  let sessions_per_sec = float_of_int n_sessions /. wall_s in
+  Printf.printf
+    "load: %d sessions in %.2f s = %.1f sessions/s; %d requests, p50 %d us, p95 %d us, p99 %d us, %d errors\n%!"
+    n_sessions wall_s sessions_per_sec requests (p 0.5) (p 0.95) (p 0.99)
+    (Atomic.get errors);
+  if Atomic.get errors > 0 then incr failures;
+  (* -- suspend/resume round trip --------------------------------------- *)
+  let c = Client.connect socket in
+  let j =
+    req c "POST" "/sessions" ~body:(Json.Obj [ ("scenario", Json.Str "xmark/Q8") ]) ()
+  in
+  let id = Option.get (Json.mem_str "id" j) in
+  ignore (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 1) ());
+  let round_trips = 50 in
+  let rt = ref [] in
+  for _ = 1 to round_trips do
+    let q0 = Unix.gettimeofday () in
+    ignore (req c "POST" ("/sessions/" ^ id ^ "/suspend") ());
+    ignore
+      (req c "POST" "/sessions/resume" ~body:(Json.Obj [ ("id", Json.Str id) ]) ());
+    rt := int_of_float ((Unix.gettimeofday () -. q0) *. 1e6) :: !rt
+  done;
+  let rq q = Obs.quantile_of !rt q in
+  (* the much-suspended session must still learn the right query *)
+  let d =
+    drive c id (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 1) ())
+  in
+  let verified_after = Json.mem_bool "verified" d = Some true in
+  ignore (req c "DELETE" ("/sessions/" ^ id) ());
+  Client.close c;
+  Printf.printf
+    "suspend/resume: %d round trips, p50 %d us, p95 %d us; session verified after: %b\n%!"
+    round_trips (rq 0.5) (rq 0.95) verified_after;
+  if not verified_after then incr failures;
+  (* -- teardown + BENCH_perf.json server block -------------------------- *)
+  Server.shutdown server;
+  Thread.join server_thread;
+  (try Unix.rmdir spool with Unix.Unix_error _ -> ());
+  let block =
+    Printf.sprintf
+      "{\n\
+      \    \"workers\": %d,\n\
+      \    \"parity\": { \"scenarios\": %d, \"mismatches\": %d },\n\
+      \    \"load\": {\n\
+      \      \"sessions\": %d,\n\
+      \      \"concurrent_peak\": %d,\n\
+      \      \"client_threads\": %d,\n\
+      \      \"requests\": %d,\n\
+      \      \"errors\": %d,\n\
+      \      \"wall_s\": %.3f,\n\
+      \      \"sessions_per_sec\": %.1f,\n\
+      \      \"request_p50_us\": %d,\n\
+      \      \"request_p95_us\": %d,\n\
+      \      \"request_p99_us\": %d\n\
+      \    },\n\
+      \    \"suspend_resume\": {\n\
+      \      \"round_trips\": %d,\n\
+      \      \"suspend_resume_p50_us\": %d,\n\
+      \      \"suspend_resume_p95_us\": %d,\n\
+      \      \"verified_after\": %b\n\
+      \    }\n\
+      \  }"
+      workers (List.length catalog) !parity_bad n_sessions concurrent_peak
+      n_threads requests (Atomic.get errors) wall_s sessions_per_sec (p 0.5)
+      (p 0.95) (p 0.99) round_trips (rq 0.5) (rq 0.95) verified_after
+  in
+  if not !serve_no_block then begin
+    let text =
+      if Sys.file_exists "BENCH_perf.json" then read_file "BENCH_perf.json"
+      else "{\n  \"schema\": \"xlearner-perf/1\"\n}\n"
+    in
+    let oc = open_out "BENCH_perf.json" in
+    output_string oc (splice_server_block text block);
+    close_out oc;
+    Printf.printf "updated the \"server\" block of BENCH_perf.json\n%!"
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "FAIL: bench serve — parity, request or verification failure\n";
+    exit 1
+  end;
+  print_newline ()
+
+(* ---------- perf regression gate (make bench-gate) ----------------------- *)
 
 (* pull the float following [key] out of a perf JSON by substring scan —
    both files are machine-written by [perf_json] above, so the shapes
@@ -1184,6 +1552,8 @@ let perf_gate () =
       ("snapshot-load ns/run", {|"name":"snapshot-load","ns_per_run":|});
       ("q1 hash-join ns/run", {|"hash_ns_per_run": |});
       ("fig16 total wall s", {|"total_wall_s": |});
+      ("server request p50 us", {|"request_p50_us": |});
+      ("suspend/resume p50 us", {|"suspend_resume_p50_us": |});
     ]
   in
   print_endline line;
@@ -1229,20 +1599,25 @@ let perf_gate () =
    | _ ->
      failed := true;
      Printf.printf "%-24s wall metrics missing\n" "fig16 parallel speedup");
-  (* higher-is-better: streaming parse throughput (MB/s) must not fall
-     below the baseline's by more than the tolerance *)
-  (let key = {|"parse_throughput_mb_s": |} in
-   match scan_float baseline key, scan_float fresh key with
-   | Some b, Some f when b > 0. ->
-     let ratio = f /. b in
-     let ok = ratio >= 1. /. tolerance in
-     if not ok then failed := true;
-     Printf.printf "%-24s %14.1f %14.1f %7.2fx  %s\n" "parse throughput MB/s" b f
-       ratio
-       (if ok then "ok" else "REGRESSED")
-   | _ ->
-     failed := true;
-     Printf.printf "%-24s metric missing\n" "parse throughput MB/s");
+  (* higher-is-better: streaming parse throughput (MB/s) and the
+     session server's sessions/sec must not fall below the baseline's
+     by more than the tolerance *)
+  List.iter
+    (fun (label, key) ->
+      match scan_float baseline key, scan_float fresh key with
+      | Some b, Some f when b > 0. ->
+        let ratio = f /. b in
+        let ok = ratio >= 1. /. tolerance in
+        if not ok then failed := true;
+        Printf.printf "%-24s %14.1f %14.1f %7.2fx  %s\n" label b f ratio
+          (if ok then "ok" else "REGRESSED")
+      | _ ->
+        failed := true;
+        Printf.printf "%-24s metric missing\n" label)
+    [
+      ("parse throughput MB/s", {|"parse_throughput_mb_s": |});
+      ("server sessions/sec", {|"sessions_per_sec": |});
+    ];
   if !failed then begin
     Printf.eprintf "FAIL: perf gate — a gated metric regressed beyond %.0f%%\n"
       ((tolerance -. 1.) *. 100.);
@@ -1448,6 +1823,17 @@ let () =
     | "--bug" :: name :: rest ->
       fuzz_bug := Some name;
       parse_jobs acc rest
+    | "--sessions" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v > 0 ->
+        serve_sessions := v;
+        parse_jobs acc rest
+      | _ ->
+        Printf.eprintf "bad --sessions %S (expected a positive integer)\n" n;
+        exit 2)
+    | "--no-block" :: rest ->
+      serve_no_block := true;
+      parse_jobs acc rest
     | arg :: rest -> parse_jobs (arg :: acc) rest
   in
   let args = parse_jobs [] args in
@@ -1472,6 +1858,7 @@ let () =
     | "stream" -> stream_bench ()
     | "batch" -> batch_bench ()
     | "machine" -> machine_bench ()
+    | "serve" -> serve_bench ()
     | "fuzz" -> fuzz ()
     | "all" ->
       fig15 ();
@@ -1483,7 +1870,7 @@ let () =
       perf ()
     | other ->
       Printf.eprintf
-        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | machine | fuzz | obs-report TRACE | all)\n"
+        "unknown benchmark %S (expected fig15 | fig16-xmark | fig16-xmp | ablation | reuse | perf | perf-json | perf-gate | frozen | stream | batch | machine | serve | fuzz | obs-report TRACE | all)\n"
         other;
       exit 2
   in

@@ -343,19 +343,102 @@ let obs_report_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"N" ~doc:"Rows per report section")
   in
-  let run trace top =
+  let session =
+    Arg.(
+      value & opt (some string) None
+      & info [ "session" ] ~docv:"ID"
+          ~doc:
+            "Restrict the report to spans tagged with this session id (the \
+             session server tags every span of a session's work)")
+  in
+  let run trace top session =
     match Xl_obs.Trace_analysis.load trace with
     | Error e ->
       Printf.eprintf "obs-report: malformed trace %s: %s\n" trace e;
       exit 1
-    | Ok t -> print_string (Xl_obs.Trace_analysis.report ~top t)
+    | Ok t -> (
+      match session with
+      | None ->
+        print_string (Xl_obs.Trace_analysis.report ~top t);
+        (match Xl_obs.Trace_analysis.sessions t with
+        | [] -> ()
+        | ids ->
+          Printf.printf "\n-- sessions (filter with --session ID) --\n";
+          List.iteri
+            (fun i (id, count, ns) ->
+              if i < top then
+                Printf.printf "  %-24s %6d spans %10.2f ms\n" id count
+                  (float_of_int ns /. 1e6))
+            ids)
+      | Some id ->
+        let sub = Xl_obs.Trace_analysis.filter_session t id in
+        if sub.Xl_obs.Trace_analysis.spans = [] then begin
+          Printf.eprintf "obs-report: no spans tagged with session %S\n" id;
+          exit 1
+        end;
+        Printf.printf "(session %s)\n" id;
+        print_string (Xl_obs.Trace_analysis.report ~top sub))
   in
   Cmd.v
     (Cmd.info "obs-report"
        ~doc:
          "Analyze a recorded JSONL trace: span-tree self time, per-worker \
           utilization and the critical path")
-    Term.(const run $ trace $ top)
+    Term.(const run $ trace $ top $ session)
+
+(* ---- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string "/tmp/xlearner.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on")
+  in
+  let workers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Learner worker domains (default: XLEARNER_JOBS or cores - 1)")
+  in
+  let spool =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:"Suspend/resume spool directory (default: SOCKET.spool)")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace on shutdown"
+          ~env:(Cmd.Env.info "XLEARNER_TRACE"))
+  in
+  let run socket workers spool trace =
+    if Option.is_some trace then Xl_obs.Obs.set_enabled true;
+    let t = Xl_server.Server.create ?workers ?spool ~socket () in
+    Printf.printf "xlearner serving on %s (%d scenarios)\n%!" socket
+      (List.length
+         (Xl_workload.Xmark_scenarios.all () @ Xl_workload.Xmp_scenarios.all ()));
+    (* SIGINT/SIGTERM shut the loop down cleanly so the trace is written *)
+    let stop _ = Xl_server.Server.shutdown t in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+     with Invalid_argument _ -> ());
+    Xl_server.Server.serve t;
+    match trace with
+    | Some path ->
+      Xl_obs.Obs.write_jsonl path;
+      Printf.printf "trace written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host concurrent interactive learning sessions over a Unix socket \
+          (HTTP/1.1 + JSON)")
+    Term.(const run $ socket $ workers $ spool $ trace)
 
 (* ---- fig16 shortcut ------------------------------------------------------- *)
 
@@ -373,5 +456,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; learn_cmd; generate_cmd; template_cmd; eval_cmd;
-            obs_report_cmd; bench_cmd;
+            obs_report_cmd; serve_cmd; bench_cmd;
           ]))

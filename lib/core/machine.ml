@@ -1303,6 +1303,36 @@ let node_of c (store : Store.t) : Node.t =
   in
   walk doc.Doc.doc_node 0
 
+(* -------- public node references ---------------------------------------- *)
+
+(* The snapshot codec's (document URI, Dewey code) node identity, exposed
+   for other wire formats — the session server ships counterexample
+   nodes to clients and decodes their answers with exactly the pairs the
+   snapshot would store, so a node that round-trips one codec round-trips
+   the other. *)
+
+let node_ref (store : Store.t) (n : Node.t) : string * int list =
+  ((doc_of_node store n).Doc.uri, n.Node.dewey)
+
+let node_of_ref (store : Store.t) ~uri ~dewey : (Node.t, string) Stdlib.result =
+  match
+    List.find_opt (fun (d : Doc.t) -> String.equal d.Doc.uri uri) (Store.docs store)
+  with
+  | None -> Error (Printf.sprintf "document %S not in this store" uri)
+  | Some doc ->
+    let rec walk (n : Node.t) = function
+      | [] -> Ok n
+      | k :: rest -> (
+        let all = Node.attributes n @ Node.children n in
+        match List.nth_opt all (k - 1) with
+        | Some child -> walk child rest
+        | None ->
+          Error
+            (Printf.sprintf "dewey step %d out of range under %s" k
+               (Node.symbol n)))
+    in
+    walk doc.Doc.doc_node dewey
+
 let read_answer c store : answer =
   match u8 c "answer tag" with
   | 0 -> Bool false

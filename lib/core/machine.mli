@@ -161,6 +161,21 @@ val restore :
     same query and the same interaction counts as the uninterrupted
     run.  Raises {!Corrupt} on any validation failure. *)
 
+val node_ref : Store.t -> Node.t -> string * int list
+(** The process-stable identity a node has in a snapshot: its document's
+    URI plus its Dewey code.  Raises [Invalid_argument] on a node from
+    outside the store.  The session server uses the same pairs on its
+    JSON wire, so a node that round-trips the snapshot codec round-trips
+    the wire too. *)
+
+val node_of_ref :
+  Store.t -> uri:string -> dewey:int list -> (Node.t, string) result
+(** Resolve a {!node_ref} pair against a store: find the document by
+    URI, then walk the Dewey code (1-based, attributes before children —
+    the snapshot codec's convention).  [Error] names what failed;
+    unlike the snapshot decoder it never raises, because the inputs come
+    from untrusted clients. *)
+
 val oracle_teacher : t -> Teacher.t
 (** The machine's internal simulated teacher (built by {!Oracle.create}
     over the same evaluation context the engine uses).  Drivers that

@@ -101,6 +101,115 @@ let parallel_map ~workers ~chunk ~(record : worker_stat array -> unit) f
       (function Some v -> v | None -> assert false (* all claimed or raised *))
       results
 
+(* ---------- persistent service executor ---------------------------------- *)
+
+(* [map]/[iter] spawn-and-join per call, which is right for batch suites
+   and wrong for a server: a request must not pay a domain spawn, and a
+   session's effect continuations plus its ambient telemetry tag live in
+   domain-local state, so every step of one session must run on the same
+   domain.  [Service] keeps a fixed set of worker domains alive, each
+   with its own queue, and routes by [key mod workers] — same key, same
+   domain, for the lifetime of the service. *)
+module Service = struct
+  let c_service_tasks = Obs.Counter.make "service_tasks"
+
+  type worker = {
+    w_mutex : Mutex.t;
+    w_cond : Condition.t;
+    w_queue : (unit -> unit) Queue.t;
+    mutable w_stop : bool;
+  }
+
+  type t = { ws : worker array; doms : unit Domain.t array }
+
+  let worker_loop (w : worker) =
+    Domain.DLS.set inside_worker true;
+    let rec loop () =
+      let task =
+        Mutex.protect w.w_mutex (fun () ->
+            while Queue.is_empty w.w_queue && not w.w_stop do
+              Condition.wait w.w_cond w.w_mutex
+            done;
+            if Queue.is_empty w.w_queue then None
+            else Some (Queue.pop w.w_queue))
+      in
+      match task with
+      | None -> ()
+      | Some f ->
+        (* a raising task must never kill the worker: [run] ferries the
+           exception back to its caller; a bare [submit]'s is dropped *)
+        (try f () with _ -> ());
+        Obs.Counter.incr c_service_tasks;
+        (* merge-per-task: the main domain reads merged spans (metrics
+           endpoint, trace export) while workers stay alive, so waiting
+           for domain death to flush would hide all service activity *)
+        Obs.flush_domain ();
+        loop ()
+    in
+    loop ();
+    Domain.DLS.set inside_worker false;
+    Obs.flush_domain ()
+
+  let start ?workers () =
+    let n = match workers with Some n -> max 1 n | None -> default_jobs () in
+    let ws =
+      Array.init n (fun _ ->
+          {
+            w_mutex = Mutex.create ();
+            w_cond = Condition.create ();
+            w_queue = Queue.create ();
+            w_stop = false;
+          })
+    in
+    let doms = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) ws in
+    { ws; doms }
+
+  let workers t = Array.length t.ws
+
+  let submit t ~key f =
+    let w = t.ws.((key land max_int) mod Array.length t.ws) in
+    Mutex.protect w.w_mutex (fun () ->
+        if w.w_stop then invalid_arg "Pool.Service.submit: stopped";
+        Queue.push f w.w_queue;
+        Condition.signal w.w_cond)
+
+  let run t ~key f =
+    let mu = Mutex.create () in
+    let cv = Condition.create () in
+    let cell = ref None in
+    submit t ~key (fun () ->
+        let r =
+          match f () with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.protect mu (fun () ->
+            cell := Some r;
+            Condition.signal cv));
+    let r =
+      Mutex.protect mu (fun () ->
+          while !cell = None do
+            Condition.wait cv mu
+          done;
+          Option.get !cell)
+    in
+    match r with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+  let stop t =
+    Array.iter
+      (fun w ->
+        Mutex.protect w.w_mutex (fun () ->
+            w.w_stop <- true;
+            Condition.signal w.w_cond))
+      t.ws;
+    Array.iter Domain.join t.doms;
+    Array.iter
+      (fun d -> assert (Obs.domain_buffer_empty (Domain.get_id d :> int)))
+      t.doms
+end
+
 let map ?(chunk = 1) t f xs =
   if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
   let arr = Array.of_list xs in

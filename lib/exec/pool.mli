@@ -64,3 +64,43 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?chunk:int -> t -> ('a -> unit) -> 'a list -> unit
 (** [iter pool f xs] is [map pool f xs] with the results dropped. *)
+
+(** Persistent keyed executor for long-lived services.
+
+    {!map} spawns and joins domains per call — right for batch suites,
+    wrong for a server, where a request must not pay a domain spawn and
+    where a session's state is domain-confined: the resumable learner's
+    effect continuations and the ambient telemetry session tag
+    ([Obs.set_session]) live in domain-local state, so every step of one
+    session must execute on the domain that started it.  [Service] keeps
+    a fixed set of worker domains alive, each draining its own queue,
+    and routes work by [key mod workers]: submissions with the same key
+    always land on the same domain, in submission order.  The session
+    server keys by the hash of the session id. *)
+module Service : sig
+  type t
+
+  val start : ?workers:int -> unit -> t
+  (** Spawn [workers] persistent worker domains ([default_jobs ()] when
+      omitted, floor 1).  Workers mark themselves with the pool's
+      inside-worker flag, so a nested {!map} from a service task runs
+      sequentially instead of oversubscribing. *)
+
+  val workers : t -> int
+
+  val submit : t -> key:int -> (unit -> unit) -> unit
+  (** Enqueue fire-and-forget work on the key's worker.  A raising task
+      is caught and dropped — it never kills the worker.  Raises
+      [Invalid_argument] after {!stop}. *)
+
+  val run : t -> key:int -> (unit -> 'a) -> 'a
+  (** Execute [f] on the key's worker and block the calling thread until
+      it finishes; [f]'s exception (with backtrace) re-raises here.
+      Callers are sys-threads (the server's connection threads), so
+      blocking parks the thread without occupying a domain. *)
+
+  val stop : t -> unit
+  (** Drain: workers finish queued tasks, then join.  Every worker
+      flushes its telemetry buffer per task and at exit, so no spans are
+      lost with the domains. *)
+end

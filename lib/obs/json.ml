@@ -1,201 +1,8 @@
-(** A minimal JSON reader for the trace-analysis layer.
+(** The JSON codec, re-exported where the trace-analysis layer grew it.
 
-    The traces this repo analyzes are machine-written (by {!Obs} and
-    {!Perfetto}), so the parser favors smallness over spec pedantry; it
-    still accepts arbitrary well-formed JSON (nesting, escapes, floats,
-    unicode escapes) so the round-trip validation in CI is a real check,
-    not a substring scan.  No external dependency: the container is
-    sealed and the rest of the repo renders JSON by hand already. *)
+    The reader started life here; it is now the shared [Xl_json.Json]
+    (parser + serializer), which the session server, the telemetry
+    exporters and the bench baseline all use.  This alias keeps every
+    [Xl_obs.Json] client source-compatible. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-exception Malformed of string
-
-type state = { src : string; mutable pos : int }
-
-let error st msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg st.pos))
-
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let skip_ws st =
-  while
-    st.pos < String.length st.src
-    &&
-    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-  do
-    st.pos <- st.pos + 1
-  done
-
-let expect st c =
-  match peek st with
-  | Some d when d = c -> st.pos <- st.pos + 1
-  | _ -> error st (Printf.sprintf "expected %C" c)
-
-let parse_literal st word v =
-  let n = String.length word in
-  if
-    st.pos + n <= String.length st.src
-    && String.equal (String.sub st.src st.pos n) word
-  then begin
-    st.pos <- st.pos + n;
-    v
-  end
-  else error st (Printf.sprintf "expected %s" word)
-
-let parse_string st =
-  expect st '"';
-  let b = Buffer.create 16 in
-  let rec go () =
-    if st.pos >= String.length st.src then error st "unterminated string";
-    let c = st.src.[st.pos] in
-    st.pos <- st.pos + 1;
-    match c with
-    | '"' -> Buffer.contents b
-    | '\\' -> (
-      if st.pos >= String.length st.src then error st "unterminated escape";
-      let e = st.src.[st.pos] in
-      st.pos <- st.pos + 1;
-      (match e with
-      | '"' -> Buffer.add_char b '"'
-      | '\\' -> Buffer.add_char b '\\'
-      | '/' -> Buffer.add_char b '/'
-      | 'b' -> Buffer.add_char b '\b'
-      | 'f' -> Buffer.add_char b '\012'
-      | 'n' -> Buffer.add_char b '\n'
-      | 'r' -> Buffer.add_char b '\r'
-      | 't' -> Buffer.add_char b '\t'
-      | 'u' ->
-        if st.pos + 4 > String.length st.src then error st "short \\u escape";
-        let hex = String.sub st.src st.pos 4 in
-        st.pos <- st.pos + 4;
-        let code =
-          match int_of_string_opt ("0x" ^ hex) with
-          | Some c -> c
-          | None -> error st "bad \\u escape"
-        in
-        (* decode the BMP code point as UTF-8; analysis only ever
-           compares ASCII names, so surrogate pairs are not recombined *)
-        if code < 0x80 then Buffer.add_char b (Char.chr code)
-        else if code < 0x800 then begin
-          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end
-        else begin
-          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-        end
-      | _ -> error st "bad escape");
-      go ())
-    | c when Char.code c < 0x20 -> error st "raw control char in string"
-    | c ->
-      Buffer.add_char b c;
-      go ()
-  in
-  go ()
-
-let parse_number st =
-  let start = st.pos in
-  let is_num_char c =
-    match c with
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while
-    st.pos < String.length st.src && is_num_char st.src.[st.pos]
-  do
-    st.pos <- st.pos + 1
-  done;
-  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
-  | Some f -> Num f
-  | None -> error st "bad number"
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | None -> error st "unexpected end of input"
-  | Some '{' ->
-    expect st '{';
-    skip_ws st;
-    if peek st = Some '}' then begin
-      expect st '}';
-      Obj []
-    end
-    else begin
-      let rec members acc =
-        skip_ws st;
-        let k = parse_string st in
-        skip_ws st;
-        expect st ':';
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          expect st ',';
-          members ((k, v) :: acc)
-        | Some '}' ->
-          expect st '}';
-          Obj (List.rev ((k, v) :: acc))
-        | _ -> error st "expected ',' or '}'"
-      in
-      members []
-    end
-  | Some '[' ->
-    expect st '[';
-    skip_ws st;
-    if peek st = Some ']' then begin
-      expect st ']';
-      Arr []
-    end
-    else begin
-      let rec elements acc =
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          expect st ',';
-          elements (v :: acc)
-        | Some ']' ->
-          expect st ']';
-          Arr (List.rev (v :: acc))
-        | _ -> error st "expected ',' or ']'"
-      in
-      elements []
-    end
-  | Some '"' -> Str (parse_string st)
-  | Some 't' -> parse_literal st "true" (Bool true)
-  | Some 'f' -> parse_literal st "false" (Bool false)
-  | Some 'n' -> parse_literal st "null" Null
-  | Some ('-' | '0' .. '9') -> parse_number st
-  | Some c -> error st (Printf.sprintf "unexpected %C" c)
-
-let parse (s : string) : (t, string) result =
-  let st = { src = s; pos = 0 } in
-  match parse_value st with
-  | v ->
-    skip_ws st;
-    if st.pos = String.length s then Ok v
-    else Error (Printf.sprintf "trailing garbage at byte %d" st.pos)
-  | exception Malformed msg -> Error msg
-
-(* ---------- accessors ---------------------------------------------------- *)
-
-let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
-let to_string_opt = function Str s -> Some s | _ -> None
-let to_float_opt = function Num f -> Some f | _ -> None
-
-let to_int_opt = function
-  | Num f when Float.is_integer f -> Some (int_of_float f)
-  | Num f -> Some (int_of_float (Float.round f))
-  | _ -> None
-
-let to_list_opt = function Arr xs -> Some xs | _ -> None
-let mem_str key j = Option.bind (member key j) to_string_opt
-let mem_int key j = Option.bind (member key j) to_int_opt
-let mem_float key j = Option.bind (member key j) to_float_opt
+include Xl_json.Json

@@ -63,6 +63,7 @@ let quantile_of (xs : int list) (q : float) : int =
 type span_rec = {
   sp_name : string;
   sp_detail : string option;
+  sp_session : string option;
   sp_t0_ns : int;
   sp_dur_ns : int;
   sp_seq : int;
@@ -91,6 +92,10 @@ type dbuf = {
   dom : int;
   mutable buf_spans : span_rec list;
   mutable buf_depth : int;
+  mutable buf_session : string option;
+      (* ambient session tag: the server sets it around each scheduled
+         task, so every span a worker records while serving a session is
+         attributable without threading an argument through the engine *)
   mutable stk : string array;
   stk_n : int Atomic.t;
 }
@@ -119,6 +124,7 @@ let buf_key : dbuf Domain.DLS.key =
           dom;
           buf_spans = [];
           buf_depth = 0;
+          buf_session = None;
           stk = Array.make 16 "";
           stk_n = Atomic.make 0;
         }
@@ -139,6 +145,15 @@ let buf_key : dbuf Domain.DLS.key =
 
 let flush_domain () =
   if !enabled_flag then flush_buf (Domain.DLS.get buf_key)
+
+let set_session s = (Domain.DLS.get buf_key).buf_session <- s
+let current_session () = (Domain.DLS.get buf_key).buf_session
+
+let with_session s f =
+  let buf = Domain.DLS.get buf_key in
+  let prev = buf.buf_session in
+  buf.buf_session <- s;
+  Fun.protect ~finally:(fun () -> buf.buf_session <- prev) f
 
 let domain_buffer_empty dom =
   Mutex.protect registry_mutex (fun () ->
@@ -198,6 +213,7 @@ let span ~name ?detail f =
         {
           sp_name = name;
           sp_detail = detail;
+          sp_session = buf.buf_session;
           sp_t0_ns = t0;
           sp_dur_ns = dur;
           sp_seq = seq;
@@ -215,13 +231,17 @@ let span ~name ?detail f =
       raise e
   end
 
-let record_completed ~name ?detail ~t0_ns () =
+let record_completed ~name ?detail ?session ~t0_ns () =
   if !enabled_flag then begin
     let buf = Domain.DLS.get buf_key in
+    let session =
+      match session with Some _ as s -> s | None -> buf.buf_session
+    in
     buf.buf_spans <-
       {
         sp_name = name;
         sp_detail = detail;
+        sp_session = session;
         sp_t0_ns = t0_ns;
         sp_dur_ns = now_ns () - t0_ns;
         sp_seq = next_seq ();
@@ -402,23 +422,8 @@ end
 
 (* ---------- JSON -------------------------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_string s = "\"" ^ json_escape s ^ "\""
+let json_escape = Xl_json.Json.escape
+let json_string = Xl_json.Json.quote
 
 let event_json ~seq ~ts_ns ~kind ~name ?detail ~fields () =
   let b = Buffer.create 128 in
@@ -439,16 +444,21 @@ let event_json ~seq ~ts_ns ~kind ~name ?detail ~fields () =
 let span_events () =
   List.map
     (fun r ->
+      let fields =
+        [
+          ("dur_ns", string_of_int r.sp_dur_ns);
+          ("depth", string_of_int r.sp_depth);
+          ("domain", string_of_int r.sp_domain);
+        ]
+      in
+      let fields =
+        match r.sp_session with
+        | Some s -> ("session", json_string s) :: fields
+        | None -> fields
+      in
       ( r.sp_seq,
         event_json ~seq:r.sp_seq ~ts_ns:r.sp_t0_ns ~kind:"span" ~name:r.sp_name
-          ?detail:r.sp_detail
-          ~fields:
-            [
-              ("dur_ns", string_of_int r.sp_dur_ns);
-              ("depth", string_of_int r.sp_depth);
-              ("domain", string_of_int r.sp_domain);
-            ]
-          () ))
+          ?detail:r.sp_detail ~fields () ))
     (spans ())
 
 let histogram_buckets_json h =

@@ -70,7 +70,8 @@ val span : name:string -> ?detail:string -> (unit -> 'a) -> 'a
     pop [name] on this domain's active-span stack (one extra atomic
     load; nothing at all when telemetry is off). *)
 
-val record_completed : name:string -> ?detail:string -> t0_ns:int -> unit -> unit
+val record_completed :
+  name:string -> ?detail:string -> ?session:string -> t0_ns:int -> unit -> unit
 (** Append an already-finished span record ([t0_ns] from {!now_ns},
     duration measured now) to this domain's buffer without touching the
     nesting depth or the profiler's active-span stack.  For work whose
@@ -78,7 +79,24 @@ val record_completed : name:string -> ?detail:string -> t0_ns:int -> unit -> uni
     resumable learner, which enters and leaves the engine's suspended
     span stack: wrapping it in {!span} would pop a frame the step does
     not own.  The record carries the current depth and a fresh sequence
-    number; a no-op when telemetry is disabled. *)
+    number; a no-op when telemetry is disabled.  [session] overrides the
+    ambient tag of {!set_session} for this one record. *)
+
+(* ---- session dimension ---- *)
+
+val set_session : string option -> unit
+(** Set this domain's ambient session tag: every span recorded here
+    until the next call carries it (the ["session"] field of the JSONL
+    export), so interleaved sessions on shared pool workers can be told
+    apart in [obs-report --session] and the Perfetto export.  The server
+    brackets each scheduled task with set/clear; prefer {!with_session}
+    where the extent is a well-nested call. *)
+
+val current_session : unit -> string option
+
+val with_session : string option -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient session tag set, restoring the
+    previous tag afterwards (also on exception). *)
 
 (** Named monotonic counters.  [make] is idempotent per name. *)
 module Counter : sig
@@ -137,6 +155,7 @@ end
 type span_rec = {
   sp_name : string;
   sp_detail : string option;
+  sp_session : string option;  (** ambient session tag at record time *)
   sp_t0_ns : int;
   sp_dur_ns : int;
   sp_seq : int;

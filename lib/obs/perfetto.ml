@@ -26,9 +26,14 @@ let span_args (r : Obs.span_rec) =
     | Some d -> Printf.sprintf {|"detail":%s,|} (Obs.json_string d)
     | None -> ""
   in
-  Printf.sprintf {|,"cat":"span","dur":%.3f,"args":{%s"depth":%d,"seq":%d}|}
+  let session =
+    match r.Obs.sp_session with
+    | Some s -> Printf.sprintf {|"session":%s,|} (Obs.json_string s)
+    | None -> ""
+  in
+  Printf.sprintf {|,"cat":"span","dur":%.3f,"args":{%s%s"depth":%d,"seq":%d}|}
     (float_of_int r.Obs.sp_dur_ns /. 1e3)
-    detail r.Obs.sp_depth r.Obs.sp_seq
+    detail session r.Obs.sp_depth r.Obs.sp_seq
 
 let to_string ?(counter_samples = []) () =
   let spans = Obs.spans () in

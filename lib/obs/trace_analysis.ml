@@ -17,6 +17,7 @@
 type span = {
   name : string;
   detail : string option;
+  session : string option;
   t0_ns : int;
   dur_ns : int;
   seq : int;
@@ -53,6 +54,7 @@ let span_of_json lineno j =
   {
     name = req "name" (Json.mem_str "name" j);
     detail = Json.mem_str "detail" j;
+    session = Json.mem_str "session" j;
     t0_ns = req "ts_ns" (Json.mem_int "ts_ns" j);
     dur_ns = req "dur_ns" (Json.mem_int "dur_ns" j);
     seq = req "seq" (Json.mem_int "seq" j);
@@ -133,6 +135,48 @@ let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> of_string text
   | exception Sys_error e -> Error e
+
+(* ---------- session filtering -------------------------------------------- *)
+
+(* Restrict a trace to one session's spans and re-link the nesting
+   among the survivors.  The server tags a worker's whole task extent,
+   so a session's spans are contiguous tagged regions per domain and
+   the depth-stack reconstruction applies to the filtered list as it
+   does to the full one (an untagged ancestor simply promotes its
+   tagged descendants toward the root). *)
+let filter_session t id =
+  let keep = List.filter (fun s -> s.session = Some id) t.spans in
+  let fresh = List.map (fun s -> { s with children = []; child_ns = 0 }) keep in
+  link_children fresh;
+  let child_seq : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s -> List.iter (fun c -> Hashtbl.replace child_seq c.seq ()) s.children)
+    fresh;
+  {
+    spans = fresh;
+    roots = List.filter (fun s -> not (Hashtbl.mem child_seq s.seq)) fresh;
+    events = List.length fresh;
+    other_events = 0;
+  }
+
+(* Distinct session tags with span count and total inclusive time,
+   sorted by descending span count — the index [obs-report] prints so a
+   user knows what [--session] can select. *)
+let sessions t =
+  let tbl : (string, (int * int) ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match s.session with
+      | None -> ()
+      | Some id -> (
+        match Hashtbl.find_opt tbl id with
+        | Some r ->
+          let c, ns = !r in
+          r := (c + 1, ns + s.dur_ns)
+        | None -> Hashtbl.replace tbl id (ref (1, s.dur_ns))))
+    t.spans;
+  Hashtbl.fold (fun id r acc -> (id, fst !r, snd !r) :: acc) tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
 
 (* ---------- aggregates --------------------------------------------------- *)
 

@@ -7,6 +7,7 @@
 type span = {
   name : string;
   detail : string option;
+  session : string option;  (** session tag, if the span carried one *)
   t0_ns : int;
   dur_ns : int;
   seq : int;
@@ -41,6 +42,15 @@ val load : string -> (trace, string) result
 
 val of_string : string -> (trace, string) result
 val of_lines : string list -> (trace, string) result
+
+val filter_session : trace -> string -> trace
+(** The sub-trace of spans tagged with one session id (the ["session"]
+    JSONL field written under [Obs.set_session]), nesting re-linked
+    among the survivors — backs [obs-report --session ID]. *)
+
+val sessions : trace -> (string * int * int) list
+(** Distinct session tags as [(id, span_count, total_ns)], descending
+    span count. *)
 
 val wall_ns : trace -> int
 (** Latest span end minus earliest span start; [0] on an empty trace. *)

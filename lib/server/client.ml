@@ -1,0 +1,124 @@
+module Json = Xl_json.Json
+
+exception Transport of string
+
+type conn = { fd : Unix.file_descr; buf : Bytes.t; mutable lo : int; mutable hi : int }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise (Transport (Printf.sprintf "connect %s: %s" path (Unix.error_message e))));
+  { fd; buf = Bytes.create 8192; lo = 0; hi = 0 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let refill c =
+  if c.lo = c.hi then begin
+    c.lo <- 0;
+    c.hi <- 0
+  end;
+  if c.hi = Bytes.length c.buf then begin
+    Bytes.blit c.buf c.lo c.buf 0 (c.hi - c.lo);
+    c.hi <- c.hi - c.lo;
+    c.lo <- 0
+  end;
+  let n =
+    try Unix.read c.fd c.buf c.hi (Bytes.length c.buf - c.hi)
+    with Unix.Unix_error (e, _, _) ->
+      raise (Transport ("read: " ^ Unix.error_message e))
+  in
+  if n > 0 then c.hi <- c.hi + n;
+  n > 0
+
+let read_line c =
+  let b = Buffer.create 64 in
+  let rec go () =
+    if c.lo < c.hi then begin
+      let ch = Bytes.get c.buf c.lo in
+      c.lo <- c.lo + 1;
+      if ch = '\n' then Buffer.contents b
+      else begin
+        if ch <> '\r' then Buffer.add_char b ch;
+        go ()
+      end
+    end
+    else if refill c then go ()
+    else raise (Transport "connection closed mid-response")
+  in
+  go ()
+
+let read_exact c n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if c.lo < c.hi then begin
+      let take = min (n - !filled) (c.hi - c.lo) in
+      Bytes.blit c.buf c.lo out !filled take;
+      c.lo <- c.lo + take;
+      filled := !filled + take
+    end
+    else if not (refill c) then raise (Transport "connection closed mid-body")
+  done;
+  Bytes.unsafe_to_string out
+
+let write_all c s =
+  let n = String.length s in
+  let sent = ref 0 in
+  try
+    while !sent < n do
+      sent := !sent + Unix.write_substring c.fd s !sent (n - !sent)
+    done
+  with Unix.Unix_error (e, _, _) ->
+    raise (Transport ("write: " ^ Unix.error_message e))
+
+(* one response: status line, headers, content-length body *)
+let read_response c =
+  let status_line = read_line c in
+  let status =
+    match String.split_on_char ' ' status_line with
+    | version :: code :: _
+      when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." -> (
+      match int_of_string_opt code with
+      | Some s -> s
+      | None -> raise (Transport (Printf.sprintf "bad status line %S" status_line)))
+    | _ -> raise (Transport (Printf.sprintf "bad status line %S" status_line))
+  in
+  let content_length = ref 0 in
+  let headers = Buffer.create 128 in
+  let rec headers_loop () =
+    let line = read_line c in
+    if line <> "" then begin
+      Buffer.add_string headers (line ^ "\r\n");
+      (match String.index_opt line ':' with
+      | Some i
+        when String.lowercase_ascii (String.sub line 0 i) = "content-length" -> (
+        match
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        with
+        | Some n -> content_length := n
+        | None -> raise (Transport "bad content-length"))
+      | _ -> ());
+      headers_loop ()
+    end
+  in
+  headers_loop ();
+  (status, status_line, Buffer.contents headers, read_exact c !content_length)
+
+let request c ~meth ~path ?body () =
+  let payload = match body with Some j -> Json.to_string j | None -> "" in
+  write_all c
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: local\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s"
+       meth path (String.length payload) payload);
+  let status, _, _, body = read_response c in
+  match Json.parse body with
+  | Ok j -> (status, j)
+  | Error e -> failwith (Printf.sprintf "response body is not JSON (%s): %S" e body)
+
+let request_raw c bytes =
+  write_all c bytes;
+  let _, status_line, headers, body = read_response c in
+  status_line ^ "\r\n" ^ headers ^ "\r\n" ^ body

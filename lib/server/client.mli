@@ -1,0 +1,28 @@
+(** Keep-alive HTTP/JSON client for the session server's Unix socket —
+    the load harness and the tests drive real sockets through this, so
+    the measured path is the shipped path. *)
+
+type conn
+
+exception Transport of string
+(** Connection-level failure: refused, closed mid-response, or a
+    response that does not parse as HTTP. *)
+
+val connect : string -> conn
+(** Connect to the server's Unix socket path. *)
+
+val close : conn -> unit
+
+val request :
+  conn -> meth:string -> path:string -> ?body:Xl_json.Json.t -> unit ->
+  int * Xl_json.Json.t
+(** One request, one response: [(status, parsed JSON body)].  [body] is
+    sent as [application/json].  Raises {!Transport} on socket or
+    HTTP-framing failure, and [Failure] if the response body is not
+    JSON. *)
+
+val request_raw : conn -> string -> string
+(** Write raw bytes and read one HTTP response (headers + body),
+    returned verbatim — the fault-injection test sends garbage through
+    this.  Raises {!Transport} if the server closes without a complete
+    response. *)

@@ -1,0 +1,46 @@
+(** Minimal HTTP/1.1 framing over a connected socket.
+
+    Just enough of RFC 9112 for the session server and its load
+    harness: request line + headers + [Content-Length] body on the way
+    in, status + headers + body on the way out, with keep-alive.  No
+    chunked transfer, no continuations, no pipelined interleaving —
+    a malformed or unsupported request is a {!Parse_error} carrying the
+    byte offset where parsing stopped, which the server renders as a
+    structured 400 (and then closes the connection, since framing is
+    lost).  Parsing never raises anything else on bad input, so garbage
+    bytes can never take down an accept loop. *)
+
+type request = {
+  meth : string;  (** uppercase, e.g. ["GET"] *)
+  path : string;  (** origin-form target, query string included *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type parse_error = { offset : int; msg : string }
+(** [offset] counts bytes from the start of the current request. *)
+
+exception Parse_error of parse_error
+
+type reader
+(** Buffered request reader for one connection; owns read-ahead bytes
+    between keep-alive requests. *)
+
+val reader : Unix.file_descr -> reader
+
+val read_request : reader -> request option
+(** The next complete request, [None] on clean EOF at a request
+    boundary.  Raises {!Parse_error} on malformed framing, a request
+    line over 8 KiB, headers over 64 KiB, a body over 16 MiB, or EOF
+    mid-request (reported as truncation). *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val write_response :
+  Unix.file_descr -> status:int -> ?content_type:string -> string -> unit
+(** One response with [Content-Length] and [Connection: keep-alive];
+    default content type [application/json].  Swallows [EPIPE]-class
+    write failures (the client hung up; the caller closes the fd). *)
+
+val status_text : int -> string

@@ -1,0 +1,867 @@
+(** See the interface for the protocol.  Implementation geography:
+
+    - {b threads vs domains}: connection handlers are sys-threads on the
+      main domain (cheap, blocking-friendly); learner work runs on the
+      persistent worker domains of [Pool.Service].  A session is pinned
+      to [hash id mod workers], because the machine's suspended effect
+      continuation must resume on the domain that captured it and the
+      ambient telemetry session tag is domain-local state.
+    - {b sharing}: catalog stores are prepared once at startup and read
+      shared by every session of the same corpus; uploaded documents
+      are deduplicated by content digest, so a thousand sessions over
+      one corpus hold one store.
+    - {b fault containment}: HTTP or JSON defects answer a structured
+      400 on the connection thread; engine exceptions are caught per
+      request ([Service.run] ferries them back) — nothing a client
+      sends reaches a worker's main loop or the accept loop. *)
+
+module Json = Xl_json.Json
+module Obs = Xl_obs.Obs
+module Pool = Xl_exec.Pool
+module Machine = Xl_core.Machine
+module Scenario = Xl_core.Scenario
+module Teacher = Xl_core.Teacher
+module Stats = Xl_core.Stats
+module Store = Xl_xml.Store
+
+(* ---------- metrics ------------------------------------------------------ *)
+
+let c_requests = Obs.Counter.make "server_requests"
+let c_parse_errors = Obs.Counter.make "server_parse_errors"
+let c_sessions_created = Obs.Counter.make "server_sessions_created"
+let c_active = Obs.Counter.make "server_sessions_active"
+
+(* one histogram per endpoint name — a bounded set, unlike session ids,
+   which therefore tag spans (unbounded dimension) and not metric names *)
+let endpoint_histograms : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let () =
+  List.iter
+    (fun ep ->
+      Hashtbl.replace endpoint_histograms ep
+        (Obs.Histogram.make ("server_us_" ^ ep)))
+    [
+      "health"; "metrics"; "scenarios"; "create"; "list"; "status"; "question";
+      "answer"; "query"; "suspend"; "resume"; "delete"; "shutdown"; "other";
+    ]
+
+let observe_latency endpoint t0 =
+  let ep = if Hashtbl.mem endpoint_histograms endpoint then endpoint else "other" in
+  Obs.Histogram.observe
+    (Hashtbl.find endpoint_histograms ep)
+    ((Obs.now_ns () - t0) / 1000)
+
+(* ---------- sessions ----------------------------------------------------- *)
+
+type sess = {
+  s_id : string;
+  s_key : int;
+  s_ref : string;  (* catalog name, or "upload:…" for uploaded corpora *)
+  s_scenario : Scenario.t;
+  mutable s_machine : Machine.t;
+  mutable s_outcome : Machine.outcome;
+}
+
+type shard = { sh_mutex : Mutex.t; sh_tbl : (string, sess) Hashtbl.t }
+
+let nshards = 16
+
+type t = {
+  socket : string;
+  spool : string;
+  listen_fd : Unix.file_descr;
+  svc : Pool.Service.t;
+  shards : shard array;
+  catalog : (string * Scenario.t) list;
+  uploads_mutex : Mutex.t;
+  uploads : (string, Store.t) Hashtbl.t;
+  stopping : bool Atomic.t;
+  id_counter : int Atomic.t;
+  id_prefix : string;
+}
+
+let socket_path t = t.socket
+let shard_of t id = t.shards.(Hashtbl.hash id land (nshards - 1))
+
+let find_sess t id =
+  let sh = shard_of t id in
+  Mutex.protect sh.sh_mutex (fun () -> Hashtbl.find_opt sh.sh_tbl id)
+
+(* false if the id is already live *)
+let insert_sess t s =
+  let sh = shard_of t s.s_id in
+  Mutex.protect sh.sh_mutex (fun () ->
+      if Hashtbl.mem sh.sh_tbl s.s_id then false
+      else begin
+        Hashtbl.replace sh.sh_tbl s.s_id s;
+        Obs.Counter.incr c_active;
+        true
+      end)
+
+let remove_sess t id =
+  let sh = shard_of t id in
+  Mutex.protect sh.sh_mutex (fun () ->
+      match Hashtbl.find_opt sh.sh_tbl id with
+      | None -> None
+      | Some s ->
+        Hashtbl.remove sh.sh_tbl id;
+        Obs.Counter.add c_active (-1);
+        Some s)
+
+let live_sessions t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.protect sh.sh_mutex (fun () ->
+          Hashtbl.fold (fun id _ l -> id :: l) sh.sh_tbl acc))
+    [] t.shards
+
+(* every machine touch runs on the session's pinned worker, bracketed by
+   the ambient telemetry tag; the request span is recorded there too, so
+   per-session filtering sees the server work and the machine.step spans
+   it caused under one id *)
+let on_worker t (s : sess) ~endpoint ~t0 f =
+  Pool.Service.run t.svc ~key:s.s_key (fun () ->
+      Obs.set_session (Some s.s_id);
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.record_completed ~name:"server.request" ~detail:endpoint
+            ~t0_ns:t0 ();
+          Obs.set_session None)
+        f)
+
+(* ---------- wire codec --------------------------------------------------- *)
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex s =
+  if String.length s mod 2 <> 0 then Error "odd-length hex string"
+  else
+    try
+      Ok
+        (String.init
+           (String.length s / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "bad hex string"
+
+let node_json store n =
+  let uri, dewey = Machine.node_ref store n in
+  Json.Obj
+    [
+      ("uri", Json.str uri);
+      ("dewey", Json.list Json.int dewey);
+      ("symbol", Json.str (Xl_xml.Node.symbol n));
+    ]
+
+let node_of_json store j =
+  match (Json.mem_str "uri" j, Json.mem_list "dewey" j) with
+  | Some uri, Some steps -> (
+    let dewey =
+      List.fold_left
+        (fun acc s ->
+          match (acc, Json.to_int_opt s) with
+          | Some l, Some k -> Some (k :: l)
+          | _ -> None)
+        (Some []) steps
+    in
+    match dewey with
+    | None -> Error "dewey must be an array of integers"
+    | Some rev -> Machine.node_of_ref store ~uri ~dewey:(List.rev rev))
+  | _ -> Error "node needs \"uri\" and \"dewey\""
+
+let context_json store (ctx : Teacher.context) =
+  Json.list
+    (fun (v, n) -> Json.Obj [ ("var", Json.str v); ("node", node_json store n) ])
+    ctx
+
+let question_json store (q : Machine.question) =
+  let open Machine in
+  match q with
+  | Membership { label; context; rel_path; witness } ->
+    Json.Obj
+      [
+        ("kind", Json.str "membership");
+        ("label", Json.str label);
+        ("context", context_json store context);
+        ("rel_path", Json.list Json.str rel_path);
+        ( "witness",
+          match witness with Some n -> node_json store n | None -> Json.Null );
+      ]
+  | Membership_batch { label; context; rel_paths } ->
+    Json.Obj
+      [
+        ("kind", Json.str "membership_batch");
+        ("label", Json.str label);
+        ("context", context_json store context);
+        ("rel_paths", Json.list (Json.list Json.str) rel_paths);
+      ]
+  | Equivalence { label; context; extent } ->
+    Json.Obj
+      [
+        ("kind", Json.str "equivalence");
+        ("label", Json.str label);
+        ("context", context_json store context);
+        ("extent", Json.list (node_json store) extent);
+      ]
+  | Condition_box { label; context; negative_example } ->
+    Json.Obj
+      [
+        ("kind", Json.str "condition_box");
+        ("label", Json.str label);
+        ("context", context_json store context);
+        ( "negative_example",
+          match negative_example with
+          | Some n -> node_json store n
+          | None -> Json.Null );
+      ]
+  | Order_box { label } ->
+    Json.Obj [ ("kind", Json.str "order_box"); ("label", Json.str label) ]
+
+(* the five answer shapes; [Error] is a client mistake, never an
+   exception.  Cond.t has a printer but no parser, so condition-box
+   predicates travel as hex-encoded Marshal blobs — the same opaque-blob
+   treatment the machine snapshot gives them. *)
+let answer_of_json store (j : Json.t) : (Machine.answer, string) result =
+  match j with
+  | Json.Obj _ -> (
+    match
+      ( Json.member "bool" j,
+        Json.member "bools" j,
+        Json.member "eq" j,
+        Json.member "cb" j,
+        Json.member "order" j )
+    with
+    | Some (Json.Bool b), None, None, None, None -> Ok (Machine.Bool b)
+    | None, Some (Json.Arr bs), None, None, None ->
+      List.fold_left
+        (fun acc v ->
+          match (acc, Json.to_bool_opt v) with
+          | Ok l, Some b -> Ok (b :: l)
+          | Ok _, None -> Error "\"bools\" must be an array of booleans"
+          | e, _ -> e)
+        (Ok []) bs
+      |> Result.map (fun rev -> Machine.Bools (List.rev rev))
+    | None, None, Some e, None, None -> (
+      match e with
+      | Json.Str "equal" -> Ok (Machine.Eq Teacher.Equal)
+      | Json.Obj _ -> (
+        match (Json.member "node" e, Json.mem_bool "positive" e) with
+        | Some nj, Some positive ->
+          Result.map
+            (fun node -> Machine.Eq (Teacher.Counter { node; positive }))
+            (node_of_json store nj)
+        | _ -> Error "\"eq\" counterexample needs \"node\" and \"positive\"")
+      | _ -> Error "\"eq\" must be \"equal\" or a counterexample object")
+    | None, None, None, Some cb, None -> (
+      match cb with
+      | Json.Null -> Ok (Machine.Cb None)
+      | Json.Obj _ -> (
+        match
+          ( Json.mem_str "cond_hex" cb,
+            Json.mem_int "terminals" cb,
+            Json.mem_bool "negative" cb )
+        with
+        | Some hex, Some terminals, Some negative -> (
+          match string_of_hex hex with
+          | Error e -> Error ("\"cond_hex\": " ^ e)
+          | Ok blob -> (
+            match (Marshal.from_string blob 0 : Xl_xqtree.Cond.t) with
+            | cond -> Ok (Machine.Cb (Some { Teacher.cond; terminals; negative }))
+            | exception _ -> Error "\"cond_hex\" does not decode to a condition"))
+        | _ -> Error "\"cb\" needs \"cond_hex\", \"terminals\", \"negative\"")
+      | _ -> Error "\"cb\" must be null or an object")
+    | None, None, None, None, Some (Json.Arr keys) ->
+      List.fold_left
+        (fun acc k ->
+          match acc with
+          | Error _ as e -> e
+          | Ok l -> (
+            match (Json.mem_str "path" k, Json.mem_bool "asc" k) with
+            | Some p, Some asc -> (
+              match Xl_xquery.Simple_path.of_string p with
+              | sp -> Ok ((sp, asc) :: l)
+              | exception _ -> Error (Printf.sprintf "bad sort path %S" p))
+            | _ -> Error "\"order\" keys need \"path\" and \"asc\""))
+        (Ok []) keys
+      |> Result.map (fun rev -> Machine.Order (List.rev rev))
+    | _ ->
+      Error
+        "answer must have exactly one of \"bool\", \"bools\", \"eq\", \"cb\", \
+         \"order\" (or \"auto\")")
+  | _ -> Error "answer must be a JSON object"
+
+let phase_string (p : Machine.phase) =
+  match p with
+  | Machine.Dropping -> "dropping"
+  | Machine.Learning l -> "learning:" ^ l
+  | Machine.Verifying -> "verifying"
+  | Machine.Repairing n -> Printf.sprintf "repairing:%d" n
+  | Machine.Finished -> "finished"
+
+let stats_json (st : Stats.t) =
+  match Json.parse (Stats.to_json st) with Ok j -> j | Error _ -> Json.Null
+
+let outcome_fields (s : sess) =
+  let store = s.s_scenario.Scenario.store in
+  let base =
+    [
+      ("id", Json.str s.s_id);
+      ("scenario", Json.str s.s_ref);
+      ("phase", Json.str (phase_string (Machine.phase s.s_machine)));
+      ("steps", Json.int (Machine.steps s.s_machine));
+    ]
+  in
+  match s.s_outcome with
+  | `Ask q -> base @ [ ("question", question_json store q) ]
+  | `Done (r : Xl_core.Learn_types.result) ->
+    base
+    @ [
+        ( "done",
+          Json.Obj
+            [
+              ("verified", Json.Bool r.Xl_core.Learn_types.verified);
+              ("row", Json.str (Stats.to_row r.Xl_core.Learn_types.stats));
+              ("stats", stats_json r.Xl_core.Learn_types.stats);
+              ("query", Json.str r.Xl_core.Learn_types.query_text);
+            ] );
+      ]
+
+(* ---------- session operations (run on the pinned worker) ---------------- *)
+
+let do_auto (s : sess) count =
+  let rec go n =
+    match s.s_outcome with
+    | `Done _ -> ()
+    | `Ask _ when n <= 0 -> ()
+    | `Ask q ->
+      let a = Machine.answer_with (Machine.oracle_teacher s.s_machine) q in
+      let o, m = Machine.step s.s_machine a in
+      s.s_machine <- m;
+      s.s_outcome <- o;
+      go (n - 1)
+  in
+  go count
+
+let do_answer (s : sess) a =
+  let o, m = Machine.step s.s_machine a in
+  s.s_machine <- m;
+  s.s_outcome <- o
+
+(* ---------- spool framing ------------------------------------------------ *)
+
+(* magic, version, id blob, scenario-ref blob, machine-snapshot blob,
+   MD5 trailer — the XLFROZEN / XLMACHIN framing discipline *)
+let spool_magic = "XLSESSON"
+let spool_version = 1
+
+let spool_file t id = Filename.concat t.spool (id ^ ".sess")
+
+let id_ok id =
+  id <> "" && String.length id <= 128
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       id
+  && id.[0] <> '.'
+
+let spool_encode ~id ~scenario_ref ~snapshot =
+  let b = Buffer.create (String.length snapshot + 256) in
+  Buffer.add_string b spool_magic;
+  Buffer.add_int32_le b (Int32.of_int spool_version);
+  let blob s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+  in
+  blob id;
+  blob scenario_ref;
+  blob snapshot;
+  let body = Buffer.contents b in
+  body ^ Digest.string body
+
+let spool_decode data =
+  let len = String.length data in
+  if len < String.length spool_magic + 4 + 16 then Error "spool file truncated"
+  else begin
+    let body = String.sub data 0 (len - 16) in
+    let digest = String.sub data (len - 16) 16 in
+    if not (String.equal (Digest.string body) digest) then
+      Error "spool digest mismatch"
+    else if not (String.equal (String.sub data 0 8) spool_magic) then
+      Error "bad spool magic"
+    else begin
+      let pos = ref 8 in
+      let u32 () =
+        let v = Int32.to_int (String.get_int32_le data !pos) in
+        pos := !pos + 4;
+        v
+      in
+      let version = u32 () in
+      if version <> spool_version then
+        Error (Printf.sprintf "spool version %d, want %d" version spool_version)
+      else begin
+        let blob what =
+          let n = u32 () in
+          if n < 0 || !pos + n > len - 16 then
+            failwith (Printf.sprintf "spool blob %s out of range" what)
+          else begin
+            let s = String.sub data !pos n in
+            pos := !pos + n;
+            s
+          end
+        in
+        match
+          let id = blob "id" in
+          let scenario_ref = blob "scenario" in
+          let snapshot = blob "snapshot" in
+          (id, scenario_ref, snapshot)
+        with
+        | v -> Ok v
+        | exception Failure e -> Error e
+      end
+    end
+  end
+
+(* ---------- scenario resolution ------------------------------------------ *)
+
+let upload_store t ~uri ~xml =
+  let digest = Digest.to_hex (Digest.string xml) in
+  Mutex.protect t.uploads_mutex (fun () ->
+      match Hashtbl.find_opt t.uploads digest with
+      | Some store -> Ok (digest, store)
+      | None -> (
+        match Xl_xml.Xml_parser.parse_doc ~uri xml with
+        | doc ->
+          let store = Store.of_docs [ doc ] in
+          Store.prepare store;
+          Store.set_strict store true;
+          Hashtbl.replace t.uploads digest store;
+          Ok (digest, store)
+        | exception Xl_xml.Xml_parser.Parse_error (msg, _) ->
+          Error (Printf.sprintf "document does not parse: %s" msg)))
+
+(* an uploaded corpus learns a catalog target: same XQ-Tree, same picks,
+   the client's data — "bring your own instance of the schema" *)
+let upload_scenario t body =
+  match (Json.member "document" body, Json.mem_str "target" body) with
+  | Some doc_j, Some target -> (
+    match (Json.mem_str "uri" doc_j, Json.mem_str "xml" doc_j) with
+    | Some uri, Some xml -> (
+      match List.assoc_opt target t.catalog with
+      | None -> Error (Printf.sprintf "unknown target scenario %S" target)
+      | Some base -> (
+        match upload_store t ~uri ~xml with
+        | Error _ as e -> e
+        | Ok (digest, store) -> (
+          let source_dtd =
+            match Json.member "dtd" body with
+            | Some dtd_j -> (
+              match (Json.mem_str "root" dtd_j, Json.mem_str "text" dtd_j) with
+              | Some root, Some text -> (
+                match Xl_schema.Dtd_parser.parse ~root text with
+                | dtd -> Ok (Some dtd)
+                | exception Xl_schema.Dtd_parser.Parse_error (msg, _) ->
+                  Error (Printf.sprintf "DTD does not parse: %s" msg))
+              | _ -> Error "\"dtd\" needs \"root\" and \"text\"")
+            | None -> Ok base.Scenario.source_dtd
+          in
+          match source_dtd with
+          | Error _ as e -> e
+          | Ok source_dtd ->
+            let name =
+              Printf.sprintf "%s@%s" base.Scenario.name (String.sub digest 0 8)
+            in
+            let sc =
+              Scenario.make
+                ~description:("uploaded corpus for " ^ target)
+                ?source_dtd ~picks:base.Scenario.picks
+                ~cb_terminals:base.Scenario.cb_terminals
+                ~extra_explicit:base.Scenario.extra_explicit ~store
+                ~target:base.Scenario.target name
+            in
+            Ok (Printf.sprintf "upload:%s/%s" digest target, sc))))
+    | _ -> Error "\"document\" needs \"uri\" and \"xml\"")
+  | _, None -> Error "upload needs a \"target\" catalog scenario"
+  | None, _ -> Error "create needs \"scenario\" or \"document\"+\"target\""
+
+let resolve_scenario t body =
+  match Json.mem_str "scenario" body with
+  | Some name -> (
+    match List.assoc_opt name t.catalog with
+    | Some sc -> Ok (name, sc)
+    | None -> Error (Printf.sprintf "unknown scenario %S" name))
+  | None -> upload_scenario t body
+
+(* ---------- handlers ----------------------------------------------------- *)
+
+let err status msg = (status, Json.Obj [ ("error", Json.str msg) ])
+let ok fields = (200, Json.Obj fields)
+
+let fresh_id t =
+  Printf.sprintf "%s-%x" t.id_prefix (Atomic.fetch_and_add t.id_counter 1)
+
+let handle_create t ~t0 body =
+  match resolve_scenario t body with
+  | Error e -> err 400 e
+  | Ok (sref, sc) ->
+    let id = fresh_id t in
+    let key = Hashtbl.hash id in
+    let s =
+      Pool.Service.run t.svc ~key (fun () ->
+          Obs.set_session (Some id);
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.record_completed ~name:"server.request" ~detail:"create"
+                ~t0_ns:t0 ();
+              Obs.set_session None)
+            (fun () ->
+              let m = Machine.start sc in
+              {
+                s_id = id;
+                s_key = key;
+                s_ref = sref;
+                s_scenario = sc;
+                s_machine = m;
+                s_outcome = Machine.outcome m;
+              }))
+    in
+    ignore (insert_sess t s);
+    Obs.Counter.incr c_sessions_created;
+    (201, Json.Obj (outcome_fields s))
+
+let with_sess t id f =
+  match find_sess t id with
+  | None -> err 404 (Printf.sprintf "no session %S" id)
+  | Some s -> f s
+
+let handle_answer t ~t0 id body =
+  with_sess t id (fun s ->
+      match s.s_outcome with
+      | `Done _ -> err 409 "session already finished"
+      | `Ask _ -> (
+        let apply =
+          match Json.member "auto" body with
+          | Some (Json.Bool true) -> Ok (fun () -> do_auto s 1)
+          | Some (Json.Num _) -> (
+            match Json.mem_int "auto" body with
+            | Some n when n >= 1 && n <= 10_000 -> Ok (fun () -> do_auto s n)
+            | _ -> Error "\"auto\" must be a count in [1, 10000]")
+          | Some _ -> Error "\"auto\" must be true or a count"
+          | None ->
+            Result.map
+              (fun a () -> do_answer s a)
+              (answer_of_json s.s_scenario.Scenario.store body)
+        in
+        match apply with
+        | Error e -> err 400 e
+        | Ok go -> (
+          match on_worker t s ~endpoint:"answer" ~t0 go with
+          | () -> ok (outcome_fields s)
+          | exception Invalid_argument e -> err 400 e
+          | exception Xl_core.Learn_types.Learning_failed e ->
+            err 500 ("learning failed: " ^ e))))
+
+let handle_question t id =
+  with_sess t id (fun s ->
+      match s.s_outcome with
+      | `Done _ -> err 409 "session already finished"
+      | `Ask q ->
+        ok
+          [
+            ("id", Json.str s.s_id);
+            ("question", question_json s.s_scenario.Scenario.store q);
+          ])
+
+(* the hypothesis: a finished session answers its learned query; a
+   session suspended at an equivalence question answers the extent the
+   learner currently believes in *)
+let handle_query t id =
+  with_sess t id (fun s ->
+      let store = s.s_scenario.Scenario.store in
+      let base =
+        [
+          ("id", Json.str s.s_id);
+          ("phase", Json.str (phase_string (Machine.phase s.s_machine)));
+        ]
+      in
+      match s.s_outcome with
+      | `Done r ->
+        ok
+          (base
+          @ [
+              ("query", Json.str r.Xl_core.Learn_types.query_text);
+              ("verified", Json.Bool r.Xl_core.Learn_types.verified);
+            ])
+      | `Ask (Machine.Equivalence { label; extent; _ }) ->
+        ok
+          (base
+          @ [
+              ("query", Json.Null);
+              ("hypothesis_label", Json.str label);
+              ("hypothesis_extent", Json.list (node_json store) extent);
+            ])
+      | `Ask _ -> ok (base @ [ ("query", Json.Null) ]))
+
+let handle_suspend t ~t0 id =
+  with_sess t id (fun s ->
+      if String.length s.s_ref >= 7 && String.sub s.s_ref 0 7 = "upload:" then
+        err 409 "uploaded-corpus sessions cannot be suspended (no stable scenario reference)"
+      else begin
+        let snap =
+          on_worker t s ~endpoint:"suspend" ~t0 (fun () ->
+              let snap = Machine.snapshot s.s_machine in
+              Machine.abort s.s_machine;
+              snap)
+        in
+        ignore (remove_sess t id);
+        if not (Sys.file_exists t.spool) then Unix.mkdir t.spool 0o755;
+        let data = spool_encode ~id ~scenario_ref:s.s_ref ~snapshot:snap in
+        Out_channel.with_open_bin (spool_file t id) (fun oc ->
+            Out_channel.output_string oc data);
+        ok
+          [
+            ("id", Json.str id);
+            ("suspended", Json.Bool true);
+            ("bytes", Json.int (String.length data));
+          ]
+      end)
+
+let handle_resume t ~t0 body =
+  match Json.mem_str "id" body with
+  | None -> err 400 "resume needs an \"id\""
+  | Some id when not (id_ok id) -> err 400 "bad session id"
+  | Some id -> (
+    if Option.is_some (find_sess t id) then
+      err 409 (Printf.sprintf "session %S is live" id)
+    else begin
+      let path = spool_file t id in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error _ -> err 404 (Printf.sprintf "no suspended session %S" id)
+      | data -> (
+        match spool_decode data with
+        | Error e -> err 400 ("corrupt spool file: " ^ e)
+        | Ok (spool_id, sref, snapshot) -> (
+          if not (String.equal spool_id id) then
+            err 400 "spool file names a different session"
+          else
+            match List.assoc_opt sref t.catalog with
+            | None -> err 400 (Printf.sprintf "scenario %S not in this catalog" sref)
+            | Some sc -> (
+              let key = Hashtbl.hash id in
+              match
+                Pool.Service.run t.svc ~key (fun () ->
+                    Obs.set_session (Some id);
+                    Fun.protect
+                      ~finally:(fun () ->
+                        Obs.record_completed ~name:"server.request"
+                          ~detail:"resume" ~t0_ns:t0 ();
+                        Obs.set_session None)
+                      (fun () -> Machine.restore ~scenario:sc snapshot))
+              with
+              | exception Machine.Corrupt e -> err 400 ("corrupt snapshot: " ^ e)
+              | m ->
+                let s =
+                  {
+                    s_id = id;
+                    s_key = key;
+                    s_ref = sref;
+                    s_scenario = sc;
+                    s_machine = m;
+                    s_outcome = Machine.outcome m;
+                  }
+                in
+                if insert_sess t s then begin
+                  Sys.remove path;
+                  ok (outcome_fields s)
+                end
+                else err 409 (Printf.sprintf "session %S is live" id))))
+    end)
+
+let handle_delete t ~t0 id =
+  match remove_sess t id with
+  | None -> err 404 (Printf.sprintf "no session %S" id)
+  | Some s ->
+    on_worker t s ~endpoint:"delete" ~t0 (fun () -> Machine.abort s.s_machine);
+    ok [ ("id", Json.str id); ("deleted", Json.Bool true) ]
+
+let handle_status t id =
+  with_sess t id (fun s -> ok (outcome_fields s))
+
+let handle_health t =
+  ok
+    [
+      ("ok", Json.Bool true);
+      ("workers", Json.int (Pool.Service.workers t.svc));
+      ("sessions", Json.int (List.length (live_sessions t)));
+    ]
+
+let handle_metrics () =
+  match Json.parse (Obs.telemetry_json ()) with
+  | Ok j -> (200, j)
+  | Error e -> err 500 ("telemetry rendering failed: " ^ e)
+
+let handle_scenarios t =
+  ok [ ("scenarios", Json.list (fun (n, _) -> Json.str n) t.catalog) ]
+
+(* closing the listen fd from another thread does NOT interrupt a
+   blocked accept(2); a throwaway connection does — the loop re-checks
+   the stopping flag after every accept *)
+let request_stop t =
+  Atomic.set t.stopping true;
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | fd ->
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket) with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* ---------- dispatch ----------------------------------------------------- *)
+
+let split_path p =
+  let p =
+    match String.index_opt p '?' with Some i -> String.sub p 0 i | None -> p
+  in
+  List.filter (fun s -> s <> "") (String.split_on_char '/' p)
+
+let parse_body (req : Http.request) =
+  if req.Http.body = "" then Ok (Json.Obj [])
+  else
+    match Json.parse_at req.Http.body with
+    | Ok j -> Ok j
+    | Error (msg, offset) -> Error (msg, offset)
+
+let with_body req f =
+  match parse_body req with
+  | Ok body -> f body
+  | Error (msg, offset) ->
+    ( 400,
+      Json.Obj
+        [
+          ("error", Json.str ("malformed JSON body: " ^ msg));
+          ("offset", Json.int offset);
+        ] )
+
+(* returns (endpoint label for metrics, (status, body)) *)
+let route t ~t0 (req : Http.request) =
+  match (req.Http.meth, split_path req.Http.path) with
+  | "GET", [ "health" ] -> ("health", handle_health t)
+  | "GET", [ "metrics" ] -> ("metrics", handle_metrics ())
+  | "GET", [ "scenarios" ] -> ("scenarios", handle_scenarios t)
+  | "GET", [ "sessions" ] ->
+    ("list", ok [ ("sessions", Json.list Json.str (live_sessions t)) ])
+  | "POST", [ "sessions" ] ->
+    ("create", with_body req (fun b -> handle_create t ~t0 b))
+  | "POST", [ "sessions"; "resume" ] ->
+    ("resume", with_body req (fun b -> handle_resume t ~t0 b))
+  | "GET", [ "sessions"; id ] -> ("status", handle_status t id)
+  | "GET", [ "sessions"; id; "question" ] -> ("question", handle_question t id)
+  | "GET", [ "sessions"; id; "query" ] -> ("query", handle_query t id)
+  | "POST", [ "sessions"; id; "answer" ] ->
+    ("answer", with_body req (fun b -> handle_answer t ~t0 id b))
+  | "POST", [ "sessions"; id; "suspend" ] -> ("suspend", handle_suspend t ~t0 id)
+  | "DELETE", [ "sessions"; id ] -> ("delete", handle_delete t ~t0 id)
+  | "POST", [ "shutdown" ] ->
+    request_stop t;
+    ("shutdown", ok [ ("stopping", Json.Bool true) ])
+  | _, segs ->
+    ( "other",
+      err 404 (Printf.sprintf "no route for %s /%s" req.Http.meth
+                 (String.concat "/" segs)) )
+
+let dispatch t (req : Http.request) =
+  let t0 = Obs.now_ns () in
+  Obs.Counter.incr c_requests;
+  let endpoint, response =
+    match route t ~t0 req with
+    | v -> v
+    | exception Xl_core.Learn_types.Learning_failed e ->
+      ("other", err 500 ("learning failed: " ^ e))
+    | exception Machine.Corrupt e -> ("other", err 400 ("corrupt: " ^ e))
+    | exception Invalid_argument e -> ("other", err 400 e)
+    | exception e ->
+      ("other", err 500 ("internal error: " ^ Printexc.to_string e))
+  in
+  observe_latency endpoint t0;
+  response
+
+(* ---------- connection + accept loops ------------------------------------ *)
+
+let handle_conn t fd =
+  let reader = Http.reader fd in
+  let rec loop () =
+    match Http.read_request reader with
+    | None -> ()
+    | Some req ->
+      let status, body = dispatch t req in
+      Http.write_response fd ~status (Json.to_string body);
+      loop ()
+    | exception Http.Parse_error { Http.offset; msg } ->
+      (* framing is lost after a malformed request: answer and close *)
+      Obs.Counter.incr c_parse_errors;
+      Http.write_response fd ~status:400
+        (Json.to_string
+           (Json.Obj
+              [
+                ("error", Json.str ("malformed request: " ^ msg));
+                ("offset", Json.int offset);
+              ]))
+    | exception Unix.Unix_error _ -> ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let create ?workers ?spool ~socket () =
+  let tag suite l = List.map (fun (n, sc) -> (suite ^ "/" ^ n, sc)) l in
+  let catalog =
+    tag "xmark" (Xl_workload.Xmark_scenarios.all ())
+    @ tag "xmp" (Xl_workload.Xmp_scenarios.all ())
+    @ tag "sgml" (Xl_workload.Sgml_scenarios.all ())
+  in
+  (* one prepared, strict store per suite, shared read-only by every
+     session — Pool's confinement rule, applied before any fan-out *)
+  List.iter
+    (fun (_, sc) ->
+      Store.prepare sc.Scenario.store;
+      Store.set_strict sc.Scenario.store true)
+    catalog;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 128;
+  {
+    socket;
+    spool = (match spool with Some s -> s | None -> socket ^ ".spool");
+    listen_fd;
+    svc = Pool.Service.start ?workers ();
+    shards =
+      Array.init nshards (fun _ ->
+          { sh_mutex = Mutex.create (); sh_tbl = Hashtbl.create 64 });
+    catalog;
+    uploads_mutex = Mutex.create ();
+    uploads = Hashtbl.create 8;
+    stopping = Atomic.make false;
+    id_counter = Atomic.make 0;
+    id_prefix = Printf.sprintf "s%x" (int_of_float (Unix.time ()) land 0xffffff);
+  }
+
+let serve t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        ignore (Thread.create (fun () -> handle_conn t fd) ());
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) ->
+        (* listen fd closed by shutdown or fatal accept error: stop *)
+        Atomic.set t.stopping true
+    end
+  in
+  loop ();
+  Pool.Service.stop t.svc;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.socket with Unix.Unix_error _ -> ()
+
+let shutdown t = request_stop t

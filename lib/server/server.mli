@@ -1,0 +1,63 @@
+(** Learning-as-a-service: concurrent interactive sessions over a Unix
+    socket.
+
+    The paper's workflow is one user answering one question at a time
+    while the learner holds state; this server hosts many of those
+    dialogues at once.  Protocol: HTTP/1.1 + JSON ({!Http},
+    {!Xl_json.Json}).  Endpoints:
+
+    - [GET /health], [GET /metrics], [GET /scenarios]
+    - [POST /sessions] — create from a catalog scenario
+      [{"scenario":"xmark/Q1"}] or an uploaded corpus
+      [{"document":{"uri":u,"xml":x},"dtd":{"root":r,"text":t},
+        "target":"xmark/Q1"}]
+    - [GET /sessions/ID] / [GET /sessions/ID/question] — status /
+      pending question
+    - [POST /sessions/ID/answer] — one of the five machine answer
+      shapes ([{"bool":b}], [{"bools":[…]}], [{"eq":…}], [{"cb":…}],
+      [{"order":[…]}]) or [{"auto":n}] to let the server's simulated
+      oracle answer the next [n] questions
+    - [GET /sessions/ID/query] — the hypothesis: the learned query once
+      finished, the pending equivalence extent while learning
+    - [POST /sessions/ID/suspend] / [POST /sessions/resume] — persist a
+      [Machine.snapshot] under ["XLSESSON"] framing in the spool
+      directory and bring it back, across server restarts
+    - [DELETE /sessions/ID], [POST /shutdown]
+
+    Concurrency: the accept loop hands each connection to a sys-thread;
+    every touch of a session's machine is executed by
+    [Xl_exec.Pool.Service.run], keyed by the session id's hash, so one
+    session's effect continuations and telemetry tag stay on one worker
+    domain while different sessions run in parallel.  Sessions live in
+    a mutex-striped table; catalog stores are prepared once and shared
+    read-only by every session of the same corpus, and uploaded
+    documents are deduplicated by content digest.  Malformed requests
+    (HTTP framing or JSON bodies) answer 400 with
+    [{"error":…,"offset":…}] and never kill the accept loop or a
+    worker. *)
+
+type t
+
+val create : ?workers:int -> ?spool:string -> socket:string -> unit -> t
+(** Build the scenario catalog (XMark, XMP and SGML Figure-16 suites,
+    stores prepared), start the worker service, bind and listen on
+    [socket] (an existing socket file is replaced).  [spool] is the
+    suspend/resume directory, default [socket ^ ".spool"].  [workers]
+    defaults to [Pool.default_jobs ()]. *)
+
+val serve : t -> unit
+(** Run the accept loop in the calling thread until {!shutdown} (or
+    [POST /shutdown]).  In-process embedders run it in a [Thread]. *)
+
+val shutdown : t -> unit
+(** Stop accepting, wake the loop, drain the worker service.  Live
+    sessions are dropped (suspend first to keep them). *)
+
+val socket_path : t -> string
+
+val hex_of_string : string -> string
+val string_of_hex : string -> (string, string) result
+(** The hex codec condition-box predicates travel in ([{"cb":
+    {"cond_hex":…}}] carries a hex-encoded [Marshal] blob of the
+    [Cond.t]) — exported so clients build answers with the same
+    encoding the server decodes. *)

@@ -192,6 +192,91 @@ let test_suspend_resume () =
   (* one deeper run: xmark Q7 asks 17 questions *)
   check_suspend_resume ~what:"xmark-Q7" 7 (fig16_scenario "xmark-Q7")
 
+(* ---------- concurrent sessions on one worker service ------------------- *)
+
+(* The session server's execution model, without the HTTP layer: N
+   machines live at once on one [Pool.Service], each pinned to a worker
+   by key, stepped in an interleaved round-robin until it reaches an
+   Equivalence question, and snapshotted right there on its worker.
+   Every snapshot is then restored against an INDEPENDENTLY REBUILT
+   scenario (fresh stores — only the snapshot bytes and (uri, dewey)
+   node identities cross, exactly what a fresh process would have) on a
+   second service under a different key, and finished.  Rows, mq and
+   auto_known must be byte-identical to the uninterrupted references. *)
+let test_concurrent_snapshot_mid_eq () =
+  let module Service = Pool.Service in
+  let pick = [ "Q1"; "Q3"; "Q7"; "Q8"; "Q13" ] in
+  let scenarios () =
+    prepare
+      (List.filter
+         (fun (n, _) -> List.mem n pick)
+         (Xl_workload.Xmark_scenarios.all ()))
+  in
+  let batch = scenarios () in
+  let refs =
+    List.map (fun (name, sc) -> (name, fst (record (M.start sc)))) batch
+  in
+  let svc = Service.start ~workers:2 () in
+  let snaps = Hashtbl.create 8 in
+  (* start every machine on its pinned worker; its teacher must be
+     created there too (both hold domain-confined state) *)
+  let sessions =
+    List.mapi
+      (fun i (name, sc) ->
+        let m, teacher =
+          Service.run svc ~key:i (fun () ->
+              let m = M.start sc in
+              (m, M.oracle_teacher m))
+        in
+        (i, name, ref m, teacher))
+      batch
+  in
+  let rec interleave pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      interleave
+        (List.filter
+           (fun (i, name, mref, teacher) ->
+             Service.run svc ~key:i (fun () ->
+                 match M.outcome !mref with
+                 | `Done _ ->
+                   Alcotest.failf
+                     "%s finished before any equivalence question" name
+                 | `Ask (M.Equivalence _) ->
+                   Hashtbl.replace snaps name (M.snapshot !mref, M.steps !mref);
+                   M.abort !mref;
+                   false
+                 | `Ask q ->
+                   mref := snd (M.step !mref (M.answer_with teacher q));
+                   true))
+           pending)
+  in
+  interleave sessions;
+  Service.stop svc;
+  Alcotest.(check int)
+    "every session snapshotted mid-EQ" (List.length batch) (Hashtbl.length snaps);
+  (* restore leg: fresh stores, fresh service, shuffled keys *)
+  let svc2 = Service.start ~workers:2 () in
+  let fresh = scenarios () in
+  List.iteri
+    (fun i (name, _) ->
+      let snap, steps_at = Hashtbl.find snaps name in
+      let scenario = List.assoc name fresh in
+      let r =
+        Service.run svc2 ~key:(i + 1) (fun () ->
+            let m = M.restore ~scenario snap in
+            (match M.outcome m with
+            | `Ask (M.Equivalence _) -> ()
+            | _ -> Alcotest.failf "%s did not restore at its equivalence" name);
+            Alcotest.(check int) (name ^ ": restored step") steps_at (M.steps m);
+            M.drive ~teacher:(M.oracle_teacher m) m)
+      in
+      check_result ~what:(name ^ " restored mid-EQ on the service")
+        (List.assoc name refs) r)
+    batch;
+  Service.stop svc2
+
 (* ---------- corruption -------------------------------------------------- *)
 
 (* A snapshot with any single byte flipped must be rejected with
@@ -328,6 +413,9 @@ let () =
         [
           Alcotest.test_case "snapshot at every k-th Ask, k in {1,3,7}" `Slow
             test_suspend_resume;
+          Alcotest.test_case
+            "N interleaved sessions snapshotted mid-EQ on one service" `Slow
+            test_concurrent_snapshot_mid_eq;
           Alcotest.test_case "single-byte flips and truncations raise Corrupt"
             `Quick test_corrupt_byte_flips;
           Alcotest.test_case "resuming mid-repair finishes the same sweep"

@@ -1,0 +1,471 @@
+(* lib/server end-to-end over a real Unix socket: one in-process server
+   instance shared by every case, exercised through Xl_server.Client
+   (actual HTTP/1.1 + JSON on the wire):
+
+   - health/scenarios: the catalog is served;
+   - auto parity: sessions driven by [{"auto":n}] report the same
+     interaction row, stats JSON and verified flag as a synchronous
+     Learn.run on an independently built scenario;
+   - explicit answers: a local mirror machine computes every answer
+     with its own oracle teacher, the test encodes it into the wire
+     shapes ({"bool"}, {"bools"}, {"eq"}, {"cb" with cond_hex},
+     {"order"}) and posts it — the server-side machine must ask the
+     same question stream and finish with the same row;
+   - suspend/resume: a session survives the spool round trip and still
+     verifies; uploaded-corpus sessions refuse to suspend (409);
+   - uploads: a serialized copy of a catalog document uploaded as a
+     fresh corpus learns its target and verifies;
+   - fault injection: garbage request lines, oversized framing and
+     malformed JSON bodies answer 400 with a structured
+     {"error","offset"} object and never kill the accept loop —
+     the next request on a fresh connection succeeds. *)
+
+module Server = Xl_server.Server
+module Client = Xl_server.Client
+module Json = Xl_json.Json
+module M = Xl_core.Machine
+module Learn = Xl_core.Learn
+module Stats = Xl_core.Stats
+module Scenario = Xl_core.Scenario
+module Teacher = Xl_core.Teacher
+module Store = Xl_xml.Store
+
+let socket =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xlearner-test-%d.sock" (Unix.getpid ()))
+
+let spool = socket ^ ".spool"
+
+(* one server for the whole binary; torn down by the last case (and by
+   process exit — the at_exit below sweeps the socket and spool) *)
+let server =
+  lazy
+    (let t = Server.create ~workers:2 ~spool ~socket () in
+     let th = Thread.create Server.serve t in
+     (t, th))
+
+let () =
+  at_exit (fun () ->
+      (try Sys.remove socket with Sys_error _ -> ());
+      (try
+         Array.iter
+           (fun f -> Sys.remove (Filename.concat spool f))
+           (Sys.readdir spool)
+       with Sys_error _ -> ());
+      try Unix.rmdir spool with Unix.Unix_error _ -> ())
+
+let connect () =
+  ignore (Lazy.force server);
+  Client.connect socket
+
+(* request that must succeed; Alcotest-fails with the error body *)
+let req c meth path ?body () =
+  let status, j = Client.request c ~meth ~path ?body () in
+  if status >= 400 then
+    Alcotest.failf "%s %s -> %d: %s" meth path status (Json.to_string j);
+  j
+
+let get_str name j =
+  match Json.mem_str name j with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string j)
+
+let auto n = Json.Obj [ ("auto", Json.int n) ]
+
+let drive c id first =
+  let rec go j =
+    match Json.member "done" j with
+    | Some d -> d
+    | None ->
+      go (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 10_000) ())
+  in
+  go first
+
+(* fresh local scenarios, independent of the server's catalog builds *)
+let local_scenario name =
+  let prefixed tag scenarios =
+    List.map (fun (n, sc) -> (tag ^ "/" ^ n, sc)) scenarios
+  in
+  let all =
+    prefixed "xmark" (Xl_workload.Xmark_scenarios.all ())
+    @ prefixed "xmp" (Xl_workload.Xmp_scenarios.all ())
+  in
+  let sc = List.assoc name all in
+  Store.prepare sc.Scenario.store;
+  Store.set_strict sc.Scenario.store true;
+  sc
+
+(* ---------- health + catalog -------------------------------------------- *)
+
+let test_health () =
+  let c = connect () in
+  let h = req c "GET" "/health" () in
+  Alcotest.(check (option bool)) "ok" (Some true) (Json.mem_bool "ok" h);
+  let scenarios = req c "GET" "/scenarios" () in
+  let names =
+    match Json.mem_list "scenarios" scenarios with
+    | Some l -> List.filter_map Json.to_string_opt l
+    | None -> []
+  in
+  Alcotest.(check bool) "catalog has xmark/Q1" true (List.mem "xmark/Q1" names);
+  Alcotest.(check bool) "catalog has xmp/Q1" true (List.mem "xmp/Q1" names);
+  Client.close c
+
+(* ---------- auto-driven parity ------------------------------------------- *)
+
+let test_auto_parity () =
+  let c = connect () in
+  List.iter
+    (fun name ->
+      let local = Learn.run (local_scenario name) in
+      let j =
+        req c "POST" "/sessions" ~body:(Json.Obj [ ("scenario", Json.Str name) ]) ()
+      in
+      let id = get_str "id" j in
+      let d = drive c id j in
+      Alcotest.(check string)
+        (name ^ ": interaction row")
+        (Stats.to_row local.Learn.stats)
+        (get_str "row" d);
+      let local_stats =
+        match Json.parse (Stats.to_json local.Learn.stats) with
+        | Ok j -> Json.to_string j
+        | Error e -> Alcotest.failf "local stats unparseable: %s" e
+      in
+      let server_stats =
+        match Json.member "stats" d with
+        | Some s -> Json.to_string s
+        | None -> "missing"
+      in
+      Alcotest.(check string) (name ^ ": stats JSON") local_stats server_stats;
+      Alcotest.(check (option bool))
+        (name ^ ": verified")
+        (Some local.Learn.verified)
+        (Json.mem_bool "verified" d);
+      ignore (req c "DELETE" ("/sessions/" ^ id) ()))
+    [ "xmp/Q1"; "xmark/Q3" ];
+  Client.close c
+
+(* ---------- explicit answers through the wire codec ---------------------- *)
+
+let answer_json store (a : M.answer) : string * Json.t =
+  match a with
+  | M.Bool b -> ("bool", Json.Obj [ ("bool", Json.Bool b) ])
+  | M.Bools bs ->
+    ("bools", Json.Obj [ ("bools", Json.list (fun b -> Json.Bool b) bs) ])
+  | M.Eq Teacher.Equal -> ("eq", Json.Obj [ ("eq", Json.Str "equal") ])
+  | M.Eq (Teacher.Counter { node; positive }) ->
+    let uri, dewey = M.node_ref store node in
+    ( "eq",
+      Json.Obj
+        [
+          ( "eq",
+            Json.Obj
+              [
+                ( "node",
+                  Json.Obj
+                    [
+                      ("uri", Json.str uri); ("dewey", Json.list Json.int dewey);
+                    ] );
+                ("positive", Json.Bool positive);
+              ] );
+        ] )
+  | M.Cb None -> ("cb", Json.Obj [ ("cb", Json.Null) ])
+  | M.Cb (Some { Teacher.cond; terminals; negative }) ->
+    ( "cb",
+      Json.Obj
+        [
+          ( "cb",
+            Json.Obj
+              [
+                ( "cond_hex",
+                  Json.str (Server.hex_of_string (Marshal.to_string cond [])) );
+                ("terminals", Json.int terminals);
+                ("negative", Json.Bool negative);
+              ] );
+        ] )
+  | M.Order keys ->
+    ( "order",
+      Json.Obj
+        [
+          ( "order",
+            Json.list
+              (fun (sp, asc) ->
+                Json.Obj
+                  [
+                    ("path", Json.str (Xl_xquery.Simple_path.to_string sp));
+                    ("asc", Json.Bool asc);
+                  ])
+              keys );
+        ] )
+
+let question_kind (q : M.question) =
+  match q with
+  | M.Membership _ -> "membership"
+  | M.Membership_batch _ -> "membership_batch"
+  | M.Equivalence _ -> "equivalence"
+  | M.Condition_box _ -> "condition_box"
+  | M.Order_box _ -> "order_box"
+
+(* Drive a server session with answers a local mirror machine computes:
+   the mirror's oracle teacher answers each question, the answer goes
+   over the wire, and the mirror steps with the same answer — so the
+   two machines must ask the same question stream and land on the same
+   row.  Returns the set of answer shapes that crossed the wire. *)
+let mirror_session c name shapes =
+  let sc = local_scenario name in
+  let reference = Learn.run (local_scenario name) in
+  let m0 = M.start sc in
+  let teacher = M.oracle_teacher m0 in
+  let j =
+    req c "POST" "/sessions" ~body:(Json.Obj [ ("scenario", Json.Str name) ]) ()
+  in
+  let id = get_str "id" j in
+  let rec go m j =
+    match (M.outcome m, Json.member "done" j) with
+    | `Done r, Some d ->
+      Alcotest.(check string)
+        (name ^ ": mirrored row")
+        (Stats.to_row r.Learn.stats) (get_str "row" d);
+      Alcotest.(check string)
+        (name ^ ": row matches uninterrupted run")
+        (Stats.to_row reference.Learn.stats)
+        (get_str "row" d);
+      Alcotest.(check (option bool))
+        (name ^ ": verified")
+        (Some true)
+        (Json.mem_bool "verified" d)
+    | `Done _, None ->
+      Alcotest.failf "%s: mirror finished but the server still asks" name
+    | `Ask _, Some _ ->
+      Alcotest.failf "%s: server finished but the mirror still asks" name
+    | `Ask q, None ->
+      let server_kind =
+        match Json.member "question" j with
+        | Some qj -> Option.value ~default:"?" (Json.mem_str "kind" qj)
+        | None -> "missing"
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: question kind at step %d" name (M.steps m))
+        (question_kind q) server_kind;
+      let a = M.answer_with teacher q in
+      let shape, body = answer_json sc.Scenario.store a in
+      Hashtbl.replace shapes shape ();
+      let j' = req c "POST" ("/sessions/" ^ id ^ "/answer") ~body () in
+      go (snd (M.step m a)) j'
+  in
+  go m0 j;
+  ignore (req c "DELETE" ("/sessions/" ^ id) ())
+
+let test_explicit_answers () =
+  let c = connect () in
+  let shapes = Hashtbl.create 8 in
+  (* xmark/Q12 asks condition and order boxes, xmark/Q7 a counterexample
+     equivalence, xmp/Q1 plain membership *)
+  List.iter
+    (fun name -> mirror_session c name shapes)
+    [ "xmp/Q1"; "xmark/Q7"; "xmark/Q12" ];
+  List.iter
+    (fun shape ->
+      Alcotest.(check bool)
+        (Printf.sprintf "answer shape %S crossed the wire" shape)
+        true (Hashtbl.mem shapes shape))
+    [ "eq"; "cb"; "order" ];
+  Alcotest.(check bool) "a membership answer crossed the wire" true
+    (Hashtbl.mem shapes "bool" || Hashtbl.mem shapes "bools");
+  Client.close c
+
+(* ---------- suspend / resume --------------------------------------------- *)
+
+let test_suspend_resume () =
+  let c = connect () in
+  let name = "xmark/Q8" in
+  let local = Learn.run (local_scenario name) in
+  let j =
+    req c "POST" "/sessions" ~body:(Json.Obj [ ("scenario", Json.Str name) ]) ()
+  in
+  let id = get_str "id" j in
+  ignore (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 2) ());
+  let s = req c "POST" ("/sessions/" ^ id ^ "/suspend") () in
+  Alcotest.(check (option bool)) "suspended" (Some true)
+    (Json.mem_bool "suspended" s);
+  (* suspended sessions are gone from the live table *)
+  let status, _ = Client.request c ~meth:"GET" ~path:("/sessions/" ^ id) () in
+  Alcotest.(check int) "suspended session is 404" 404 status;
+  let r =
+    req c "POST" "/sessions/resume" ~body:(Json.Obj [ ("id", Json.Str id) ]) ()
+  in
+  Alcotest.(check (option string)) "resume keeps the id" (Some id)
+    (Json.mem_str "id" r);
+  let d = drive c id (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 1) ()) in
+  Alcotest.(check string) "row after the spool round trip"
+    (Stats.to_row local.Learn.stats)
+    (get_str "row" d);
+  Alcotest.(check (option bool)) "verified after resume" (Some true)
+    (Json.mem_bool "verified" d);
+  ignore (req c "DELETE" ("/sessions/" ^ id) ());
+  Client.close c
+
+(* ---------- uploaded corpus ----------------------------------------------- *)
+
+let test_upload () =
+  let c = connect () in
+  let target = "xmp/Q1" in
+  let sc = local_scenario target in
+  let doc = List.hd (Store.docs sc.Scenario.store) in
+  let xml = Xl_xml.Serialize.node_to_string (Xl_xml.Doc.root doc) in
+  let j =
+    req c "POST" "/sessions"
+      ~body:
+        (Json.Obj
+           [
+             ( "document",
+               Json.Obj
+                 [ ("uri", Json.str "uploaded.xml"); ("xml", Json.str xml) ] );
+             ("target", Json.str target);
+           ])
+      ()
+  in
+  let id = get_str "id" j in
+  let sref = get_str "scenario" j in
+  Alcotest.(check bool) "upload ref is tagged" true
+    (String.length sref > 7 && String.equal (String.sub sref 0 7) "upload:");
+  (* no stable scenario reference — suspend must refuse *)
+  let status, _ =
+    Client.request c ~meth:"POST" ~path:("/sessions/" ^ id ^ "/suspend") ()
+  in
+  Alcotest.(check int) "uploads refuse to suspend" 409 status;
+  let d = drive c id j in
+  Alcotest.(check (option bool)) "uploaded corpus verifies" (Some true)
+    (Json.mem_bool "verified" d);
+  ignore (req c "DELETE" ("/sessions/" ^ id) ());
+  Client.close c
+
+(* ---------- fault injection ----------------------------------------------- *)
+
+let status_of_raw raw =
+  match String.split_on_char ' ' raw with
+  | _ :: code :: _ -> int_of_string_opt code
+  | _ -> None
+
+let check_alive () =
+  let c = connect () in
+  let h = req c "GET" "/health" () in
+  Alcotest.(check (option bool)) "server alive after fault" (Some true)
+    (Json.mem_bool "ok" h);
+  Client.close c
+
+let test_fault_injection () =
+  (* a garbage request line *)
+  let c = connect () in
+  let raw = Client.request_raw c "GARBAGE\r\n\r\n" in
+  Alcotest.(check (option int)) "garbage line -> 400" (Some 400)
+    (status_of_raw raw);
+  Client.close c;
+  check_alive ();
+  (* an oversized request line (the 8 KiB framing limit) *)
+  let c = connect () in
+  let raw =
+    Client.request_raw c ("GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check (option int)) "oversized line -> 400" (Some 400)
+    (status_of_raw raw);
+  Client.close c;
+  check_alive ();
+  (* well-framed request, malformed JSON body: the 400 carries the
+     parser's byte offset *)
+  let c = connect () in
+  let body = "{\"scenario\" " in
+  let raw =
+    Client.request_raw c
+      (Printf.sprintf
+         "POST /sessions HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+         (String.length body) body)
+  in
+  Alcotest.(check (option int)) "malformed JSON -> 400" (Some 400)
+    (status_of_raw raw);
+  (match String.index_opt raw '{' with
+  | None -> Alcotest.fail "400 body is not JSON"
+  | Some i -> (
+    match Json.parse (String.sub raw i (String.length raw - i)) with
+    | Error e -> Alcotest.failf "400 body is not JSON: %s" e
+    | Ok j ->
+      Alcotest.(check bool) "error body has a message" true
+        (Json.mem_str "error" j <> None);
+      Alcotest.(check bool) "error body has an offset" true
+        (Json.mem_int "offset" j <> None)));
+  Client.close c;
+  check_alive ();
+  (* structured client mistakes on healthy connections *)
+  let c = connect () in
+  let status, _ =
+    Client.request c ~meth:"POST" ~path:"/sessions"
+      ~body:(Json.Obj [ ("scenario", Json.Str "no/such") ])
+      ()
+  in
+  Alcotest.(check int) "unknown scenario -> 400" 400 status;
+  let status, _ =
+    Client.request c ~meth:"POST" ~path:"/sessions/nope/answer"
+      ~body:(Json.Obj [ ("bool", Json.Bool true) ])
+      ()
+  in
+  Alcotest.(check int) "unknown session -> 404" 404 status;
+  let j =
+    req c "POST" "/sessions" ~body:(Json.Obj [ ("scenario", Json.Str "xmp/Q1") ]) ()
+  in
+  let id = get_str "id" j in
+  let status, _ =
+    Client.request c ~meth:"POST" ~path:("/sessions/" ^ id ^ "/answer")
+      ~body:(Json.Obj [ ("bool", Json.Num 42.) ])
+      ()
+  in
+  Alcotest.(check int) "mis-shaped answer -> 400" 400 status;
+  (* the rejected answer left the session usable *)
+  let d = drive c id (req c "POST" ("/sessions/" ^ id ^ "/answer") ~body:(auto 1) ()) in
+  Alcotest.(check (option bool)) "session survives a rejected answer"
+    (Some true)
+    (Json.mem_bool "verified" d);
+  ignore (req c "DELETE" ("/sessions/" ^ id) ());
+  Client.close c
+
+(* ---------- teardown ------------------------------------------------------ *)
+
+let test_shutdown () =
+  let t, th = Lazy.force server in
+  let c = Client.connect socket in
+  let j = req c "POST" "/shutdown" () in
+  Alcotest.(check (option bool)) "stopping" (Some true)
+    (Json.mem_bool "stopping" j);
+  Client.close c;
+  Thread.join th;
+  ignore t;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "health and catalog" `Quick test_health;
+          Alcotest.test_case "auto-driven sessions match Learn.run" `Slow
+            test_auto_parity;
+          Alcotest.test_case "explicit answers via the JSON codec" `Slow
+            test_explicit_answers;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "suspend/resume through the spool" `Quick
+            test_suspend_resume;
+          Alcotest.test_case "uploaded corpus learns its target" `Quick
+            test_upload;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "malformed requests answer 400, server survives"
+            `Quick test_fault_injection;
+        ] );
+      ( "teardown",
+        [ Alcotest.test_case "shutdown exits the accept loop" `Quick test_shutdown ] );
+    ]
