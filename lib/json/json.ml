@@ -259,9 +259,11 @@ let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 let to_string_opt = function Str s -> Some s | _ -> None
 let to_float_opt = function Num f -> Some f | _ -> None
 
+(* exactly-representable integers only: non-integral and non-finite
+   numbers are a wire error, not something to round away *)
 let to_int_opt = function
-  | Num f when Float.is_integer f -> Some (int_of_float f)
-  | Num f -> Some (int_of_float (Float.round f))
+  | Num f when Float.is_integer f && Float.abs f <= 9007199254740992. ->
+    Some (int_of_float f)
   | _ -> None
 
 let to_bool_opt = function Bool b -> Some b | _ -> None

@@ -58,7 +58,9 @@ val member : string -> t -> t option
 val to_string_opt : t -> string option
 val to_float_opt : t -> float option
 val to_int_opt : t -> int option
-(** Numbers round to the nearest integer. *)
+(** [None] unless the number is an exactly-representable integer
+    (integral, finite, magnitude ≤ 2{^53}) — fractional values are
+    rejected, not rounded. *)
 
 val to_bool_opt : t -> bool option
 val to_list_opt : t -> t list option

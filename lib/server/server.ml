@@ -23,6 +23,11 @@ module Scenario = Xl_core.Scenario
 module Teacher = Xl_core.Teacher
 module Stats = Xl_core.Stats
 module Store = Xl_xml.Store
+module Ast = Xl_xquery.Ast
+module Value = Xl_xquery.Value
+module Simple_path = Xl_xquery.Simple_path
+module Path_expr = Xl_xquery.Path_expr
+module Cond = Xl_xqtree.Cond
 
 (* ---------- metrics ------------------------------------------------------ *)
 
@@ -58,9 +63,20 @@ type sess = {
   s_key : int;
   s_ref : string;  (* catalog name, or "upload:…" for uploaded corpora *)
   s_scenario : Scenario.t;
+  s_mutex : Mutex.t;
+      (* guards s_machine/s_outcome: written on the pinned worker, read
+         by any connection thread — reads must see a consistent pair *)
   mutable s_machine : Machine.t;
   mutable s_outcome : Machine.outcome;
 }
+
+(* a consistent (machine, outcome) pair for connection-thread readers *)
+let sess_view s = Mutex.protect s.s_mutex (fun () -> (s.s_machine, s.s_outcome))
+
+let sess_set s o m =
+  Mutex.protect s.s_mutex (fun () ->
+      s.s_machine <- m;
+      s.s_outcome <- o)
 
 type shard = { sh_mutex : Mutex.t; sh_tbl : (string, sess) Hashtbl.t }
 
@@ -131,20 +147,240 @@ let on_worker t (s : sess) ~endpoint ~t0 f =
 
 (* ---------- wire codec --------------------------------------------------- *)
 
-let hex_of_string s =
-  let b = Buffer.create (2 * String.length s) in
-  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
-  Buffer.contents b
+(* Condition-box predicates cross the wire structurally: one tag key per
+   [Cond.t] constructor, paths and comparison operators in their textual
+   forms, free-form [Expr] predicates as XQuery text for
+   {!Xl_xquery.Parser}.  Never [Marshal]: unmarshalling bytes a client
+   chose is neither type- nor memory-safe, and a crafted blob would
+   crash the process past every exception handler — the one defect the
+   fault-containment invariant above cannot absorb. *)
 
-let string_of_hex s =
-  if String.length s mod 2 <> 0 then Error "odd-length hex string"
-  else
-    try
-      Ok
-        (String.init
-           (String.length s / 2)
-           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
-    with _ -> Error "bad hex string"
+let cmp_of_string = function
+  | "=" -> Some Ast.Eq
+  | "!=" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | "is" -> Some Ast.Is
+  | _ -> None
+
+(* atoms are exactly the JSON scalars, so they map 1:1 *)
+let atom_json = function
+  | Value.Str s -> Json.Str s
+  | Value.Num f -> Json.Num f
+  | Value.Bool b -> Json.Bool b
+
+let atom_of_json = function
+  | Json.Str s -> Ok (Value.Str s)
+  | Json.Num f -> Ok (Value.Num f)
+  | Json.Bool b -> Ok (Value.Bool b)
+  | _ -> Error "constant must be a JSON string, number or boolean"
+
+let ep_json (e : Cond.endpoint) =
+  Json.Obj
+    [
+      ("var", Json.str e.Cond.var);
+      ("path", Json.str (Simple_path.to_string e.Cond.path));
+    ]
+
+let ep_of_json j =
+  match (Json.mem_str "var" j, Json.mem_str "path" j) with
+  | Some var, Some p -> (
+    match Simple_path.of_string p with
+    | path -> Ok (Cond.ep ~path var)
+    | exception Invalid_argument e -> Error e)
+  | _ -> Error "endpoint needs \"var\" and \"path\""
+
+let simple_path_of_json what j =
+  match Json.to_string_opt j with
+  | None -> Error (what ^ " must be a string path")
+  | Some p -> (
+    match Simple_path.of_string p with
+    | path -> Ok path
+    | exception Invalid_argument e -> Error e)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs -> (
+    match f x with
+    | Error _ as e -> e
+    | Ok y -> Result.map (fun ys -> y :: ys) (map_result f xs))
+
+let op_field op = ("op", Json.str (Xl_xquery.Printer.cmp_to_string op))
+
+let op_of_json j =
+  match Option.bind (Json.mem_str "op" j) cmp_of_string with
+  | Some op -> Ok op
+  | None -> Error "\"op\" must be one of =, !=, <, <=, >, >=, is"
+
+let rec cond_json (c : Cond.t) : Json.t =
+  match c with
+  | Cond.Join (a, b) -> Json.Obj [ ("join", Json.Arr [ ep_json a; ep_json b ]) ]
+  | Cond.Value (e, op, atom) ->
+    Json.Obj
+      [
+        ( "value",
+          Json.Obj [ ("ep", ep_json e); op_field op; ("const", atom_json atom) ]
+        );
+      ]
+  | Cond.Func_cmp (fn, e, op, atom) ->
+    Json.Obj
+      [
+        ( "func_cmp",
+          Json.Obj
+            [
+              ("fn", Json.str fn);
+              ("ep", ep_json e);
+              op_field op;
+              ("const", atom_json atom);
+            ] );
+      ]
+  | Cond.Expr e ->
+    Json.Obj [ ("expr", Json.str (Xl_xquery.Printer.to_string e)) ]
+  | Cond.Neg c -> Json.Obj [ ("neg", cond_json c) ]
+  | Cond.Relay r ->
+    Json.Obj
+      [
+        ( "relay",
+          Json.Obj
+            [
+              ("var", Json.str r.Cond.relay_var);
+              ( "doc",
+                match r.Cond.relay_doc with
+                | Some d -> Json.str d
+                | None -> Json.Null );
+              ("path", Json.str (Path_expr.to_string r.Cond.relay_path));
+              ( "links",
+                Json.list
+                  (fun (e, q) ->
+                    Json.Obj
+                      [
+                        ("ep", ep_json e);
+                        ("path", Json.str (Simple_path.to_string q));
+                      ])
+                  r.Cond.links );
+              ( "conds",
+                Json.list
+                  (fun (q, op, atom) ->
+                    Json.Obj
+                      [
+                        ("path", Json.str (Simple_path.to_string q));
+                        op_field op;
+                        ("const", atom_json atom);
+                      ])
+                  r.Cond.relay_conds );
+            ] );
+      ]
+
+(* a depth bound, because "neg" nests and the input is untrusted *)
+let max_cond_depth = 64
+
+let cond_of_json (j : Json.t) : (Cond.t, string) result =
+  let rec go depth j =
+    if depth > max_cond_depth then Error "condition nests too deeply"
+    else
+      match j with
+      | Json.Obj [ (tag, payload) ] -> (
+        match (tag, payload) with
+        | "join", Json.Arr [ a; b ] -> (
+          match (ep_of_json a, ep_of_json b) with
+          | Ok a, Ok b -> Ok (Cond.Join (a, b))
+          | Error e, _ | _, Error e -> Error e)
+        | "join", _ -> Error "\"join\" must be a two-endpoint array"
+        | "value", j -> (
+          match (Json.member "ep" j, op_of_json j, Json.member "const" j) with
+          | Some ep, Ok op, Some atom -> (
+            match (ep_of_json ep, atom_of_json atom) with
+            | Ok ep, Ok atom -> Ok (Cond.Value (ep, op, atom))
+            | Error e, _ | _, Error e -> Error e)
+          | _, Error e, _ -> Error e
+          | _ -> Error "\"value\" needs \"ep\", \"op\", \"const\"")
+        | "func_cmp", j -> (
+          match
+            ( Json.mem_str "fn" j,
+              Json.member "ep" j,
+              op_of_json j,
+              Json.member "const" j )
+          with
+          | Some fn, Some ep, Ok op, Some atom -> (
+            match (ep_of_json ep, atom_of_json atom) with
+            | Ok ep, Ok atom -> Ok (Cond.Func_cmp (fn, ep, op, atom))
+            | Error e, _ | _, Error e -> Error e)
+          | _, _, Error e, _ -> Error e
+          | _ -> Error "\"func_cmp\" needs \"fn\", \"ep\", \"op\", \"const\"")
+        | "expr", Json.Str text -> (
+          match Xl_xquery.Parser.parse text with
+          | e -> Ok (Cond.Expr e)
+          | exception Xl_xquery.Parser.Parse_error (msg, pos) ->
+            Error (Printf.sprintf "\"expr\" does not parse: %s at byte %d" msg pos))
+        | "expr", _ -> Error "\"expr\" must be an XQuery string"
+        | "neg", j -> Result.map (fun c -> Cond.Neg c) (go (depth + 1) j)
+        | "relay", j -> (
+          match
+            ( Json.mem_str "var" j,
+              Json.member "doc" j,
+              Json.mem_str "path" j,
+              Json.mem_list "links" j,
+              Json.mem_list "conds" j )
+          with
+          | Some relay_var, doc, Some path, Some links, Some conds -> (
+            let relay_doc =
+              match doc with
+              | None | Some Json.Null -> Ok None
+              | Some (Json.Str d) -> Ok (Some d)
+              | Some _ -> Error "\"doc\" must be a string or null"
+            in
+            let relay_path =
+              match Xl_xquery.Parser.parse_path_string path with
+              | p -> Ok p
+              | exception Xl_xquery.Parser.Parse_error (msg, pos) ->
+                Error
+                  (Printf.sprintf "relay \"path\" does not parse: %s at byte %d"
+                     msg pos)
+            in
+            let links =
+              map_result
+                (fun l ->
+                  match
+                    (Json.member "ep" l, Option.map (simple_path_of_json "link \"path\"") (Json.member "path" l))
+                  with
+                  | Some ep, Some (Ok q) ->
+                    Result.map (fun ep -> (ep, q)) (ep_of_json ep)
+                  | _, Some (Error e) -> Error e
+                  | _ -> Error "relay link needs \"ep\" and \"path\"")
+                links
+            in
+            let conds =
+              map_result
+                (fun c ->
+                  match
+                    (Option.map (simple_path_of_json "relay cond \"path\"") (Json.member "path" c),
+                     op_of_json c, Json.member "const" c)
+                  with
+                  | Some (Ok q), Ok op, Some atom ->
+                    Result.map (fun atom -> (q, op, atom)) (atom_of_json atom)
+                  | Some (Error e), _, _ -> Error e
+                  | _, Error e, _ -> Error e
+                  | _ -> Error "relay cond needs \"path\", \"op\", \"const\"")
+                conds
+            in
+            match (relay_doc, relay_path, links, conds) with
+            | Ok relay_doc, Ok relay_path, Ok links, Ok relay_conds ->
+              Ok
+                (Cond.Relay
+                   { Cond.relay_var; relay_doc; relay_path; links; relay_conds })
+            | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+            | _, _, _, Error e ->
+              Error e)
+          | _ -> Error "\"relay\" needs \"var\", \"path\", \"links\", \"conds\"")
+        | tag, _ -> Error (Printf.sprintf "unknown condition shape %S" tag))
+      | _ ->
+        Error
+          "condition must be an object with exactly one of \"join\", \
+           \"value\", \"func_cmp\", \"expr\", \"neg\", \"relay\""
+  in
+  go 0 j
 
 let node_json store n =
   let uri, dewey = Machine.node_ref store n in
@@ -220,9 +456,8 @@ let question_json store (q : Machine.question) =
     Json.Obj [ ("kind", Json.str "order_box"); ("label", Json.str label) ]
 
 (* the five answer shapes; [Error] is a client mistake, never an
-   exception.  Cond.t has a printer but no parser, so condition-box
-   predicates travel as hex-encoded Marshal blobs — the same opaque-blob
-   treatment the machine snapshot gives them. *)
+   exception.  Condition-box predicates travel through the structural
+   {!cond_of_json} codec above. *)
 let answer_of_json store (j : Json.t) : (Machine.answer, string) result =
   match j with
   | Json.Obj _ -> (
@@ -259,18 +494,15 @@ let answer_of_json store (j : Json.t) : (Machine.answer, string) result =
       | Json.Null -> Ok (Machine.Cb None)
       | Json.Obj _ -> (
         match
-          ( Json.mem_str "cond_hex" cb,
+          ( Json.member "cond" cb,
             Json.mem_int "terminals" cb,
             Json.mem_bool "negative" cb )
         with
-        | Some hex, Some terminals, Some negative -> (
-          match string_of_hex hex with
-          | Error e -> Error ("\"cond_hex\": " ^ e)
-          | Ok blob -> (
-            match (Marshal.from_string blob 0 : Xl_xqtree.Cond.t) with
-            | cond -> Ok (Machine.Cb (Some { Teacher.cond; terminals; negative }))
-            | exception _ -> Error "\"cond_hex\" does not decode to a condition"))
-        | _ -> Error "\"cb\" needs \"cond_hex\", \"terminals\", \"negative\"")
+        | Some cj, Some terminals, Some negative -> (
+          match cond_of_json cj with
+          | Error e -> Error ("\"cond\": " ^ e)
+          | Ok cond -> Ok (Machine.Cb (Some { Teacher.cond; terminals; negative })))
+        | _ -> Error "\"cb\" needs \"cond\", \"terminals\", \"negative\"")
       | _ -> Error "\"cb\" must be null or an object")
     | None, None, None, None, Some (Json.Arr keys) ->
       List.fold_left
@@ -303,17 +535,19 @@ let phase_string (p : Machine.phase) =
 let stats_json (st : Stats.t) =
   match Json.parse (Stats.to_json st) with Ok j -> j | Error _ -> Json.Null
 
-let outcome_fields (s : sess) =
+(* [machine]/[outcome] must be a consistent pair — either a
+   {!sess_view} snapshot or the fields read on the pinned worker *)
+let outcome_fields_of (s : sess) machine outcome =
   let store = s.s_scenario.Scenario.store in
   let base =
     [
       ("id", Json.str s.s_id);
       ("scenario", Json.str s.s_ref);
-      ("phase", Json.str (phase_string (Machine.phase s.s_machine)));
-      ("steps", Json.int (Machine.steps s.s_machine));
+      ("phase", Json.str (phase_string (Machine.phase machine)));
+      ("steps", Json.int (Machine.steps machine));
     ]
   in
-  match s.s_outcome with
+  match outcome with
   | `Ask q -> base @ [ ("question", question_json store q) ]
   | `Done (r : Xl_core.Learn_types.result) ->
     base
@@ -328,8 +562,15 @@ let outcome_fields (s : sess) =
             ] );
       ]
 
+let outcome_fields (s : sess) =
+  let machine, outcome = sess_view s in
+  outcome_fields_of s machine outcome
+
 (* ---------- session operations (run on the pinned worker) ---------------- *)
 
+(* only the pinned worker mutates, so its own unlocked reads of
+   s_machine/s_outcome are race-free; writes go through {!sess_set} for
+   the connection-thread readers *)
 let do_auto (s : sess) count =
   let rec go n =
     match s.s_outcome with
@@ -338,16 +579,14 @@ let do_auto (s : sess) count =
     | `Ask q ->
       let a = Machine.answer_with (Machine.oracle_teacher s.s_machine) q in
       let o, m = Machine.step s.s_machine a in
-      s.s_machine <- m;
-      s.s_outcome <- o;
+      sess_set s o m;
       go (n - 1)
   in
   go count
 
 let do_answer (s : sess) a =
   let o, m = Machine.step s.s_machine a in
-  s.s_machine <- m;
-  s.s_outcome <- o
+  sess_set s o m
 
 (* ---------- spool framing ------------------------------------------------ *)
 
@@ -524,6 +763,7 @@ let handle_create t ~t0 body =
                 s_key = key;
                 s_ref = sref;
                 s_scenario = sc;
+                s_mutex = Mutex.create ();
                 s_machine = m;
                 s_outcome = Machine.outcome m;
               }))
@@ -539,34 +779,42 @@ let with_sess t id f =
 
 let handle_answer t ~t0 id body =
   with_sess t id (fun s ->
-      match s.s_outcome with
-      | `Done _ -> err 409 "session already finished"
-      | `Ask _ -> (
-        let apply =
-          match Json.member "auto" body with
-          | Some (Json.Bool true) -> Ok (fun () -> do_auto s 1)
-          | Some (Json.Num _) -> (
-            match Json.mem_int "auto" body with
-            | Some n when n >= 1 && n <= 10_000 -> Ok (fun () -> do_auto s n)
-            | _ -> Error "\"auto\" must be a count in [1, 10000]")
-          | Some _ -> Error "\"auto\" must be true or a count"
-          | None ->
-            Result.map
-              (fun a () -> do_answer s a)
-              (answer_of_json s.s_scenario.Scenario.store body)
-        in
-        match apply with
-        | Error e -> err 400 e
-        | Ok go -> (
-          match on_worker t s ~endpoint:"answer" ~t0 go with
-          | () -> ok (outcome_fields s)
-          | exception Invalid_argument e -> err 400 e
-          | exception Xl_core.Learn_types.Learning_failed e ->
-            err 500 ("learning failed: " ^ e))))
+      let apply =
+        match Json.member "auto" body with
+        | Some (Json.Bool true) -> Ok (fun () -> do_auto s 1)
+        | Some (Json.Num _) -> (
+          match Json.mem_int "auto" body with
+          | Some n when n >= 1 && n <= 10_000 -> Ok (fun () -> do_auto s n)
+          | _ -> Error "\"auto\" must be a count in [1, 10000]")
+        | Some _ -> Error "\"auto\" must be true or a count"
+        | None ->
+          Result.map
+            (fun a () -> do_answer s a)
+            (answer_of_json s.s_scenario.Scenario.store body)
+      in
+      match apply with
+      | Error e -> err 400 e
+      | Ok go -> (
+        (* the finished-guard, the step and the response-field read run
+           as one task on the pinned worker: two racing answers to one
+           session cannot both pass the guard and double-step *)
+        match
+          on_worker t s ~endpoint:"answer" ~t0 (fun () ->
+              match s.s_outcome with
+              | `Done _ -> None
+              | `Ask _ ->
+                go ();
+                Some (outcome_fields_of s s.s_machine s.s_outcome))
+        with
+        | None -> err 409 "session already finished"
+        | Some fields -> ok fields
+        | exception Invalid_argument e -> err 400 e
+        | exception Xl_core.Learn_types.Learning_failed e ->
+          err 500 ("learning failed: " ^ e)))
 
 let handle_question t id =
   with_sess t id (fun s ->
-      match s.s_outcome with
+      match snd (sess_view s) with
       | `Done _ -> err 409 "session already finished"
       | `Ask q ->
         ok
@@ -581,13 +829,14 @@ let handle_question t id =
 let handle_query t id =
   with_sess t id (fun s ->
       let store = s.s_scenario.Scenario.store in
+      let machine, outcome = sess_view s in
       let base =
         [
           ("id", Json.str s.s_id);
-          ("phase", Json.str (phase_string (Machine.phase s.s_machine)));
+          ("phase", Json.str (phase_string (Machine.phase machine)));
         ]
       in
-      match s.s_outcome with
+      match outcome with
       | `Done r ->
         ok
           (base
@@ -605,28 +854,49 @@ let handle_query t id =
             ])
       | `Ask _ -> ok (base @ [ ("query", Json.Null) ]))
 
+let mkdir_exist_ok dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
 let handle_suspend t ~t0 id =
   with_sess t id (fun s ->
       if String.length s.s_ref >= 7 && String.sub s.s_ref 0 7 = "upload:" then
         err 409 "uploaded-corpus sessions cannot be suspended (no stable scenario reference)"
       else begin
+        (* snapshot first, write durably (temp file + rename), and only
+           then drop the live session: a failed spool write answers 500
+           with the session intact instead of silently losing it *)
         let snap =
           on_worker t s ~endpoint:"suspend" ~t0 (fun () ->
-              let snap = Machine.snapshot s.s_machine in
-              Machine.abort s.s_machine;
-              snap)
+              Machine.snapshot s.s_machine)
         in
-        ignore (remove_sess t id);
-        if not (Sys.file_exists t.spool) then Unix.mkdir t.spool 0o755;
         let data = spool_encode ~id ~scenario_ref:s.s_ref ~snapshot:snap in
-        Out_channel.with_open_bin (spool_file t id) (fun oc ->
-            Out_channel.output_string oc data);
-        ok
-          [
-            ("id", Json.str id);
-            ("suspended", Json.Bool true);
-            ("bytes", Json.int (String.length data));
-          ]
+        let final = spool_file t id in
+        let tmp =
+          Printf.sprintf "%s.tmp.%d" final (Thread.id (Thread.self ()))
+        in
+        match
+          mkdir_exist_ok t.spool;
+          Out_channel.with_open_bin tmp (fun oc ->
+              Out_channel.output_string oc data);
+          Sys.rename tmp final
+        with
+        | exception e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          err 500 ("spool write failed: " ^ Printexc.to_string e)
+        | () ->
+          (match remove_sess t id with
+          | Some s ->
+            Pool.Service.run t.svc ~key:s.s_key (fun () ->
+                Machine.abort s.s_machine)
+          | None -> ());
+          ok
+            [
+              ("id", Json.str id);
+              ("suspended", Json.Bool true);
+              ("bytes", Json.int (String.length data));
+            ]
       end)
 
 let handle_resume t ~t0 body =
@@ -669,6 +939,7 @@ let handle_resume t ~t0 body =
                     s_key = key;
                     s_ref = sref;
                     s_scenario = sc;
+                    s_mutex = Mutex.create ();
                     s_machine = m;
                     s_outcome = Machine.outcome m;
                   }
@@ -779,6 +1050,11 @@ let dispatch t (req : Http.request) =
     | exception Xl_core.Learn_types.Learning_failed e ->
       ("other", err 500 ("learning failed: " ^ e))
     | exception Machine.Corrupt e -> ("other", err 400 ("corrupt: " ^ e))
+    (* a request racing shutdown finds the worker service stopped — that
+       is server state, not a client mistake: 503, not 400 *)
+    | exception Invalid_argument e
+      when Atomic.get t.stopping || e = "Pool.Service.submit: stopped" ->
+      ("other", err 503 "server is shutting down")
     | exception Invalid_argument e -> ("other", err 400 e)
     | exception e ->
       ("other", err 500 ("internal error: " ^ Printexc.to_string e))

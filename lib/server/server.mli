@@ -28,13 +28,16 @@
     every touch of a session's machine is executed by
     [Xl_exec.Pool.Service.run], keyed by the session id's hash, so one
     session's effect continuations and telemetry tag stay on one worker
-    domain while different sessions run in parallel.  Sessions live in
-    a mutex-striped table; catalog stores are prepared once and shared
-    read-only by every session of the same corpus, and uploaded
-    documents are deduplicated by content digest.  Malformed requests
-    (HTTP framing or JSON bodies) answer 400 with
+    domain while different sessions run in parallel.  The
+    finished-guard, the step and the response-field read of an answer
+    run as one worker task (racing answers cannot double-step), and
+    status reads snapshot the machine/outcome pair under a per-session
+    mutex.  Sessions live in a mutex-striped table; catalog stores are
+    prepared once and shared read-only by every session of the same
+    corpus, and uploaded documents are deduplicated by content digest.
+    Malformed requests (HTTP framing or JSON bodies) answer 400 with
     [{"error":…,"offset":…}] and never kill the accept loop or a
-    worker. *)
+    worker; requests racing shutdown answer 503. *)
 
 type t
 
@@ -55,9 +58,11 @@ val shutdown : t -> unit
 
 val socket_path : t -> string
 
-val hex_of_string : string -> string
-val string_of_hex : string -> (string, string) result
-(** The hex codec condition-box predicates travel in ([{"cb":
-    {"cond_hex":…}}] carries a hex-encoded [Marshal] blob of the
-    [Cond.t]) — exported so clients build answers with the same
-    encoding the server decodes. *)
+val cond_json : Xl_xqtree.Cond.t -> Xl_json.Json.t
+val cond_of_json : Xl_json.Json.t -> (Xl_xqtree.Cond.t, string) result
+(** The structural wire codec condition-box predicates travel in
+    ([{"cb":{"cond":…}}]): one tag key per [Cond.t] constructor
+    ([join]/[value]/[func_cmp]/[expr]/[neg]/[relay]), paths and
+    comparison operators textual, free-form predicates as XQuery text.
+    Exported so clients build answers with the same encoding the server
+    decodes.  Untrusted bytes never reach [Marshal]. *)

@@ -8,9 +8,12 @@
      Learn.run on an independently built scenario;
    - explicit answers: a local mirror machine computes every answer
      with its own oracle teacher, the test encodes it into the wire
-     shapes ({"bool"}, {"bools"}, {"eq"}, {"cb" with cond_hex},
-     {"order"}) and posts it — the server-side machine must ask the
-     same question stream and finish with the same row;
+     shapes ({"bool"}, {"bools"}, {"eq"}, {"cb" with a structural
+     "cond"}, {"order"}) and posts it — the server-side machine must
+     ask the same question stream and finish with the same row;
+   - condition codec: every explicit condition of every catalog
+     scenario survives cond_json/cond_of_json structurally intact
+     (the codec that replaced Marshal on the wire);
    - suspend/resume: a session survives the spool round trip and still
      verifies; uploaded-corpus sessions refuse to suspend (409);
    - uploads: a serialized copy of a catalog document uploaded as a
@@ -178,8 +181,7 @@ let answer_json store (a : M.answer) : string * Json.t =
           ( "cb",
             Json.Obj
               [
-                ( "cond_hex",
-                  Json.str (Server.hex_of_string (Marshal.to_string cond [])) );
+                ("cond", Server.cond_json cond);
                 ("terminals", Json.int terminals);
                 ("negative", Json.Bool negative);
               ] );
@@ -274,6 +276,92 @@ let test_explicit_answers () =
   Alcotest.(check bool) "a membership answer crossed the wire" true
     (Hashtbl.mem shapes "bool" || Hashtbl.mem shapes "bools");
   Client.close c
+
+(* ---------- condition wire codec ------------------------------------------ *)
+
+(* every explicit condition in the whole catalog, through the actual
+   wire text: encode, serialize, reparse, decode, compare structurally *)
+let test_cond_codec () =
+  let scenarios =
+    Xl_workload.Xmark_scenarios.all ()
+    @ Xl_workload.Xmp_scenarios.all ()
+    @ Xl_workload.Sgml_scenarios.all ()
+  in
+  let count = ref 0 in
+  List.iter
+    (fun (name, sc) ->
+      let conds =
+        Xl_xqtree.Xqtree.fold
+          (fun acc n -> n.Xl_xqtree.Xqtree.conds @ acc)
+          [] sc.Scenario.target
+        @ List.map snd sc.Scenario.extra_explicit
+      in
+      List.iter
+        (fun cond ->
+          incr count;
+          let text = Json.to_string (Server.cond_json cond) in
+          let j =
+            match Json.parse text with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "%s: cond JSON reparse: %s" name e
+          in
+          match Server.cond_of_json j with
+          | Error e -> Alcotest.failf "%s: cond decode: %s in %s" name e text
+          | Ok cond' ->
+            (* free-form [Expr] predicates travel as XQuery text, so the
+               reparse is print-identical (what the learned query emits)
+               but not necessarily the same AST; every shaped
+               constructor must survive structurally *)
+            let rec has_expr (c : Xl_xqtree.Cond.t) =
+              match c with
+              | Xl_xqtree.Cond.Expr _ -> true
+              | Xl_xqtree.Cond.Neg c -> has_expr c
+              | _ -> false
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "%s: %s prints identically" name text)
+              (Xl_xqtree.Cond.to_string cond)
+              (Xl_xqtree.Cond.to_string cond');
+            if not (has_expr cond) then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s round-trips structurally" name text)
+                true
+                (Xl_xqtree.Cond.equal cond cond'))
+        conds)
+    scenarios;
+  Alcotest.(check bool) "catalog conditions were exercised" true (!count > 20);
+  (* malformed conditions are a structured Error, never an exception *)
+  let deep =
+    let rec nest n j =
+      if n = 0 then j else nest (n - 1) (Json.Obj [ ("neg", j) ])
+    in
+    nest 100 (Json.Obj [ ("expr", Json.Str "1 = 1") ])
+  in
+  List.iter
+    (fun bad ->
+      match Server.cond_of_json bad with
+      | Ok _ -> Alcotest.failf "bad cond accepted: %s" (Json.to_string bad)
+      | Error _ -> ())
+    [
+      Json.Null;
+      Json.Obj [];
+      Json.Obj [ ("cond_hex", Json.Str "deadbeef") ];
+      Json.Obj [ ("expr", Json.Str "for $x in (") ];
+      Json.Obj [ ("join", Json.Arr [] ) ];
+      Json.Obj
+        [
+          ( "value",
+            Json.Obj
+              [
+                ( "ep",
+                  Json.Obj
+                    [ ("var", Json.Str "v"); ("path", Json.Str "a[zz]") ] );
+                ("op", Json.Str "==");
+                ("const", Json.Null);
+              ] );
+        ];
+      deep;
+    ]
 
 (* ---------- suspend / resume --------------------------------------------- *)
 
@@ -453,6 +541,8 @@ let () =
             test_auto_parity;
           Alcotest.test_case "explicit answers via the JSON codec" `Slow
             test_explicit_answers;
+          Alcotest.test_case "condition codec round-trips the catalog" `Quick
+            test_cond_codec;
         ] );
       ( "lifecycle",
         [
